@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches.
+ *
+ * Every bench regenerates one table or figure from the paper.  They
+ * share the Table 1 trace set (generated once per process at the
+ * CACHETIME_SCALE-controlled scale), the standard size and cycle
+ * time axes, and output conventions (aligned tables plus optional
+ * CSV via CACHETIME_CSV=1).
+ */
+
+#ifndef CACHETIME_BENCH_COMMON_HH
+#define CACHETIME_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "trace/workloads.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace cachetime::bench
+{
+
+/** Generate the Table 1 traces at the environment-selected scale. */
+inline std::vector<Trace>
+standardTraces(double fallback_scale = 0.20)
+{
+    setQuiet(std::getenv("CACHETIME_VERBOSE") == nullptr);
+    return generateTable1(benchScale(fallback_scale));
+}
+
+/** Per-cache size axis: 2KB .. 2MB each (4KB .. 4MB total). */
+inline std::vector<std::uint64_t>
+sizeAxisWordsEach(unsigned log2_min_kb = 1, unsigned log2_max_kb = 11)
+{
+    std::vector<std::uint64_t> sizes;
+    for (unsigned k = log2_min_kb; k <= log2_max_kb; ++k)
+        sizes.push_back((std::uint64_t{1} << k) * 1024 / 4);
+    return sizes;
+}
+
+/** Cycle-time axis 20..80ns (the paper's sweep), step 4ns. */
+inline std::vector<double>
+cycleAxisNs(double lo = 20.0, double hi = 80.0, double step = 4.0)
+{
+    std::vector<double> cycles;
+    for (double t = lo; t <= hi + 1e-9; t += step)
+        cycles.push_back(t);
+    return cycles;
+}
+
+/** Print @p table as text, or CSV when CACHETIME_CSV=1. */
+inline void
+emit(const TablePrinter &table, const std::string &title)
+{
+    std::cout << "== " << title << " ==\n";
+    if (const char *csv = std::getenv("CACHETIME_CSV");
+        csv && csv[0] == '1') {
+        table.printCsv(std::cout);
+    } else {
+        table.print(std::cout);
+    }
+    std::cout << '\n';
+}
+
+/**
+ * @return the directory to write gnuplot figures into, set via
+ * CACHETIME_PLOTS; empty means figures are not emitted.
+ */
+inline std::string
+plotDir()
+{
+    const char *dir = std::getenv("CACHETIME_PLOTS");
+    return dir ? dir : "";
+}
+
+} // namespace cachetime::bench
+
+#endif // CACHETIME_BENCH_COMMON_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Extension: the cost-performance frontier of Section 3's worked
+ * example, computed over a whole catalog.
+ *
+ * For each SRAM family and per-cache size buildable from it, derive
+ * the chip counts, supported cycle time and relative cost, simulate
+ * the execution time, and print the frontier.  "Once that design
+ * goal is reached, any additional hardware and money is most
+ * effectively spent improving the cycle time of the cache/CPU
+ * pair."
+ */
+
+#include <algorithm>
+
+#include "bench/common.hh"
+#include "core/cost.hh"
+#include "core/experiment.hh"
+
+using namespace cachetime;
+using namespace cachetime::bench;
+
+int
+main()
+{
+    auto traces = standardTraces();
+    SystemConfig base = SystemConfig::paperDefault();
+    BoardModel board;
+
+    struct Point
+    {
+        std::string build;
+        double cost;
+        double exec;
+    };
+    std::vector<Point> points;
+
+    TablePrinter table({"build (per cache)", "chips", "cycle",
+                        "rel cost", "ns/ref"});
+    for (const RamPart &part : defaultCatalog()) {
+        for (std::uint64_t kb : {8u, 32u, 128u, 512u}) {
+            CacheConfig org = base.dcache;
+            org.sizeWords = kb * 1024 / 4;
+            CacheImplementation impl =
+                implementCache(org, part, board);
+            // Skip absurd builds (hundreds of chips per cache).
+            if (impl.totalChips() > 150)
+                continue;
+
+            SystemConfig config = base;
+            config.setL1SizeWordsEach(org.sizeWords);
+            config.cycleNs = impl.cycleNs;
+            AggregateMetrics m = runGeoMean(config, traces);
+
+            std::string build = std::to_string(kb) + "KB from " +
+                                part.name;
+            table.addRow({build,
+                          std::to_string(2 * impl.totalChips()),
+                          TablePrinter::fmt(impl.cycleNs, 0) + "ns",
+                          TablePrinter::fmt(2 * impl.cost, 1),
+                          TablePrinter::fmt(m.execNsPerRef, 2)});
+            points.push_back({build, 2 * impl.cost,
+                              m.execNsPerRef});
+        }
+    }
+    emit(table, "Extension: cost-performance frontier over the SRAM "
+                "catalog (both caches)");
+
+    // Pareto frontier: cheapest machine at each performance level.
+    std::sort(points.begin(), points.end(),
+              [](const Point &a, const Point &b) {
+                  return a.cost < b.cost;
+              });
+    std::cout << "Pareto-efficient builds (no cheaper machine is as "
+                 "fast):\n";
+    double best = 1e300;
+    for (const Point &p : points) {
+        if (p.exec < best) {
+            best = p.exec;
+            std::cout << "  " << p.build << "  (cost "
+                      << TablePrinter::fmt(p.cost, 1) << ", "
+                      << TablePrinter::fmt(p.exec, 2) << " ns/ref)\n";
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Extension: the 3C decomposition of the miss ratio.
+ *
+ * Quantifies the mechanism behind Figure 4-1: how much of each
+ * configuration's miss ratio is compulsory, capacity, or conflict,
+ * and how the conflict share responds to set associativity.  In a
+ * virtual cache the conflict component contains the inter-process
+ * collisions that more sets cannot remove.
+ */
+
+#include "bench/common.hh"
+#include "cache/miss_classify.hh"
+#include "core/experiment.hh"
+
+using namespace cachetime;
+using namespace cachetime::bench;
+
+int
+main()
+{
+    auto traces = standardTraces();
+    SystemConfig base = SystemConfig::paperDefault();
+
+    TablePrinter table({"total L1", "assoc", "read miss",
+                        "compulsory", "capacity", "conflict"});
+    for (std::uint64_t words_each : {1024u, 4096u, 16384u, 65536u}) {
+        for (unsigned assoc : {1u, 2u, 8u}) {
+            CacheConfig icfg = base.icache, dcfg = base.dcache;
+            icfg.sizeWords = words_each;
+            dcfg.sizeWords = words_each;
+            icfg.assoc = assoc;
+            dcfg.assoc = assoc;
+
+            std::uint64_t reads = 0, misses = 0;
+            MissClassStats classes;
+            for (const Trace &trace : traces) {
+                Cache icache(icfg, "I"), dcache(dcfg, "D");
+                MissClassifier imc(words_each / icfg.blockWords,
+                                   icfg.blockWords);
+                MissClassifier dmc(words_each / dcfg.blockWords,
+                                   dcfg.blockWords);
+                for (std::size_t i = 0; i < trace.size(); ++i) {
+                    const Ref &ref = trace.refs()[i];
+                    bool warm = i >= trace.warmStart();
+                    if (ref.kind == RefKind::Store) {
+                        dcache.write(ref.addr, 1, ref.pid);
+                        continue;
+                    }
+                    Cache &cache = ref.kind == RefKind::IFetch
+                                       ? icache
+                                       : dcache;
+                    MissClassifier &mc =
+                        ref.kind == RefKind::IFetch ? imc : dmc;
+                    MissClass cls = mc.observe(ref.addr, ref.pid);
+                    bool hit = cache.read(ref.addr, 1, ref.pid).hit;
+                    if (warm) {
+                        ++reads;
+                        if (!hit) {
+                            ++misses;
+                            mc.account(cls);
+                        }
+                    }
+                }
+                classes.compulsory += imc.stats().compulsory +
+                                      dmc.stats().compulsory;
+                classes.capacity +=
+                    imc.stats().capacity + dmc.stats().capacity;
+                classes.conflict +=
+                    imc.stats().conflict + dmc.stats().conflict;
+            }
+            double total = static_cast<double>(classes.total());
+            auto share = [&](std::uint64_t n) {
+                return total == 0
+                           ? std::string("-")
+                           : TablePrinter::fmt(100.0 * n / total,
+                                               1) + "%";
+            };
+            table.addRow(
+                {TablePrinter::fmtSizeWords(2 * words_each),
+                 std::to_string(assoc),
+                 TablePrinter::fmt(
+                     static_cast<double>(misses) / reads, 4),
+                 share(classes.compulsory),
+                 share(classes.capacity),
+                 share(classes.conflict)});
+        }
+    }
+    emit(table, "Extension: 3C miss decomposition (warm-start "
+                "reads, both L1 caches)");
+    std::cout << "associativity attacks exactly the conflict "
+                 "column; what remains above 256KB\nis the "
+                 "virtual-cache inter-process component\n";
+    return 0;
+}

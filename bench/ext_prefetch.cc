@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Extension: sequential prefetching vs. block size.
+ *
+ * One-block-lookahead prefetch (Smith) attacks the same spatial
+ * locality that large blocks do, without the large-block miss
+ * penalty.  The bench sweeps block size with prefetching off,
+ * on-miss, and tagged, reporting miss ratio, execution time,
+ * optimal block size, and prefetch accuracy - prefetching shifts
+ * the optimal block size *down*, the mirror image of the Section 5
+ * penalty-reducing mechanisms.
+ */
+
+#include <algorithm>
+
+#include "bench/common.hh"
+#include "core/blocksize_opt.hh"
+
+using namespace cachetime;
+using namespace cachetime::bench;
+
+int
+main()
+{
+    auto traces = standardTraces();
+    SystemConfig base = SystemConfig::paperDefault();
+    const std::vector<unsigned> blocks{2, 4, 8, 16, 32};
+
+    TablePrinter table({"policy", "optimal BS (W)",
+                        "best exec (ns/ref)", "miss @4W",
+                        "prefetch accuracy @4W"});
+    for (PrefetchPolicy policy :
+         {PrefetchPolicy::None, PrefetchPolicy::OnMiss,
+          PrefetchPolicy::Tagged}) {
+        SystemConfig config = base;
+        config.icache.prefetchPolicy = policy;
+        config.dcache.prefetchPolicy = policy;
+        BlockSizeCurve curve = sweepBlockSize(config, blocks, traces);
+        double best = *std::min_element(curve.execNsPerRef.begin(),
+                                        curve.execNsPerRef.end());
+
+        // Accuracy at the paper's 4W block size.
+        SystemConfig at4 = config;
+        at4.setL1BlockWords(4);
+        std::uint64_t issued = 0, used = 0;
+        double miss4 = 0.0;
+        for (const Trace &trace : traces) {
+            SimResult r = simulateOne(at4, trace);
+            issued += r.icache.prefetches + r.dcache.prefetches;
+            used += r.icache.prefetchHits + r.dcache.prefetchHits;
+            miss4 += r.readMissRatio();
+        }
+        miss4 /= static_cast<double>(traces.size());
+
+        table.addRow(
+            {prefetchPolicyName(policy),
+             TablePrinter::fmt(optimalBlockWords(curve), 1),
+             TablePrinter::fmt(best, 2),
+             TablePrinter::fmt(miss4, 4),
+             issued == 0 ? "-"
+                         : TablePrinter::fmt(
+                               100.0 * used / issued, 1) + "%"});
+    }
+    emit(table, "Extension: sequential prefetch vs block size "
+                "(64KB+64KB baseline)");
+    std::cout << "prefetching buys spatial locality without the "
+                 "large-block penalty, pushing the\noptimal block "
+                 "size down - but on a one-word-per-cycle bus the "
+                 "extra traffic and fill-port\ncontention eat the "
+                 "latency savings: the miss *ratio* improves while "
+                 "execution time\ndoes not, one more instance of "
+                 "the paper's thesis\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Extension: what trace sampling would have cost the paper.
+ *
+ * Periodic time sampling (simulate every k-th window) was the
+ * era's standard shortcut.  This bench compares miss ratios and
+ * execution time measured on sampled traces against the full-trace
+ * values at several sampling fractions: time-dependent metrics
+ * inherit extra bias from per-window cold cache state, part of why
+ * the paper farmed out full traces instead.
+ */
+
+#include "bench/common.hh"
+#include "core/experiment.hh"
+#include "trace/sampling.hh"
+
+using namespace cachetime;
+using namespace cachetime::bench;
+
+int
+main()
+{
+    auto traces = standardTraces();
+    SystemConfig config = SystemConfig::paperDefault();
+
+    AggregateMetrics full = runGeoMean(config, traces);
+
+    TablePrinter table({"sampling", "kept", "read miss", "miss err",
+                        "ns/ref", "time err"});
+    table.addRow({"full trace", "100%",
+                  TablePrinter::fmt(full.readMissRatio, 4), "-",
+                  TablePrinter::fmt(full.execNsPerRef, 2), "-"});
+
+    for (std::size_t window : {20'000u, 5'000u, 1'000u}) {
+        SamplingConfig sampling;
+        sampling.periodRefs = 50'000;
+        sampling.windowRefs = window;
+        sampling.windowWarmupRefs = window / 5;
+
+        std::vector<Trace> sampled;
+        double kept = 0.0;
+        for (const Trace &trace : traces) {
+            sampled.push_back(sampleTime(trace, sampling));
+            kept += samplingFraction(trace, sampling);
+        }
+        kept /= static_cast<double>(traces.size());
+
+        AggregateMetrics m = runGeoMean(config, sampled);
+        table.addRow(
+            {std::to_string(window) + "/50000",
+             TablePrinter::fmt(100.0 * kept, 0) + "%",
+             TablePrinter::fmt(m.readMissRatio, 4),
+             TablePrinter::fmt(100.0 * (m.readMissRatio -
+                                        full.readMissRatio) /
+                                   full.readMissRatio,
+                               1) + "%",
+             TablePrinter::fmt(m.execNsPerRef, 2),
+             TablePrinter::fmt(100.0 * (m.execNsPerRef -
+                                        full.execNsPerRef) /
+                                   full.execNsPerRef,
+                               1) + "%"});
+    }
+    emit(table, "Extension: periodic time sampling error "
+                "(64KB+64KB baseline)");
+    std::cout << "smaller windows keep less context per sample; the "
+                 "bias lands on exactly the\ntemporal metrics this "
+                 "paper is about\n";
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Extension: victim caching vs. set associativity.
+ *
+ * Section 4 concludes that board-level set associativity loses
+ * because its miss-ratio benefit is worth less than the multiplexor
+ * delay it adds to every cycle.  A small fully-associative victim
+ * cache (Jouppi) buys much of the same conflict-miss relief *off*
+ * the critical path: the swap penalty is paid per miss, not per
+ * cycle.  This bench compares direct-mapped, direct-mapped + victim
+ * cache, and 2-way (charged the paper's 6ns mux delay) in execution
+ * time.
+ */
+
+#include "bench/common.hh"
+#include "core/breakeven.hh"
+#include "core/experiment.hh"
+
+using namespace cachetime;
+using namespace cachetime::bench;
+
+int
+main()
+{
+    auto traces = standardTraces();
+    SystemConfig base = SystemConfig::paperDefault();
+
+    TablePrinter table({"total L1", "DM miss", "DM+VC miss",
+                        "2-way miss", "DM ns/ref", "DM+VC ns/ref",
+                        "2-way+6ns ns/ref"});
+    for (std::uint64_t words_each :
+         {1024u, 4096u, 16384u, 65536u}) {
+        SystemConfig dm = base;
+        dm.setL1SizeWordsEach(words_each);
+
+        SystemConfig vc = dm;
+        vc.icache.victimEntries = 4;
+        vc.dcache.victimEntries = 4;
+
+        SystemConfig sa = dm;
+        sa.setL1Assoc(2);
+        sa.cycleNs = base.cycleNs + asMuxDataInToOutNs;
+
+        AggregateMetrics m_dm = runGeoMean(dm, traces);
+        AggregateMetrics m_vc = runGeoMean(vc, traces);
+        AggregateMetrics m_sa = runGeoMean(sa, traces);
+        table.addRow({TablePrinter::fmtSizeWords(2 * words_each),
+                      TablePrinter::fmt(m_dm.readMissRatio, 4),
+                      TablePrinter::fmt(m_vc.readMissRatio, 4),
+                      TablePrinter::fmt(m_sa.readMissRatio, 4),
+                      TablePrinter::fmt(m_dm.execNsPerRef, 2),
+                      TablePrinter::fmt(m_vc.execNsPerRef, 2),
+                      TablePrinter::fmt(m_sa.execNsPerRef, 2)});
+    }
+    emit(table, "Extension: 4-entry victim cache vs 2-way set "
+                "associativity (2-way charged +6ns cycle)");
+    std::cout << "the victim cache takes the conflict misses off "
+                 "the miss path instead of the\ncycle-time path - "
+                 "the resolution Section 4's conclusion points "
+                 "toward\n";
+    return 0;
+}

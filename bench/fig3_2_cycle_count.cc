@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 3-2: total cycle count vs. cache size and cycle time.
+ *
+ * Cycle counts are normalized to the smallest count in the
+ * experiment (two 2MB caches at 80ns).  Slower clocks need fewer
+ * cycles per memory operation, so the count *decreases* with cycle
+ * time - the "illusion of improved performance" the paper warns
+ * about.  The paper reports a 3.2x spread over the whole experiment
+ * and about 1.5x at 2KB caches.
+ */
+
+#include <algorithm>
+
+#include "bench/common.hh"
+#include "core/tradeoff.hh"
+
+using namespace cachetime;
+using namespace cachetime::bench;
+
+int
+main()
+{
+    auto traces = standardTraces();
+    auto sizes = sizeAxisWordsEach();
+    auto cycles = cycleAxisNs(20.0, 80.0, 10.0);
+    SystemConfig base = SystemConfig::paperDefault();
+
+    SpeedSizeGrid grid =
+        buildSpeedSizeGrid(base, sizes, cycles, traces);
+
+    // Normalize to the smallest cycles-per-ref (largest cache,
+    // slowest clock).
+    double best = grid.cyclesPerRef[0][0];
+    for (const auto &column : grid.cyclesPerRef)
+        for (double v : column)
+            best = std::min(best, v);
+
+    std::vector<std::string> headers{"total L1"};
+    for (double t : cycles)
+        headers.push_back(TablePrinter::fmt(t, 0) + "ns");
+    TablePrinter table(headers);
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        std::vector<std::string> row{
+            TablePrinter::fmtSizeWords(2 * sizes[i])};
+        for (std::size_t j = 0; j < cycles.size(); ++j)
+            row.push_back(
+                TablePrinter::fmt(grid.cyclesPerRef[i][j] / best, 3));
+        table.addRow(row);
+    }
+    emit(table, "Figure 3-2: normalized cycle count");
+
+    double worst = grid.cyclesPerRef[0][0];
+    for (const auto &column : grid.cyclesPerRef)
+        for (double v : column)
+            worst = std::max(worst, v);
+    std::cout << "spread across experiment: "
+              << TablePrinter::fmt(worst / best, 2)
+              << "x (paper: ~3.2x)\n";
+    double small_max =
+        *std::max_element(grid.cyclesPerRef.front().begin(),
+                          grid.cyclesPerRef.front().end());
+    double small_min =
+        *std::min_element(grid.cyclesPerRef.front().begin(),
+                          grid.cyclesPerRef.front().end());
+    std::cout << "spread at smallest cache: "
+              << TablePrinter::fmt(small_max / small_min, 2)
+              << "x (paper: ~1.5x)\n";
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 4-2: execution time vs. cache size, set associativity and
+ * cycle time (memory model of Table 2, equal cycle time for all set
+ * sizes - i.e. before charging any implementation penalty).
+ *
+ * The paper: ~10% execution-time improvement at 4KB total for
+ * 1 -> 2 ways; much less for large caches, since a constant
+ * percentage drop in misses is a shrinking share of execution time.
+ */
+
+#include "bench/common.hh"
+#include "core/experiment.hh"
+
+using namespace cachetime;
+using namespace cachetime::bench;
+
+int
+main()
+{
+    auto traces = standardTraces();
+    auto sizes = sizeAxisWordsEach(1, 9); // 4KB .. 1MB total
+    SystemConfig base = SystemConfig::paperDefault();
+    const std::vector<unsigned> assocs{1, 2, 4, 8};
+
+    for (double t : {30.0, 40.0, 60.0}) {
+        std::vector<std::string> headers{"total L1"};
+        for (unsigned a : assocs)
+            headers.push_back(std::to_string(a) + "-way (ns/ref)");
+        headers.push_back("1->2 gain");
+        TablePrinter table(headers);
+        for (auto words_each : sizes) {
+            std::vector<std::string> row{
+                TablePrinter::fmtSizeWords(2 * words_each)};
+            double dm = 0.0, two = 0.0;
+            for (unsigned a : assocs) {
+                SystemConfig config = base;
+                config.cycleNs = t;
+                config.setL1SizeWordsEach(words_each);
+                config.setL1Assoc(a);
+                AggregateMetrics m = runGeoMean(config, traces);
+                row.push_back(TablePrinter::fmt(m.execNsPerRef, 2));
+                if (a == 1)
+                    dm = m.execNsPerRef;
+                if (a == 2)
+                    two = m.execNsPerRef;
+            }
+            row.push_back(
+                TablePrinter::fmt(100.0 * (dm - two) / dm, 1) + "%");
+            table.addRow(row);
+        }
+        emit(table, "Figure 4-2: execution time vs set size at " +
+                        TablePrinter::fmt(t, 0) + "ns");
+    }
+    return 0;
+}

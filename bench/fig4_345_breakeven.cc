@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figures 4-3, 4-4, 4-5: break-even cycle-time degradation for set
+ * sizes 2, 4 and 8 across the (size, cycle time) design space.
+ *
+ * Each entry is how many nanoseconds slower a set-associative
+ * machine's clock may be than a direct-mapped machine's while still
+ * matching its execution time.  The paper's headline: the numbers
+ * are almost uniformly small - only below 16KB total does the
+ * break-even exceed the 6ns data-in/data-out delay of an AS-TTL
+ * multiplexor, and no point reaches its 11ns select-to-output
+ * delay; and the increment from set size 2 to 4 is at most ~2.4ns.
+ * Grids are isotonic-smoothed per the paper's footnote 9 (the 56ns
+ * quantization anomaly "severely distorted the analysis").
+ */
+
+#include <algorithm>
+
+#include "bench/common.hh"
+#include "core/breakeven.hh"
+#include "util/mathutil.hh"
+
+using namespace cachetime;
+using namespace cachetime::bench;
+
+int
+main()
+{
+    auto traces = standardTraces();
+    auto sizes = sizeAxisWordsEach(1, 9); // 4KB .. 1MB total
+    auto cycles = cycleAxisNs(20.0, 80.0, 8.0);
+    SystemConfig base = SystemConfig::paperDefault();
+
+    SpeedSizeGrid dm =
+        buildSpeedSizeGrid(base, sizes, cycles, traces).smoothed();
+
+    double prev_max = 0.0;
+    for (unsigned assoc : {2u, 4u, 8u}) {
+        SpeedSizeGrid sa =
+            buildAssocGrid(base, assoc, sizes, cycles, traces)
+                .smoothed();
+        BreakEvenMap map = computeBreakEven(dm, sa, assoc);
+
+        std::vector<std::string> headers{"total L1"};
+        for (double t : cycles)
+            headers.push_back(TablePrinter::fmt(t, 0) + "ns");
+        TablePrinter table(headers);
+        double overall_max = 0.0;
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            std::vector<std::string> row{
+                TablePrinter::fmtSizeWords(2 * sizes[i])};
+            for (std::size_t j = 0; j < cycles.size(); ++j) {
+                double v = map.breakEvenNs[i][j];
+                overall_max = std::max(overall_max, v);
+                row.push_back(TablePrinter::fmt(v, 1));
+            }
+            table.addRow(row);
+        }
+        emit(table, "Figure 4-" + std::to_string(2 + ilog2(assoc)) +
+                        ": break-even cycle-time degradation (ns), "
+                        "set size " + std::to_string(assoc));
+        std::cout << "max break-even: "
+                  << TablePrinter::fmt(overall_max, 1)
+                  << "ns; AS-TTL mux data-in->out "
+                  << TablePrinter::fmt(asMuxDataInToOutNs, 0)
+                  << "ns, select->out "
+                  << TablePrinter::fmt(asMuxSelectToOutNs, 0)
+                  << "ns\n";
+        if (assoc == 4) {
+            std::cout << "increment over set size 2 (paper: at most "
+                         "~2.4ns): "
+                      << TablePrinter::fmt(overall_max - prev_max, 1)
+                      << "ns\n";
+        }
+        prev_max = overall_max;
+        std::cout << '\n';
+    }
+    return 0;
+}

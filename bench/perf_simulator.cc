@@ -1,0 +1,108 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself.
+ *
+ * The paper's infrastructure section reports 38,000 references per
+ * second aggregated over 10-20 MicroVAX II workstations; these
+ * benchmarks report what the cachetime pipeline does per reference
+ * on one modern core (trace generation, organizational cache
+ * access, and full timing simulation in single- and two-level
+ * configurations).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "core/experiment.hh"
+#include "sim/system.hh"
+#include "trace/workloads.hh"
+#include "util/logging.hh"
+
+using namespace cachetime;
+
+namespace
+{
+
+const Trace &
+sharedTrace()
+{
+    static const Trace trace = [] {
+        setQuiet(true);
+        return generate(table1Workloads().front(), 0.2);
+    }();
+    return trace;
+}
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    setQuiet(true);
+    WorkloadSpec spec = table1Workloads().front();
+    std::size_t refs = 0;
+    for (auto _ : state) {
+        Trace t = generate(spec, 0.1);
+        refs += t.size();
+        benchmark::DoNotOptimize(t);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(refs));
+}
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    const Trace &trace = sharedTrace();
+    CacheConfig config;
+    config.sizeWords = 16 * 1024;
+    config.blockWords = 4;
+    config.assoc = static_cast<unsigned>(state.range(0));
+    Cache cache(config);
+    std::size_t i = 0, refs = 0;
+    for (auto _ : state) {
+        const Ref &ref = trace.refs()[i];
+        benchmark::DoNotOptimize(cache.access(ref));
+        if (++i == trace.size())
+            i = 0;
+        ++refs;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(refs));
+}
+
+void
+BM_SystemRun(benchmark::State &state)
+{
+    const Trace &trace = sharedTrace();
+    SystemConfig config = SystemConfig::paperDefault();
+    std::size_t refs = 0;
+    for (auto _ : state) {
+        SimResult r = simulateOne(config, trace);
+        benchmark::DoNotOptimize(r);
+        refs += trace.size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(refs));
+}
+
+void
+BM_SystemRunTwoLevel(benchmark::State &state)
+{
+    const Trace &trace = sharedTrace();
+    SystemConfig config = SystemConfig::paperDefault();
+    config.hasL2 = true;
+    config.l2cache.sizeWords = 128 * 1024;
+    config.l2cache.blockWords = 16;
+    config.l2cache.allocPolicy = AllocPolicy::WriteAllocate;
+    config.l2Buffer.matchGranularityWords = 16;
+    std::size_t refs = 0;
+    for (auto _ : state) {
+        SimResult r = simulateOne(config, trace);
+        benchmark::DoNotOptimize(r);
+        refs += trace.size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(refs));
+}
+
+} // namespace
+
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CacheAccess)->Arg(1)->Arg(2)->Arg(8);
+BENCHMARK(BM_SystemRun)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SystemRunTwoLevel)->Unit(benchmark::kMillisecond);

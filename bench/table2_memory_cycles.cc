@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Table 2: memory access cycle counts vs. CPU cycle time.
+ *
+ * Pure timing - no trace.  With the default memory (180ns read
+ * operation, 100ns write, 120ns recovery, one address cycle, one
+ * word per cycle, 4-word blocks), the quantized read time must run
+ * 14..8 cycles, write time 10..7, recovery 6..2 as the cycle time
+ * sweeps the paper's 20..60ns rows.
+ */
+
+#include "bench/common.hh"
+#include "memory/memory_timing.hh"
+#include "sim/system_config.hh"
+
+using namespace cachetime;
+using namespace cachetime::bench;
+
+int
+main()
+{
+    SystemConfig base = SystemConfig::paperDefault();
+    const unsigned block = base.dcache.blockWords;
+
+    TablePrinter table({"cycle (ns)", "read (cycles)", "write (cycles)",
+                        "recovery (cycles)"});
+    for (double t : {20.0, 24.0, 28.0, 32.0, 36.0, 40.0, 48.0, 52.0,
+                     60.0}) {
+        MemoryTiming timing(base.memory, t);
+        table.addRow({TablePrinter::fmt(t, 0),
+                      std::to_string(timing.readTimeCycles(block)),
+                      std::to_string(timing.writeTimeCycles(block)),
+                      std::to_string(timing.recoveryCycles())});
+    }
+    emit(table, "Table 2: memory access cycle counts "
+                "(read 180ns, write 100ns, recovery 120ns, 4W blocks)");
+    return 0;
+}

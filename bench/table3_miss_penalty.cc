@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Table 3: memory performance vs. cache miss penalty.
+ *
+ * The hidden variable of the speed-size design space is the miss
+ * penalty in cycles (14..8 as the cycle time sweeps 20..80ns under
+ * a fixed-ns memory).  For each penalty the table shows cycles per
+ * reference and the worth of a cache-size doubling expressed as a
+ * fraction of the cycle time, for 4KB..256KB caches.  The paper's
+ * two take-aways: cycles/ref is a strong (near-linear) function of
+ * the penalty for small caches, and the fractional worth of a
+ * doubling shrinks as the penalty shrinks - together the case for
+ * multi-level hierarchies.
+ */
+
+#include <cmath>
+
+#include "bench/common.hh"
+#include "core/miss_penalty.hh"
+
+using namespace cachetime;
+using namespace cachetime::bench;
+
+int
+main()
+{
+    auto traces = standardTraces();
+    // Per-cache sizes 2KB..256KB (the table's columns are per-cache
+    // sizes 4KB..256KB in the paper's "Cache Size" heading).
+    std::vector<std::uint64_t> sizes;
+    for (unsigned kb = 4; kb <= 512; kb *= 4)
+        sizes.push_back(std::uint64_t{kb} * 1024 / 4 / 2);
+    auto cycles = cycleAxisNs(20.0, 80.0, 4.0);
+    SystemConfig base = SystemConfig::paperDefault();
+
+    SpeedSizeGrid grid =
+        buildSpeedSizeGrid(base, sizes, cycles, traces);
+    MissPenaltyTable table3 = computeMissPenaltyTable(grid, base);
+
+    std::vector<std::string> headers{"penalty (cyc)", "cycle (ns)"};
+    for (auto s : sizes) {
+        headers.push_back(TablePrinter::fmtSizeWords(2 * s) +
+                          " cyc/ref");
+        headers.push_back("size x2");
+    }
+    TablePrinter table(headers);
+    Tick last_penalty = -1;
+    for (const MissPenaltyRow &row : table3.rows) {
+        if (row.readPenaltyCycles == last_penalty)
+            continue; // one row per distinct penalty
+        last_penalty = row.readPenaltyCycles;
+        std::vector<std::string> cells{
+            std::to_string(row.readPenaltyCycles),
+            TablePrinter::fmt(row.cycleNs, 0)};
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            cells.push_back(
+                TablePrinter::fmt(row.cyclesPerRef[i], 2));
+            double w = row.doublingWorthFraction[i];
+            cells.push_back(std::isnan(w) ? "-"
+                                          : TablePrinter::fmt(w, 2));
+        }
+        table.addRow(cells);
+    }
+    emit(table, "Table 3: cycles/ref and fractional worth of a size "
+                "doubling vs miss penalty");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Design-space exploration: the paper's Section 3 methodology as a
+ * library user would apply it.
+ *
+ * Given a family of RAM options (size, access time), find the cache
+ * size / cycle time pair that minimizes execution time - the "choose
+ * a cycle time that accommodates the needs of both the CPU and
+ * cache" discipline, rather than maximizing size at a fixed clock.
+ *
+ * Usage: design_explorer [scale]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+
+#include "core/tradeoff.hh"
+#include "trace/workloads.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace cachetime;
+
+namespace
+{
+
+/** A discrete SRAM family: bigger parts are slower. */
+struct RamOption
+{
+    const char *part;
+    std::uint64_t cacheWordsEach; ///< cache built from these parts
+    double cycleNs;               ///< system cycle it supports
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double scale = argc > 1 ? std::atof(argv[1]) : 0.05;
+    setQuiet(true);
+    std::cout << "generating the eight Table 1 workloads (scale "
+              << scale << ")...\n";
+    auto traces = generateTable1(scale);
+
+    // A plausible late-80s SRAM family: each quadrupling of density
+    // costs access time, which the cache passes on to the CPU clock.
+    const RamOption options[] = {
+        {"16Kb SRAM, 15ns", 2 * 1024, 40.0},  // 8KB per cache
+        {"64Kb SRAM, 25ns", 8 * 1024, 50.0},  // 32KB per cache
+        {"256Kb SRAM, 35ns", 32 * 1024, 60.0}, // 128KB per cache
+        {"1Mb SRAM, 45ns", 128 * 1024, 70.0}, // 512KB per cache
+    };
+
+    SystemConfig base = SystemConfig::paperDefault();
+    TablePrinter table({"RAM family", "total L1", "cycle",
+                        "miss ratio", "cycles/ref", "ns/ref"});
+    double best = std::numeric_limits<double>::infinity();
+    const RamOption *winner = nullptr;
+    for (const RamOption &option : options) {
+        SystemConfig config = base;
+        config.setL1SizeWordsEach(option.cacheWordsEach);
+        config.cycleNs = option.cycleNs;
+        AggregateMetrics m = runGeoMean(config, traces);
+        table.addRow(
+            {option.part,
+             TablePrinter::fmtSizeWords(2 * option.cacheWordsEach),
+             TablePrinter::fmt(option.cycleNs, 0) + "ns",
+             TablePrinter::fmt(m.readMissRatio, 4),
+             TablePrinter::fmt(m.cyclesPerRef, 3),
+             TablePrinter::fmt(m.execNsPerRef, 2)});
+        if (m.execNsPerRef < best) {
+            best = m.execNsPerRef;
+            winner = &option;
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nbest design: " << winner->part
+              << " -> miss ratio does NOT pick the winner; "
+                 "execution time does.\n";
+
+    // Show the tradeoff currency explicitly: ns per doubling at the
+    // winning size, from a small speed-size grid.
+    std::vector<std::uint64_t> sizes{2 * 1024, 8 * 1024, 32 * 1024,
+                                     128 * 1024};
+    std::vector<double> cycles{30, 40, 50, 60, 70};
+    SpeedSizeGrid grid =
+        buildSpeedSizeGrid(base, sizes, cycles, traces).smoothed();
+    std::cout << "\ncycle-time worth of doubling the cache "
+                 "(at 50ns):\n";
+    for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+        std::cout << "  " << TablePrinter::fmtSizeWords(2 * sizes[i])
+                  << " -> "
+                  << TablePrinter::fmtSizeWords(2 * sizes[i + 1])
+                  << ": "
+                  << TablePrinter::fmt(
+                         slopeNsPerDoubling(grid, i, 50.0), 1)
+                  << " ns per doubling\n";
+    }
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Section 6 in miniature: a two-level hierarchy rescues a short
+ * cycle time.
+ *
+ * A very fast CPU (15ns) with small L1 caches drowns in main-memory
+ * latency; the same machine with a 512KB second-level cache keeps
+ * its cycles-per-reference near one.  The example prints the
+ * comparison and the per-level statistics so the mechanism is
+ * visible: the L2 converts most 13-cycle memory penalties into
+ * 4-cycle L2 hits.
+ *
+ * Usage: multilevel [scale]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "trace/workloads.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace cachetime;
+
+namespace
+{
+
+SystemConfig
+fastCpu()
+{
+    SystemConfig config = SystemConfig::paperDefault();
+    config.cycleNs = 15.0;           // a very fast CPU for the era
+    config.setL1SizeWordsEach(2048); // 8KB each
+    return config;
+}
+
+SystemConfig
+addL2(SystemConfig config)
+{
+    config.hasL2 = true;
+    config.l2cache.sizeWords = 128 * 1024; // 512KB unified
+    config.l2cache.blockWords = 16;
+    config.l2cache.assoc = 1;
+    config.l2cache.writePolicy = WritePolicy::WriteBack;
+    config.l2cache.allocPolicy = AllocPolicy::WriteAllocate;
+    config.l2Timing.hitCycles = 3;
+    config.l2Buffer.depth = 4;
+    config.l2Buffer.matchGranularityWords = 16;
+    return config;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double scale = argc > 1 ? std::atof(argv[1]) : 0.05;
+    setQuiet(true);
+    auto traces = generateTable1(scale);
+
+    SystemConfig single = fastCpu();
+    SystemConfig dual = addL2(fastCpu());
+
+    AggregateMetrics m1 = runGeoMean(single, traces);
+    AggregateMetrics m2 = runGeoMean(dual, traces);
+
+    TablePrinter table({"machine", "cycles/ref", "ns/ref",
+                        "L1 read miss"});
+    table.addRow({"15ns CPU, 16KB L1, no L2",
+                  TablePrinter::fmt(m1.cyclesPerRef, 3),
+                  TablePrinter::fmt(m1.execNsPerRef, 2),
+                  TablePrinter::fmt(m1.readMissRatio, 4)});
+    table.addRow({"15ns CPU, 16KB L1 + 512KB L2",
+                  TablePrinter::fmt(m2.cyclesPerRef, 3),
+                  TablePrinter::fmt(m2.execNsPerRef, 2),
+                  TablePrinter::fmt(m2.readMissRatio, 4)});
+    table.print(std::cout);
+
+    std::cout << "\nL2 speedup: "
+              << TablePrinter::fmt(m1.execNsPerRef / m2.execNsPerRef,
+                                   2)
+              << "x\n\n";
+
+    // Per-level detail for one trace makes the mechanism concrete.
+    SimResult detail = simulateOne(dual, traces.front());
+    std::cout << "per-level detail (" << detail.traceName << "):\n";
+    std::cout << "  L1 read misses: "
+              << detail.icache.readMisses + detail.dcache.readMisses
+              << "\n  L2 read accesses: " << detail.l2.readAccesses
+              << "\n  L2 read misses (go to DRAM): "
+              << detail.l2.readMisses << "\n  L2 hit ratio: "
+              << TablePrinter::fmt(
+                     100.0 * (1.0 - detail.l2.readMissRatio()), 1)
+              << "%\n";
+    std::cout << "\nthe second level converts most main-memory "
+                 "penalties into short L2 hits,\nwhich is the "
+                 "paper's closing argument for multi-level "
+                 "hierarchies.\n";
+    return 0;
+}

@@ -1,0 +1,443 @@
+#include "cache/cache.hh"
+
+#include "util/logging.hh"
+#include "util/mathutil.hh"
+
+namespace cachetime
+{
+
+double
+CacheStats::readMissRatio() const
+{
+    if (readAccesses == 0)
+        return 0.0;
+    return static_cast<double>(readMisses) /
+           static_cast<double>(readAccesses);
+}
+
+double
+CacheStats::writeMissRatio() const
+{
+    if (writeAccesses == 0)
+        return 0.0;
+    return static_cast<double>(writeMisses) /
+           static_cast<double>(writeAccesses);
+}
+
+void
+CacheConfig::validate(const char *what) const
+{
+    if (sizeWords == 0 || !isPowerOfTwo(sizeWords))
+        fatal("%s: sizeWords (%llu) must be a nonzero power of two",
+              what, static_cast<unsigned long long>(sizeWords));
+    if (blockWords == 0 || !isPowerOfTwo(blockWords))
+        fatal("%s: blockWords (%u) must be a nonzero power of two",
+              what, blockWords);
+    if (blockWords > Mask128::capacity)
+        fatal("%s: blockWords (%u) exceeds the %u-word line limit",
+              what, blockWords, Mask128::capacity);
+    if (assoc == 0 || !isPowerOfTwo(assoc))
+        fatal("%s: assoc (%u) must be a nonzero power of two", what,
+              assoc);
+    if (static_cast<std::uint64_t>(blockWords) * assoc > sizeWords)
+        fatal("%s: block size x assoc exceeds capacity", what);
+    unsigned fetch = effectiveFetchWords();
+    if (!isPowerOfTwo(fetch) || fetch > blockWords)
+        fatal("%s: fetchWords (%u) must be a power of two <= block "
+              "size (%u)", what, fetch, blockWords);
+}
+
+Cache::Cache(const CacheConfig &config, std::string name)
+    : config_(config), name_(std::move(name))
+{
+    config_.validate(name_.c_str());
+    lines_.resize(config_.numSets() * config_.assoc);
+    victims_.resize(config_.victimEntries);
+    repl_ = makeReplacementPolicy(config_.replPolicy, config_.replSeed);
+}
+
+Cache::VictimEntry *
+Cache::findVictim(Addr block_addr, Pid pid)
+{
+    for (VictimEntry &entry : victims_) {
+        if (entry.occupied && entry.blockAddr == block_addr &&
+            (!config_.virtualTags || entry.pid == pid)) {
+            return &entry;
+        }
+    }
+    return nullptr;
+}
+
+void
+Cache::parkVictim(const Line &line, Addr block_addr,
+                  AccessOutcome &outcome)
+{
+    // Choose a slot: free, else LRU.
+    VictimEntry *slot = &victims_.front();
+    for (VictimEntry &entry : victims_) {
+        if (!entry.occupied) {
+            slot = &entry;
+            break;
+        }
+        if (entry.lastUse < slot->lastUse)
+            slot = &entry;
+    }
+    if (slot->occupied) {
+        // Cast out of the whole cache+buffer system: this is where
+        // replacement and dirty-write-back accounting happen when a
+        // victim cache is present.
+        ++stats_.blocksReplaced;
+        outcome.victimValid = true;
+        if (slot->dirty.any()) {
+            outcome.victimDirty = true;
+            outcome.victimDirtyWords = slot->dirty.count();
+            ++stats_.dirtyBlocksReplaced;
+            stats_.dirtyWordsReplaced += slot->dirty.count();
+        }
+        outcome.victimBlockAddr =
+            slot->blockAddr * config_.blockWords;
+        outcome.victimPid = slot->pid;
+    }
+    slot->occupied = true;
+    slot->blockAddr = block_addr;
+    slot->pid = line.pid;
+    slot->valid = line.valid;
+    slot->dirty = line.dirty;
+    slot->lastUse = seq_;
+}
+
+std::uint64_t
+Cache::setIndex(Addr block_addr) const
+{
+    return block_addr & (config_.numSets() - 1);
+}
+
+Addr
+Cache::tagOf(Addr block_addr) const
+{
+    return block_addr / config_.numSets();
+}
+
+Cache::Line *
+Cache::findLine(Addr block_addr, Pid pid)
+{
+    const Line *line =
+        const_cast<const Cache *>(this)->findLine(block_addr, pid);
+    return const_cast<Line *>(line);
+}
+
+const Cache::Line *
+Cache::findLine(Addr block_addr, Pid pid) const
+{
+    Addr tag = tagOf(block_addr);
+    const Line *set = &lines_[setIndex(block_addr) * config_.assoc];
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        const Line &line = set[w];
+        if (line.state.valid && line.tag == tag &&
+            (!config_.virtualTags || line.pid == pid)) {
+            return &line;
+        }
+    }
+    return nullptr;
+}
+
+Cache::Line &
+Cache::selectWay(Addr block_addr)
+{
+    Line *set = &lines_[setIndex(block_addr) * config_.assoc];
+    // Prefer an invalid way.
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        if (!set[w].state.valid)
+            return set[w];
+    }
+    // All valid: consult the policy.
+    WayState states[64];
+    unsigned ways = config_.assoc;
+    if (ways > 64)
+        panic("associativity > 64 unsupported");
+    for (unsigned w = 0; w < ways; ++w)
+        states[w] = set[w].state;
+    unsigned w = repl_->victim(states, ways);
+    if (w >= ways)
+        panic("replacement policy chose way %u of %u", w, ways);
+    return set[w];
+}
+
+Cache::Line &
+Cache::victimLine(Addr block_addr, AccessOutcome &outcome)
+{
+    Line &victim = selectWay(block_addr);
+    if (!victim.state.valid)
+        return victim;
+    outcome.victimValid = true;
+    outcome.victimDirty = victim.dirty.any();
+    outcome.victimDirtyWords = victim.dirty.count();
+    // Reconstruct the victim's block address from tag + set index.
+    Addr set_index = setIndex(block_addr);
+    outcome.victimBlockAddr =
+        (victim.tag * config_.numSets() + set_index) *
+        config_.blockWords;
+    outcome.victimPid = victim.pid;
+    ++stats_.blocksReplaced;
+    if (victim.dirty.any()) {
+        ++stats_.dirtyBlocksReplaced;
+        stats_.dirtyWordsReplaced += victim.dirty.count();
+    }
+    return victim;
+}
+
+// Replace a line through the victim buffer: the displaced block is
+// parked, and the requested block is swapped back in if the buffer
+// holds it.  @return the way now holding (or to be filled with) the
+// requested block; sets outcome.victimCacheHit on a swap.
+Cache::Line &
+Cache::swapThroughVictims(Addr block_addr, Pid pid,
+                          AccessOutcome &outcome)
+{
+    Line &way = selectWay(block_addr);
+    Line displaced = way;
+    bool displaced_valid = way.state.valid;
+    Addr displaced_addr =
+        displaced.tag * config_.numSets() + setIndex(block_addr);
+
+    if (VictimEntry *entry = findVictim(block_addr, pid)) {
+        way.tag = tagOf(block_addr);
+        way.pid = entry->pid;
+        way.valid = entry->valid;
+        way.dirty = entry->dirty;
+        way.prefetched = false;
+        way.state.valid = true;
+        way.state.fillSeq = seq_;
+        way.state.lastUse = seq_;
+        entry->occupied = false;
+        ++stats_.victimHits;
+        outcome.victimCacheHit = true;
+    } else {
+        way.state.valid = false;
+    }
+    if (displaced_valid)
+        parkVictim(displaced, displaced_addr, outcome);
+    return way;
+}
+
+void
+Cache::fill(Line &line, Addr block_addr, Pid pid, unsigned offset,
+            unsigned words, AccessOutcome &outcome)
+{
+    bool new_block = !(line.state.valid && line.tag == tagOf(block_addr) &&
+                       (!config_.virtualTags || line.pid == pid));
+    if (new_block) {
+        line.tag = tagOf(block_addr);
+        line.pid = pid;
+        line.valid.clear();
+        line.dirty.clear();
+        line.prefetched = false;
+        line.state.valid = true;
+        line.state.fillSeq = seq_;
+    }
+    line.valid.setRange(offset, words);
+    line.state.lastUse = seq_;
+    outcome.filled = true;
+    outcome.fetchedWords = words;
+    outcome.fetchAddr = block_addr * config_.blockWords + offset;
+    ++stats_.fills;
+    stats_.wordsFetched += words;
+}
+
+AccessOutcome
+Cache::read(Addr addr, unsigned words, Pid pid)
+{
+    ++seq_;
+    ++stats_.readAccesses;
+    AccessOutcome outcome;
+
+    const unsigned block_words = config_.blockWords;
+    Addr block_addr = addr / block_words;
+    unsigned offset = static_cast<unsigned>(addr % block_words);
+    if (offset + words > block_words)
+        panic("%s: read of %u words at offset %u crosses a block",
+              name_.c_str(), words, offset);
+
+    if (Line *line = findLine(block_addr, pid)) {
+        outcome.tagMatch = true;
+        if (line->valid.testRange(offset, words)) {
+            outcome.hit = true;
+            line->state.lastUse = seq_;
+            if (line->prefetched) {
+                line->prefetched = false;
+                outcome.hitPrefetched = true;
+                ++stats_.prefetchHits;
+            }
+            return outcome;
+        }
+        // Sub-block miss: fetch the missing sub-block(s) into the
+        // resident line.
+        ++stats_.readMisses;
+        ++stats_.subBlockMisses;
+        unsigned fetch = config_.effectiveFetchWords();
+        unsigned fetch_start = (offset / fetch) * fetch;
+        unsigned fetch_words = fetch;
+        while (fetch_start + fetch_words < offset + words)
+            fetch_words += fetch;
+        fill(*line, block_addr, pid, fetch_start, fetch_words, outcome);
+        outcome.fetchCriticalOffset = offset - fetch_start;
+        return outcome;
+    }
+
+    // Full miss.
+    ++stats_.readMisses;
+    unsigned fetch = config_.effectiveFetchWords();
+    unsigned fetch_start = (offset / fetch) * fetch;
+    unsigned fetch_words = fetch;
+    while (fetch_start + fetch_words < offset + words)
+        fetch_words += fetch;
+    if (config_.victimEntries > 0) {
+        Line &way = swapThroughVictims(block_addr, pid, outcome);
+        if (!outcome.victimCacheHit ||
+            !way.valid.testRange(offset, words)) {
+            // Not parked (or parked without these words): fetch.
+            fill(way, block_addr, pid, fetch_start, fetch_words,
+                 outcome);
+            outcome.fetchCriticalOffset = offset - fetch_start;
+        }
+        return outcome;
+    }
+    Line &line = victimLine(block_addr, outcome);
+    line.state.valid = false; // mark replaced before refill
+    fill(line, block_addr, pid, fetch_start, fetch_words, outcome);
+    outcome.fetchCriticalOffset = offset - fetch_start;
+    return outcome;
+}
+
+AccessOutcome
+Cache::write(Addr addr, unsigned words, Pid pid)
+{
+    ++seq_;
+    ++stats_.writeAccesses;
+    AccessOutcome outcome;
+
+    const unsigned block_words = config_.blockWords;
+    Addr block_addr = addr / block_words;
+    unsigned offset = static_cast<unsigned>(addr % block_words);
+    if (offset + words > block_words)
+        panic("%s: write of %u words at offset %u crosses a block",
+              name_.c_str(), words, offset);
+
+    Line *line = findLine(block_addr, pid);
+    if (line) {
+        outcome.tagMatch = true;
+        outcome.hit = true;
+        line->state.lastUse = seq_;
+        // The store makes these words valid (write-validate within a
+        // resident line) and, for write-back, dirty.
+        line->valid.setRange(offset, words);
+        if (config_.writePolicy == WritePolicy::WriteBack) {
+            line->dirty.setRange(offset, words);
+        } else {
+            stats_.wordsWrittenThrough += words;
+        }
+        return outcome;
+    }
+
+    // Write miss.
+    ++stats_.writeMisses;
+    if (config_.victimEntries > 0 && findVictim(block_addr, pid)) {
+        // Swap the parked block back in and write into it.
+        Line &way = swapThroughVictims(block_addr, pid, outcome);
+        way.valid.setRange(offset, words);
+        if (config_.writePolicy == WritePolicy::WriteBack)
+            way.dirty.setRange(offset, words);
+        else
+            stats_.wordsWrittenThrough += words;
+        return outcome;
+    }
+    if (config_.allocPolicy == AllocPolicy::WriteAllocate) {
+        unsigned fetch = config_.effectiveFetchWords();
+        unsigned fetch_start = (offset / fetch) * fetch;
+        unsigned fetch_words = fetch;
+        while (fetch_start + fetch_words < offset + words)
+            fetch_words += fetch;
+        Line &victim = victimLine(block_addr, outcome);
+        victim.state.valid = false;
+        fill(victim, block_addr, pid, fetch_start, fetch_words,
+             outcome);
+        outcome.fetchCriticalOffset = offset - fetch_start;
+        victim.valid.setRange(offset, words);
+        if (config_.writePolicy == WritePolicy::WriteBack)
+            victim.dirty.setRange(offset, words);
+        else
+            stats_.wordsWrittenThrough += words;
+        return outcome;
+    }
+
+    // No-write-allocate (the paper's default): the words bypass the
+    // cache and go straight to the next level.
+    stats_.wordsWrittenThrough += words;
+    return outcome;
+}
+
+AccessOutcome
+Cache::prefetch(Addr addr, Pid pid)
+{
+    ++seq_;
+    AccessOutcome outcome;
+    Addr block_addr = addr / config_.blockWords;
+    if (Line *line = findLine(block_addr, pid)) {
+        // Already resident (possibly partially): nothing to do.
+        outcome.hit = line->valid.testRange(
+            static_cast<unsigned>(addr % config_.blockWords), 1);
+        return outcome;
+    }
+    Line &line = victimLine(block_addr, outcome);
+    line.state.valid = false;
+    fill(line, block_addr, pid, 0, config_.blockWords, outcome);
+    line.prefetched = true;
+    ++stats_.prefetches;
+    return outcome;
+}
+
+bool
+Cache::prefetchTagged(Addr addr, Pid pid) const
+{
+    const Line *line = findLine(addr / config_.blockWords, pid);
+    return line && line->prefetched;
+}
+
+AccessOutcome
+Cache::access(const Ref &ref)
+{
+    if (ref.kind == RefKind::Store)
+        return write(ref.addr, 1, ref.pid);
+    return read(ref.addr, 1, ref.pid);
+}
+
+bool
+Cache::probe(Addr addr, unsigned words, Pid pid) const
+{
+    Addr block_addr = addr / config_.blockWords;
+    unsigned offset = static_cast<unsigned>(addr % config_.blockWords);
+    const Line *line = findLine(block_addr, pid);
+    return line && line->valid.testRange(offset, words);
+}
+
+void
+Cache::invalidateAll()
+{
+    for (Line &line : lines_) {
+        line.state.valid = false;
+        line.valid.clear();
+        line.dirty.clear();
+    }
+}
+
+std::uint64_t
+Cache::validBlocks() const
+{
+    std::uint64_t count = 0;
+    for (const Line &line : lines_)
+        if (line.state.valid)
+            ++count;
+    return count;
+}
+
+} // namespace cachetime

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * The organizational (time-free) cache model.
+ *
+ * Cache answers "what happened?" for each access - hit, miss, which
+ * victim, how many dirty words leave - while all timing is imposed
+ * by the sim layer.  This split mirrors the paper's methodology: the
+ * organizational behaviour of a configuration is independent of the
+ * cycle time, and the two are composed into execution time.
+ *
+ * Tags are virtual and include the process identifier when
+ * virtualTags is set (the paper simulates virtual caches
+ * throughout).  Per-word valid bits support sub-block fetches and
+ * per-word dirty bits support the dirty-word traffic statistic of
+ * Figure 3-1.
+ */
+
+#ifndef CACHETIME_CACHE_CACHE_HH
+#define CACHETIME_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache_config.hh"
+#include "cache/mask.hh"
+#include "cache/replacement.hh"
+#include "trace/ref.hh"
+
+namespace cachetime
+{
+
+/** Everything the timing layer needs to know about one access. */
+struct AccessOutcome
+{
+    bool hit = false;          ///< data present (tag match + valid words)
+    bool tagMatch = false;     ///< a tag matched even if words invalid
+    bool filled = false;       ///< a fetch from the next level happened
+    bool victimValid = false;  ///< the fill displaced a valid block
+    bool victimDirty = false;  ///< the displaced block had dirty words
+    unsigned victimDirtyWords = 0; ///< dirty word count of the victim
+    Addr victimBlockAddr = 0;  ///< word address of the victim block
+    Pid victimPid = 0;         ///< pid tag of the victim block
+    unsigned fetchedWords = 0; ///< words requested from the next level
+    Addr fetchAddr = 0;        ///< aligned start of the fetched range
+    unsigned fetchCriticalOffset = 0; ///< demanded word within fetch
+    bool hitPrefetched = false; ///< demand hit consumed a prefetch
+    bool victimCacheHit = false; ///< satisfied by a victim-cache swap
+};
+
+/** Running counters; reset at the warm-start boundary. */
+struct CacheStats
+{
+    std::uint64_t readAccesses = 0;   ///< loads + ifetches
+    std::uint64_t readMisses = 0;     ///< including sub-block misses
+    std::uint64_t writeAccesses = 0;
+    std::uint64_t writeMisses = 0;
+    std::uint64_t subBlockMisses = 0; ///< tag hit but words invalid
+    std::uint64_t fills = 0;          ///< fetches from the next level
+    std::uint64_t wordsFetched = 0;
+    std::uint64_t blocksReplaced = 0;
+    std::uint64_t dirtyBlocksReplaced = 0;
+    std::uint64_t dirtyWordsReplaced = 0;
+    std::uint64_t wordsWrittenThrough = 0;
+    std::uint64_t prefetches = 0;        ///< prefetch fills issued
+    std::uint64_t prefetchHits = 0;      ///< demand hits on them
+    std::uint64_t victimHits = 0;        ///< misses swapped back in
+
+    /** @return read misses / read accesses (the paper's miss ratio). */
+    double readMissRatio() const;
+
+    /** @return write misses / write accesses. */
+    double writeMissRatio() const;
+
+    void reset() { *this = CacheStats(); }
+};
+
+/**
+ * A set-associative cache with virtual (pid-extended) tags.
+ *
+ * Thread-compatible but not thread-safe; each simulated system owns
+ * its caches exclusively.
+ */
+class Cache
+{
+  public:
+    /**
+     * @param config organizational parameters (validated here)
+     * @param name   used in diagnostics, e.g. "L1I"
+     */
+    explicit Cache(const CacheConfig &config,
+                   std::string name = "cache");
+
+    /**
+     * Perform a demand read of @p words words starting at @p addr
+     * (all within one block).  On a miss the line is filled
+     * according to the fetch size.
+     */
+    AccessOutcome read(Addr addr, unsigned words, Pid pid);
+
+    /**
+     * Perform a store of @p words words starting at @p addr.
+     * Behaviour depends on the write and allocation policies; the
+     * outcome's fetchedWords reflects any write-allocate fill and
+     * wordsWrittenThrough is accounted in the stats.
+     */
+    AccessOutcome write(Addr addr, unsigned words, Pid pid);
+
+    /** Convenience wrapper dispatching on the reference kind. */
+    AccessOutcome access(const Ref &ref);
+
+    /**
+     * Fill @p addr's block as a *prefetch*: no demand statistics
+     * are charged, and nothing happens if the block is already
+     * resident.  The outcome reports the fetch and any victim so
+     * the timing layer can account the traffic.
+     */
+    AccessOutcome prefetch(Addr addr, Pid pid);
+
+    /**
+     * @return true if the block holding @p addr carries the
+     * tagged-prefetch mark (set by prefetch(), cleared by the first
+     * demand hit).
+     */
+    bool prefetchTagged(Addr addr, Pid pid) const;
+
+    /**
+     * Probe without side effects.
+     * @return true if @p addr..@p addr+words-1 would hit.
+     */
+    bool probe(Addr addr, unsigned words, Pid pid) const;
+
+    /** Invalidate everything (does not touch statistics). */
+    void invalidateAll();
+
+    /** @return accumulated statistics. */
+    const CacheStats &stats() const { return stats_; }
+
+    /** Reset statistics (warm-start boundary); contents persist. */
+    void resetStats() { stats_.reset(); }
+
+    /** @return the organizational configuration. */
+    const CacheConfig &config() const { return config_; }
+
+    /** @return the diagnostic name. */
+    const std::string &name() const { return name_; }
+
+    /** @return number of valid blocks currently resident. */
+    std::uint64_t validBlocks() const;
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        Pid pid = 0;
+        Mask128 valid;
+        Mask128 dirty;
+        bool prefetched = false; ///< tagged-prefetch mark
+        WayState state;
+    };
+
+    /** A parked block in the fully-associative victim cache. */
+    struct VictimEntry
+    {
+        bool occupied = false;
+        Addr blockAddr = 0;
+        Pid pid = 0;
+        Mask128 valid;
+        Mask128 dirty;
+        std::uint64_t lastUse = 0;
+    };
+
+    /**
+     * Park an evicted line; if the buffer casts out a dirty block,
+     * report it through @p outcome as the write-back victim.
+     */
+    void parkVictim(const Line &line, Addr block_addr,
+                    AccessOutcome &outcome);
+
+    /** @return the victim-cache slot holding @p block_addr, if any. */
+    VictimEntry *findVictim(Addr block_addr, Pid pid);
+
+    /** Replace through the victim buffer (see the .cc comment). */
+    Line &swapThroughVictims(Addr block_addr, Pid pid,
+                             AccessOutcome &outcome);
+
+    Line *findLine(Addr block_addr, Pid pid);
+    const Line *findLine(Addr block_addr, Pid pid) const;
+    Line &selectWay(Addr block_addr);
+    Line &victimLine(Addr block_addr, AccessOutcome &outcome);
+    void fill(Line &line, Addr block_addr, Pid pid, unsigned offset,
+              unsigned words, AccessOutcome &outcome);
+
+    std::uint64_t setIndex(Addr block_addr) const;
+    Addr tagOf(Addr block_addr) const;
+
+    CacheConfig config_;
+    std::string name_;
+    std::vector<Line> lines_; ///< numSets x assoc, way-major per set
+    std::vector<VictimEntry> victims_; ///< fully-associative buffer
+    std::unique_ptr<ReplacementPolicy> repl_;
+    std::uint64_t seq_ = 0;   ///< access sequence for LRU/FIFO
+    CacheStats stats_;
+};
+
+} // namespace cachetime
+
+#endif // CACHETIME_CACHE_CACHE_HH

@@ -1,0 +1,93 @@
+#include "cache/cache_level.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cachetime
+{
+
+CacheLevel::CacheLevel(const CacheConfig &config,
+                       const CacheLevelTiming &timing,
+                       MemLevel *downstream, std::string name)
+    : cache_(config, name), timing_(timing), down_(downstream)
+{
+    if (!down_)
+        panic("CacheLevel '%s' needs a downstream level",
+              cache_.name().c_str());
+    if (timing_.hitCycles == 0)
+        fatal("CacheLevel '%s': hitCycles must be nonzero",
+              cache_.name().c_str());
+}
+
+Tick
+CacheLevel::missFill(Tick start, const AccessOutcome &outcome, Pid pid)
+{
+    // The fetch goes downstream after the tag probe.
+    Tick request = start + timing_.hitCycles;
+    ReadReply reply =
+        down_->readBlock(request, outcome.fetchAddr,
+                         outcome.fetchedWords,
+                         outcome.fetchCriticalOffset, pid);
+
+    // A dirty victim streams out over the internal path during the
+    // downstream latency; the whole block is transferred on a
+    // write-back regardless of which words are dirty.
+    Tick victim_ready = request;
+    if (outcome.victimDirty) {
+        unsigned block = cache_.config().blockWords;
+        victim_ready =
+            request + timing_.victimRate.transferCycles(block);
+        down_->writeBlock(victim_ready, outcome.victimBlockAddr,
+                          block, outcome.victimPid);
+    }
+    return std::max(reply.complete, victim_ready);
+}
+
+ReadReply
+CacheLevel::readBlock(Tick when, Addr addr, unsigned words,
+                      unsigned criticalOffset, Pid pid)
+{
+    Tick start = std::max(when, freeAt_);
+    AccessOutcome outcome = cache_.read(addr, words, pid);
+
+    Tick data_ready;
+    if (outcome.hit) {
+        data_ready = start + timing_.hitCycles;
+    } else {
+        data_ready = missFill(start, outcome, pid);
+    }
+    Tick complete =
+        data_ready + timing_.upstreamRate.transferCycles(words);
+    Tick critical =
+        data_ready +
+        timing_.upstreamRate.transferCycles(criticalOffset + 1);
+    freeAt_ = complete;
+    return {complete, std::min(critical, complete)};
+}
+
+Tick
+CacheLevel::writeBlock(Tick when, Addr addr, unsigned words, Pid pid)
+{
+    Tick start = std::max(when, freeAt_);
+    AccessOutcome outcome = cache_.write(addr, words, pid);
+
+    // Receiving the data occupies the upstream port.
+    Tick received =
+        start + timing_.hitCycles +
+        timing_.upstreamRate.transferCycles(words);
+
+    Tick release = received;
+    if (!outcome.hit && !outcome.filled) {
+        // No-write-allocate miss: pass the write downstream.
+        release = down_->writeBlock(received, addr, words, pid);
+    } else if (outcome.filled) {
+        // Write-allocate: the fill must complete first.
+        Tick fill_done = missFill(start, outcome, pid);
+        release = std::max(received, fill_done);
+    }
+    freeAt_ = release;
+    return release;
+}
+
+} // namespace cachetime

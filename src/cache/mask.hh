@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A 128-bit word mask used for per-word valid and dirty state.
+ *
+ * The paper's block-size experiments sweep block sizes up to 128
+ * words, and Figure 3-1 distinguishes write traffic counted as whole
+ * dirty blocks from traffic counted as individual dirty words, so
+ * lines track word-granular state.
+ */
+
+#ifndef CACHETIME_CACHE_MASK_HH
+#define CACHETIME_CACHE_MASK_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace cachetime
+{
+
+/** Fixed 128-bit bitmask with the handful of ops the cache needs. */
+struct Mask128
+{
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+
+    /** Maximum number of bits representable. */
+    static constexpr unsigned capacity = 128;
+
+    /** Clear every bit. */
+    void clear() { lo = hi = 0; }
+
+    /** Set bit @p i. */
+    void
+    set(unsigned i)
+    {
+        if (i < 64)
+            lo |= std::uint64_t{1} << i;
+        else
+            hi |= std::uint64_t{1} << (i - 64);
+    }
+
+    /** Set @p count bits starting at @p start. */
+    void
+    setRange(unsigned start, unsigned count)
+    {
+        for (unsigned i = 0; i < count; ++i)
+            set(start + i);
+    }
+
+    /** @return true if bit @p i is set. */
+    bool
+    test(unsigned i) const
+    {
+        if (i < 64)
+            return lo & (std::uint64_t{1} << i);
+        return hi & (std::uint64_t{1} << (i - 64));
+    }
+
+    /** @return true if all of [start, start+count) are set. */
+    bool
+    testRange(unsigned start, unsigned count) const
+    {
+        for (unsigned i = 0; i < count; ++i)
+            if (!test(start + i))
+                return false;
+        return true;
+    }
+
+    /** @return number of set bits. */
+    unsigned
+    count() const
+    {
+        return std::popcount(lo) + std::popcount(hi);
+    }
+
+    /** @return true if no bit is set. */
+    bool none() const { return lo == 0 && hi == 0; }
+
+    /** @return true if any bit is set. */
+    bool any() const { return !none(); }
+
+    bool operator==(const Mask128 &other) const = default;
+};
+
+} // namespace cachetime
+
+#endif // CACHETIME_CACHE_MASK_HH

@@ -1,0 +1,45 @@
+#include "cache/miss_classify.hh"
+
+#include "util/logging.hh"
+
+namespace cachetime
+{
+
+MissClassifier::MissClassifier(std::uint64_t capacityBlocks,
+                               unsigned blockWords)
+    : capacityBlocks_(capacityBlocks), blockWords_(blockWords)
+{
+    if (capacityBlocks == 0 || blockWords == 0)
+        fatal("MissClassifier: zero capacity or block size");
+}
+
+MissClass
+MissClassifier::observe(Addr addr, Pid pid)
+{
+    std::uint64_t key = keyOf(addr / blockWords_, pid);
+
+    bool first_touch = touched_.insert(key).second;
+
+    // Fully-associative LRU shadow lookup + touch.
+    bool fa_hit = false;
+    auto it = where_.find(key);
+    if (it != where_.end()) {
+        fa_hit = true;
+        lru_.splice(lru_.begin(), lru_, it->second);
+    } else {
+        lru_.push_front(key);
+        where_[key] = lru_.begin();
+        if (lru_.size() > capacityBlocks_) {
+            where_.erase(lru_.back());
+            lru_.pop_back();
+        }
+    }
+
+    if (first_touch)
+        return MissClass::Compulsory;
+    if (fa_hit)
+        return MissClass::Conflict;
+    return MissClass::Capacity;
+}
+
+} // namespace cachetime

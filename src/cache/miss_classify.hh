@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Three-C miss classification (Hill): compulsory, capacity,
+ * conflict.
+ *
+ * The paper's associativity story is a conflict-miss story: extra
+ * ways remove conflict misses, extra sets do not remove the
+ * inter-process kind in a virtual cache.  MissClassifier makes that
+ * decomposition measurable: it shadows a cache with (a) an
+ * infinite-size filter that marks first-touches (compulsory) and
+ * (b) a fully-associative LRU cache of equal capacity; misses that
+ * hit in neither are capacity misses if the fully-associative
+ * shadow also misses, conflict misses if it hits.
+ */
+
+#ifndef CACHETIME_CACHE_MISS_CLASSIFY_HH
+#define CACHETIME_CACHE_MISS_CLASSIFY_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "trace/ref.hh"
+
+namespace cachetime
+{
+
+/** Result of classifying one read. */
+enum class MissClass : std::uint8_t
+{
+    Hit,        ///< not a miss in the shadow model
+    Compulsory, ///< first touch of the block ever
+    Capacity,   ///< missed even fully-associatively
+    Conflict,   ///< placement-induced (hits fully-associatively)
+};
+
+/** Counts per class (reset at warm start). */
+struct MissClassStats
+{
+    std::uint64_t compulsory = 0;
+    std::uint64_t capacity = 0;
+    std::uint64_t conflict = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return compulsory + capacity + conflict;
+    }
+
+    void reset() { *this = MissClassStats(); }
+};
+
+/**
+ * Shadow model classifying the misses of a cache of a given size.
+ *
+ * The classifier is organizational only and independent of the real
+ * cache's policies: it answers "what *kind* of miss would a cache
+ * of this capacity and block size see here".  Feed it every read
+ * the real cache sees; classify only those the real cache missed.
+ */
+class MissClassifier
+{
+  public:
+    /**
+     * @param capacityBlocks capacity of the shadowed cache in blocks
+     * @param blockWords     block size in words
+     */
+    MissClassifier(std::uint64_t capacityBlocks, unsigned blockWords);
+
+    /**
+     * Observe one read and classify what a miss here would be.
+     * Call for every read; use the result only when the real cache
+     * missed (the fully-associative shadow must see the complete
+     * reference stream to stay aligned).
+     */
+    MissClass observe(Addr addr, Pid pid);
+
+    /** Account a real miss of class @p cls. */
+    void
+    account(MissClass cls)
+    {
+        switch (cls) {
+          case MissClass::Hit:
+            break;
+          case MissClass::Compulsory:
+            ++stats_.compulsory;
+            break;
+          case MissClass::Capacity:
+            ++stats_.capacity;
+            break;
+          case MissClass::Conflict:
+            ++stats_.conflict;
+            break;
+        }
+    }
+
+    const MissClassStats &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+
+  private:
+    /** Key combining pid and block address. */
+    static std::uint64_t
+    keyOf(Addr block, Pid pid)
+    {
+        return (static_cast<std::uint64_t>(pid) << 48) ^ block;
+    }
+
+    std::uint64_t capacityBlocks_;
+    unsigned blockWords_;
+
+    std::unordered_set<std::uint64_t> touched_; ///< ever-seen blocks
+
+    // Fully-associative LRU shadow: list front = MRU, plus an index.
+    std::list<std::uint64_t> lru_;
+    std::unordered_map<std::uint64_t,
+                       std::list<std::uint64_t>::iterator>
+        where_;
+
+    MissClassStats stats_;
+};
+
+} // namespace cachetime
+
+#endif // CACHETIME_CACHE_MISS_CLASSIFY_HH

@@ -1,0 +1,101 @@
+#include "cache/replacement.hh"
+
+#include "util/logging.hh"
+
+namespace cachetime
+{
+
+const char *
+prefetchPolicyName(PrefetchPolicy policy)
+{
+    switch (policy) {
+      case PrefetchPolicy::None:
+        return "none";
+      case PrefetchPolicy::OnMiss:
+        return "on-miss";
+      case PrefetchPolicy::Tagged:
+        return "tagged";
+    }
+    return "?";
+}
+
+const char *
+writePolicyName(WritePolicy policy)
+{
+    switch (policy) {
+      case WritePolicy::WriteBack:
+        return "write-back";
+      case WritePolicy::WriteThrough:
+        return "write-through";
+    }
+    return "?";
+}
+
+const char *
+allocPolicyName(AllocPolicy policy)
+{
+    switch (policy) {
+      case AllocPolicy::NoWriteAllocate:
+        return "no-write-allocate";
+      case AllocPolicy::WriteAllocate:
+        return "write-allocate";
+    }
+    return "?";
+}
+
+const char *
+replPolicyName(ReplPolicy policy)
+{
+    switch (policy) {
+      case ReplPolicy::Random:
+        return "random";
+      case ReplPolicy::LRU:
+        return "lru";
+      case ReplPolicy::FIFO:
+        return "fifo";
+    }
+    return "?";
+}
+
+unsigned
+RandomReplacement::victim(const WayState *ways, unsigned count)
+{
+    (void)ways;
+    return static_cast<unsigned>(rng_.below(count));
+}
+
+unsigned
+LruReplacement::victim(const WayState *ways, unsigned count)
+{
+    unsigned best = 0;
+    for (unsigned w = 1; w < count; ++w)
+        if (ways[w].lastUse < ways[best].lastUse)
+            best = w;
+    return best;
+}
+
+unsigned
+FifoReplacement::victim(const WayState *ways, unsigned count)
+{
+    unsigned best = 0;
+    for (unsigned w = 1; w < count; ++w)
+        if (ways[w].fillSeq < ways[best].fillSeq)
+            best = w;
+    return best;
+}
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(ReplPolicy policy, std::uint64_t seed)
+{
+    switch (policy) {
+      case ReplPolicy::Random:
+        return std::make_unique<RandomReplacement>(seed);
+      case ReplPolicy::LRU:
+        return std::make_unique<LruReplacement>();
+      case ReplPolicy::FIFO:
+        return std::make_unique<FifoReplacement>();
+    }
+    panic("unknown replacement policy");
+}
+
+} // namespace cachetime

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Victim selection policies.
+ *
+ * The paper uses random replacement for the associativity study
+ * (Section 4); LRU and FIFO are provided for the replacement-policy
+ * ablation.  Policies are consulted only on misses, so a virtual
+ * call there is harmless to simulation speed.
+ */
+
+#ifndef CACHETIME_CACHE_REPLACEMENT_HH
+#define CACHETIME_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "cache/cache_config.hh"
+#include "util/rng.hh"
+
+namespace cachetime
+{
+
+/** Per-way metadata a policy may consult. */
+struct WayState
+{
+    bool valid = false;
+    std::uint64_t lastUse = 0;  ///< sequence number of last access
+    std::uint64_t fillSeq = 0;  ///< sequence number of fill
+};
+
+/** Abstract victim chooser. */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /**
+     * Choose a victim way.
+     *
+     * Invalid ways are always preferred by the caller, so @p ways
+     * contains only valid lines when this is called.
+     *
+     * @param ways  per-way metadata
+     * @param count number of ways (the set size)
+     * @return index of the way to evict, < count
+     */
+    virtual unsigned victim(const WayState *ways, unsigned count) = 0;
+};
+
+/** Uniformly random victim (the paper's choice). */
+class RandomReplacement : public ReplacementPolicy
+{
+  public:
+    explicit RandomReplacement(std::uint64_t seed) : rng_(seed) {}
+    unsigned victim(const WayState *ways, unsigned count) override;
+
+  private:
+    Rng rng_;
+};
+
+/** Evict the least recently used way. */
+class LruReplacement : public ReplacementPolicy
+{
+  public:
+    unsigned victim(const WayState *ways, unsigned count) override;
+};
+
+/** Evict the oldest-filled way. */
+class FifoReplacement : public ReplacementPolicy
+{
+  public:
+    unsigned victim(const WayState *ways, unsigned count) override;
+};
+
+/** Factory keyed by the config enum. */
+std::unique_ptr<ReplacementPolicy> makeReplacementPolicy(
+    ReplPolicy policy, std::uint64_t seed);
+
+} // namespace cachetime
+
+#endif // CACHETIME_CACHE_REPLACEMENT_HH

@@ -1,0 +1,40 @@
+#include "core/analytic.hh"
+
+#include "memory/memory_timing.hh"
+
+namespace cachetime
+{
+
+double
+estimateCyclesPerRef(const SimResult &result, const SystemConfig &config)
+{
+    if (result.refs == 0)
+        return 0.0;
+
+    MemoryTiming timing(config.memory, config.cycleNs);
+
+    // Base cost: one cycle per issue group (read hits are fully
+    // pipelined), plus the extra data cycle of every write.
+    double cycles = static_cast<double>(result.groups);
+    cycles += static_cast<double>(result.writeRefs) *
+              (config.cpu.writeHitCycles - 1);
+
+    // Every read miss pays the full quantized penalty.
+    double penalty_i = static_cast<double>(
+        timing.readTimeCycles(config.icache.blockWords));
+    double penalty_d = static_cast<double>(
+        timing.readTimeCycles(config.dcache.blockWords));
+    cycles += static_cast<double>(result.icache.readMisses) * penalty_i;
+    cycles += static_cast<double>(result.dcache.readMisses) * penalty_d;
+
+    // Writes and write-backs are assumed fully hidden by the buffer.
+    return cycles / static_cast<double>(result.refs);
+}
+
+double
+meanReadTimeCycles(double missRatio, double penaltyCycles)
+{
+    return 1.0 + missRatio * penaltyCycles;
+}
+
+} // namespace cachetime

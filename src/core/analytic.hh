@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Closed-form execution-time estimation from organizational counts.
+ *
+ * The pre-timing literature the paper criticizes estimated
+ * performance from miss counts alone.  estimateCyclesPerRef() is
+ * that estimator made explicit: it combines a run's organizational
+ * statistics with the quantized memory timing under a
+ * no-contention assumption (every miss pays the full penalty, write
+ * buffers hide every write, couplets never overlap misses).
+ *
+ * Comparing it with the simulator's measured cycles (see
+ * bench/ablation_analytic) quantifies exactly what the paper's
+ * contribution adds: contention, write-buffer, and overlap effects
+ * that time-free metrics cannot see.
+ */
+
+#ifndef CACHETIME_CORE_ANALYTIC_HH
+#define CACHETIME_CORE_ANALYTIC_HH
+
+#include "sim/sim_result.hh"
+#include "sim/system_config.hh"
+
+namespace cachetime
+{
+
+/**
+ * @return estimated cycles per reference for the machine @p config
+ * given the organizational counters in @p result.
+ */
+double estimateCyclesPerRef(const SimResult &result,
+                            const SystemConfig &config);
+
+/**
+ * @return the mean-read-time model of Section 3: with miss ratio
+ * @p missRatio and miss penalty @p penaltyCycles, the average
+ * cycles per read is 1 + missRatio x penaltyCycles.
+ */
+double meanReadTimeCycles(double missRatio, double penaltyCycles);
+
+} // namespace cachetime
+
+#endif // CACHETIME_CORE_ANALYTIC_HH

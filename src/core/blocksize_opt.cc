@@ -1,0 +1,73 @@
+#include "core/blocksize_opt.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/mathutil.hh"
+
+namespace cachetime
+{
+
+BlockSizeCurve
+sweepBlockSize(const SystemConfig &base,
+               const std::vector<unsigned> &block_words,
+               const std::vector<Trace> &traces)
+{
+    if (block_words.empty())
+        fatal("sweepBlockSize: empty block-size axis");
+
+    BlockSizeCurve curve;
+    curve.blockWords = block_words;
+    for (unsigned bw : block_words) {
+        SystemConfig config = base;
+        config.setL1BlockWords(bw);
+        AggregateMetrics m = runGeoMean(config, traces);
+        curve.execNsPerRef.push_back(m.execNsPerRef);
+        curve.readMissRatio.push_back(m.readMissRatio);
+        curve.ifetchMissRatio.push_back(m.ifetchMissRatio);
+        curve.loadMissRatio.push_back(m.loadMissRatio);
+        inform("block sweep: %uW done", bw);
+    }
+    return curve;
+}
+
+namespace
+{
+
+double
+parabolicOptimumLog2(const std::vector<unsigned> &blocks,
+                     const std::vector<double> &ys)
+{
+    if (blocks.size() != ys.size() || blocks.size() < 3)
+        fatal("block-size optimum needs at least three points");
+    std::vector<double> xs;
+    xs.reserve(blocks.size());
+    for (unsigned b : blocks)
+        xs.push_back(std::log2(static_cast<double>(b)));
+    double vertex = parabolicMinimum(xs, ys);
+    return std::exp2(vertex);
+}
+
+} // namespace
+
+double
+optimalBlockWords(const BlockSizeCurve &curve)
+{
+    return parabolicOptimumLog2(curve.blockWords, curve.execNsPerRef);
+}
+
+double
+missOptimalBlockWords(const BlockSizeCurve &curve)
+{
+    return parabolicOptimumLog2(curve.blockWords, curve.readMissRatio);
+}
+
+double
+balancedBlockWords(double latencyCycles, const TransferRate &rate)
+{
+    if (latencyCycles <= 0.0)
+        fatal("balancedBlockWords: latency must be positive");
+    return latencyCycles * rate.wordsPerCycle();
+}
+
+} // namespace cachetime

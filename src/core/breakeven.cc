@@ -1,0 +1,55 @@
+#include "core/breakeven.hh"
+
+#include "util/logging.hh"
+#include "util/mathutil.hh"
+
+namespace cachetime
+{
+
+SpeedSizeGrid
+buildAssocGrid(const SystemConfig &base, unsigned assoc,
+               const std::vector<std::uint64_t> &sizes_words_each,
+               const std::vector<double> &cycle_times_ns,
+               const std::vector<Trace> &traces)
+{
+    SystemConfig config = base;
+    config.setL1Assoc(assoc);
+    return buildSpeedSizeGrid(config, sizes_words_each,
+                              cycle_times_ns, traces);
+}
+
+BreakEvenMap
+computeBreakEven(const SpeedSizeGrid &dmGrid, const SpeedSizeGrid &saGrid,
+                 unsigned assoc)
+{
+    if (dmGrid.sizesWordsEach != saGrid.sizesWordsEach ||
+        dmGrid.cycleTimesNs != saGrid.cycleTimesNs) {
+        fatal("computeBreakEven: grids have different axes");
+    }
+
+    BreakEvenMap map;
+    map.assoc = assoc;
+    map.sizesWordsEach = dmGrid.sizesWordsEach;
+    map.cycleTimesNs = dmGrid.cycleTimesNs;
+    map.breakEvenNs.resize(map.sizesWordsEach.size());
+
+    for (std::size_t i = 0; i < map.sizesWordsEach.size(); ++i) {
+        for (std::size_t j = 0; j < map.cycleTimesNs.size(); ++j) {
+            // Performance of the direct-mapped machine at this
+            // design point...
+            double level = dmGrid.execNsPerRef[i][j];
+            // ...and the (slower) cycle time at which the
+            // set-associative machine still matches it.  The
+            // difference is the time available to implement the
+            // associativity.
+            double t_sa = inverseInterpolate(saGrid.cycleTimesNs,
+                                             saGrid.execNsPerRef[i],
+                                             level);
+            map.breakEvenNs[i].push_back(t_sa -
+                                         map.cycleTimesNs[j]);
+        }
+    }
+    return map;
+}
+
+} // namespace cachetime

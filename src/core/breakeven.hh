@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The set-associativity break-even analysis of Section 4.
+ *
+ * For every (cache size, cycle time) design point, the break-even
+ * degradation is the extra cycle time a direct-mapped machine could
+ * afford while matching the execution time of a set-associative
+ * machine of the same size running at the original cycle time.  If
+ * implementing associativity costs more than this many nanoseconds,
+ * it loses.  The paper's Figures 4-3/4-4/4-5 map these values for
+ * set sizes two, four and eight; its punchline constants are the
+ * 6ns data-in/data-out and 11ns select-to-data-out times of an
+ * Advanced-Schottky TTL multiplexor.
+ */
+
+#ifndef CACHETIME_CORE_BREAKEVEN_HH
+#define CACHETIME_CORE_BREAKEVEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tradeoff.hh"
+
+namespace cachetime
+{
+
+/** AS-TTL multiplexor delays from the paper (TI data book, 1986). */
+constexpr double asMuxDataInToOutNs = 6.0;
+constexpr double asMuxSelectToOutNs = 11.0;
+
+/** Break-even cycle-time degradations over a design space. */
+struct BreakEvenMap
+{
+    unsigned assoc = 2;  ///< set size being evaluated
+    std::vector<std::uint64_t> sizesWordsEach;
+    std::vector<double> cycleTimesNs;
+
+    /**
+     * breakEvenNs[i][j]: cycle-time degradation a direct-mapped
+     * design can absorb and still match (sizes[i], cycleTimes[j])
+     * running with this map's set size.  Positive means
+     * associativity bought something.
+     */
+    std::vector<std::vector<double>> breakEvenNs;
+};
+
+/**
+ * Compute the break-even map for @p assoc.
+ *
+ * @param dmGrid direct-mapped speed-size grid (smoothed; see
+ *               SpeedSizeGrid::smoothed for the 56ns quantization
+ *               anomaly the paper's footnote 9 also removes)
+ * @param saGrid grid with identical axes simulated at @p assoc
+ */
+BreakEvenMap computeBreakEven(const SpeedSizeGrid &dmGrid,
+                              const SpeedSizeGrid &saGrid,
+                              unsigned assoc);
+
+/**
+ * Build a speed-size grid at a fixed set size (helper for the
+ * Section 4 benches; identical axes to buildSpeedSizeGrid).
+ */
+SpeedSizeGrid buildAssocGrid(
+    const SystemConfig &base, unsigned assoc,
+    const std::vector<std::uint64_t> &sizes_words_each,
+    const std::vector<double> &cycle_times_ns,
+    const std::vector<Trace> &traces);
+
+} // namespace cachetime
+
+#endif // CACHETIME_CORE_BREAKEVEN_HH

@@ -1,0 +1,84 @@
+#include "core/cost.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/mathutil.hh"
+
+namespace cachetime
+{
+
+unsigned
+tagBitsPerBlock(const CacheConfig &config, const BoardModel &board)
+{
+    // Address bits minus the bits implied by the index and the
+    // block offset, plus valid and dirty state.
+    unsigned offset_bits = ilog2(config.blockWords) + 2; // byte addr
+    unsigned index_bits =
+        ilog2(std::max<std::uint64_t>(1, config.numSets()));
+    unsigned tag = board.addressBits > offset_bits + index_bits
+                       ? board.addressBits - offset_bits - index_bits
+                       : 1;
+    return tag + 2; // + valid + dirty
+}
+
+CacheImplementation
+implementCache(const CacheConfig &config, const RamPart &part,
+               const BoardModel &board)
+{
+    if (part.kilobits == 0 || part.widthBits == 0)
+        fatal("implementCache: degenerate RAM part '%s'",
+              part.name.c_str());
+
+    CacheImplementation impl;
+    impl.part = part;
+
+    // Data array: capacity chips vs width chips, take the max.
+    std::uint64_t data_bits =
+        config.sizeWords * wordBytes * 8;
+    auto capacity_chips = static_cast<unsigned>(
+        ceilDiv(static_cast<std::int64_t>(data_bits),
+                static_cast<std::int64_t>(part.kilobits * 1024)));
+    // Read width: 32 bits per way fetched simultaneously.
+    unsigned width_chips =
+        static_cast<unsigned>(ceilDiv(32u * config.assoc,
+                                      part.widthBits));
+    impl.dataChips = std::max(capacity_chips, width_chips);
+
+    // Tag array: one tag per block, all ways' tags read at once.
+    std::uint64_t blocks = config.sizeWords / config.blockWords;
+    std::uint64_t tag_bits = blocks * tagBitsPerBlock(config, board);
+    auto tag_capacity_chips = static_cast<unsigned>(
+        ceilDiv(static_cast<std::int64_t>(tag_bits),
+                static_cast<std::int64_t>(part.kilobits * 1024)));
+    unsigned tag_width_chips = static_cast<unsigned>(
+        ceilDiv(tagBitsPerBlock(config, board) * config.assoc,
+                part.widthBits));
+    impl.tagChips = std::max(tag_capacity_chips, tag_width_chips);
+
+    // Cycle time: RAM access + fixed overhead + mux penalty per
+    // doubling of associativity.
+    double assoc_penalty =
+        config.assoc > 1
+            ? board.assocPenaltyNs *
+                  std::log2(static_cast<double>(config.assoc))
+            : 0.0;
+    impl.cycleNs = part.accessNs + board.overheadNs + assoc_penalty;
+    impl.cost = impl.totalChips() * part.unitCost;
+    return impl;
+}
+
+std::vector<RamPart>
+defaultCatalog()
+{
+    // Late-80s SRAM families: each 4x density step costs ~10ns and
+    // the per-chip price roughly doubles (per-bit price halves).
+    return {
+        {"16Kb 15ns", 16, 4, 15.0, 1.0},
+        {"64Kb 25ns", 64, 8, 25.0, 2.0},
+        {"256Kb 35ns", 256, 8, 35.0, 4.0},
+        {"1Mb 45ns", 1024, 8, 45.0, 8.0},
+    };
+}
+
+} // namespace cachetime

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Board-level implementation model: SRAM parts, chip counts, and
+ * the cycle time a cache built from them supports.
+ *
+ * Section 3's worked example compares 8KB-per-cache built from
+ * 15ns 16Kb SRAMs against 32KB-per-cache from 25ns 64Kb SRAMs
+ * ("both contain the same number of chips in the same
+ * configuration") and decides by execution time.  This module makes
+ * that reasoning programmatic: given a part catalog and an
+ * organization, it computes the chips needed for data and tags, the
+ * achievable cycle time (access time + fixed overhead + the
+ * associativity multiplexor penalty of Section 4), and a cost
+ * figure, so benches can sweep cost-performance frontiers instead
+ * of single anecdotes.
+ */
+
+#ifndef CACHETIME_CORE_COST_HH
+#define CACHETIME_CORE_COST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/cache_config.hh"
+
+namespace cachetime
+{
+
+/** One catalog SRAM part. */
+struct RamPart
+{
+    std::string name;     ///< e.g. "16Kb 15ns"
+    std::uint64_t kilobits = 16; ///< total capacity in Kbit
+    unsigned widthBits = 4;      ///< output width (by-1/by-4/by-8)
+    double accessNs = 15.0;      ///< address to data-out
+    double unitCost = 1.0;       ///< relative price per chip
+};
+
+/** Electrical/board assumptions shared by the estimates. */
+struct BoardModel
+{
+    /** CPU + control overhead added to the RAM access time. */
+    double overheadNs = 25.0;
+
+    /**
+     * Extra data-path delay per doubling of set size beyond direct
+     * mapped (the Section 4 multiplexor, ~6ns for AS-TTL).
+     */
+    double assocPenaltyNs = 6.0;
+
+    /** Address bits implemented (tag width derives from these). */
+    unsigned addressBits = 32;
+};
+
+/** What it takes to build one cache from one part. */
+struct CacheImplementation
+{
+    RamPart part;
+    unsigned dataChips = 0;
+    unsigned tagChips = 0;
+    double cycleNs = 0.0; ///< system cycle this build supports
+    double cost = 0.0;    ///< (data + tag chips) x unit cost
+
+    unsigned
+    totalChips() const
+    {
+        return dataChips + tagChips;
+    }
+};
+
+/**
+ * Size the build of @p config from @p part under @p board.
+ *
+ * Data chips must cover both capacity (bits) and the read width
+ * (32 x assoc bits fetched per access, as the paper notes that
+ * "data path widths are directly related to the set size").  Tags
+ * are held in the same part family.
+ */
+CacheImplementation implementCache(const CacheConfig &config,
+                                   const RamPart &part,
+                                   const BoardModel &board);
+
+/** @return tag bits per block for @p config under @p board. */
+unsigned tagBitsPerBlock(const CacheConfig &config,
+                         const BoardModel &board);
+
+/**
+ * A catalog spanning the paper's era: denser parts are slower and
+ * cheaper per bit.
+ */
+std::vector<RamPart> defaultCatalog();
+
+} // namespace cachetime
+
+#endif // CACHETIME_CORE_COST_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The experiment methodology of the paper: run one machine
+ * configuration over the eight warm-start traces and aggregate with
+ * the geometric mean ("Numerical results in this paper are the
+ * geometric mean of warm start runs for all eight traces").
+ */
+
+#ifndef CACHETIME_CORE_EXPERIMENT_HH
+#define CACHETIME_CORE_EXPERIMENT_HH
+
+#include <vector>
+
+#include "sim/system.hh"
+
+namespace cachetime
+{
+
+/** Geometric-mean metrics over a trace set for one configuration. */
+struct AggregateMetrics
+{
+    double cyclesPerRef = 0.0;
+    double execNsPerRef = 0.0;
+    double readMissRatio = 0.0;
+    double ifetchMissRatio = 0.0;
+    double loadMissRatio = 0.0;
+    double writeMissRatio = 0.0;
+    double readTrafficRatio = 0.0;
+    double writeTrafficBlockRatio = 0.0;
+    double writeTrafficWordRatio = 0.0;
+};
+
+/** Simulate one trace on one configuration. */
+SimResult simulateOne(const SystemConfig &config, const Trace &trace);
+
+/**
+ * Simulate every trace on @p config and geometric-mean the metrics.
+ *
+ * Ratios that are zero for some trace are floored at a tiny epsilon
+ * before entering the geometric mean so one perfectly-cached trace
+ * cannot annihilate the aggregate.
+ */
+AggregateMetrics runGeoMean(const SystemConfig &config,
+                            const std::vector<Trace> &traces);
+
+} // namespace cachetime
+
+#endif // CACHETIME_CORE_EXPERIMENT_HH

@@ -1,0 +1,45 @@
+#include "core/miss_penalty.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "memory/memory_timing.hh"
+#include "util/logging.hh"
+
+namespace cachetime
+{
+
+MissPenaltyTable
+computeMissPenaltyTable(const SpeedSizeGrid &grid,
+                        const SystemConfig &base)
+{
+    MissPenaltyTable table;
+    table.sizesWordsEach = grid.sizesWordsEach;
+
+    SpeedSizeGrid smooth = grid.smoothed();
+
+    for (std::size_t j = 0; j < grid.cycleTimesNs.size(); ++j) {
+        double t = grid.cycleTimesNs[j];
+        MemoryTiming timing(base.memory, t);
+
+        MissPenaltyRow row;
+        row.cycleNs = t;
+        row.readPenaltyCycles =
+            timing.readTimeCycles(base.dcache.blockWords);
+
+        for (std::size_t i = 0; i < grid.sizesWordsEach.size(); ++i) {
+            row.cyclesPerRef.push_back(grid.cyclesPerRef[i][j]);
+            if (i + 1 < grid.sizesWordsEach.size()) {
+                double slope = slopeNsPerDoubling(smooth, i, t);
+                row.doublingWorthFraction.push_back(slope / t);
+            } else {
+                row.doublingWorthFraction.push_back(
+                    std::numeric_limits<double>::quiet_NaN());
+            }
+        }
+        table.rows.push_back(std::move(row));
+    }
+    return table;
+}
+
+} // namespace cachetime

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The miss-penalty view of the speed-size tradeoff (Table 3 and
+ * Section 6).
+ *
+ * The hidden variable in the speed-size plots is the cache miss
+ * penalty: as the cycle time sweeps 20..80ns under a fixed-ns
+ * memory, the read penalty sweeps 14..8 cycles.  Re-keying the grid
+ * by penalty shows (a) cycles-per-reference is nearly linear in the
+ * penalty, and (b) the worth of a size doubling, expressed as a
+ * *fraction of a cycle*, shrinks as the penalty shrinks - the two
+ * observations from which the paper argues for multi-level
+ * hierarchies.
+ */
+
+#ifndef CACHETIME_CORE_MISS_PENALTY_HH
+#define CACHETIME_CORE_MISS_PENALTY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tradeoff.hh"
+
+namespace cachetime
+{
+
+/** One row of the Table 3 reproduction. */
+struct MissPenaltyRow
+{
+    Tick readPenaltyCycles = 0;   ///< cycles per block read
+    double cycleNs = 0.0;         ///< cycle time producing it
+
+    /** Per cache size: cycles per reference. */
+    std::vector<double> cyclesPerRef;
+
+    /**
+     * Per cache size: cycle-time worth of a size doubling as a
+     * fraction of the cycle time (NaN for the largest size).
+     */
+    std::vector<double> doublingWorthFraction;
+};
+
+/** The full Table 3 reproduction. */
+struct MissPenaltyTable
+{
+    std::vector<std::uint64_t> sizesWordsEach;
+    std::vector<MissPenaltyRow> rows;
+};
+
+/**
+ * Re-key a speed-size grid by miss penalty.
+ *
+ * @param grid   grid built over cycle times with a fixed-ns memory
+ * @param base   the configuration the grid was built from (memory
+ *               parameters and block size determine the penalty)
+ */
+MissPenaltyTable computeMissPenaltyTable(const SpeedSizeGrid &grid,
+                                         const SystemConfig &base);
+
+} // namespace cachetime
+
+#endif // CACHETIME_CORE_MISS_PENALTY_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure regeneration: gnuplot data and script emission.
+ *
+ * The paper's post-processing programs "read in the raw data files
+ * and generate the graphs and tables presented in this paper";
+ * Report is the graph half.  Benches and tools hand it named data
+ * series; it writes a whitespace-separated .dat file and a matching
+ * .gp script so `gnuplot <name>.gp` reproduces the figure (log axes
+ * for the size/block dimensions, as in the paper's plots).
+ */
+
+#ifndef CACHETIME_CORE_REPORT_HH
+#define CACHETIME_CORE_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace cachetime
+{
+
+/** One curve of a figure. */
+struct Series
+{
+    std::string label;
+    std::vector<double> xs;
+    std::vector<double> ys;
+};
+
+/** A complete figure: axes plus any number of curves. */
+class Report
+{
+  public:
+    /**
+     * @param name  file stem, e.g. "fig3_1" -> fig3_1.dat/.gp
+     * @param title figure title
+     */
+    Report(std::string name, std::string title);
+
+    /** Set the axis labels. */
+    void axes(std::string x_label, std::string y_label);
+
+    /** Use a logarithmic x (e.g. cache size, block size). */
+    void logX(bool on = true) { logX_ = on; }
+
+    /** Use a logarithmic y (e.g. miss ratios). */
+    void logY(bool on = true) { logY_ = on; }
+
+    /** Add one curve; xs and ys must be the same length. */
+    void add(Series series);
+
+    /**
+     * Write <dir>/<name>.dat and <dir>/<name>.gp.
+     * @return the path of the .gp script.
+     */
+    std::string write(const std::string &dir) const;
+
+    /** @return the number of curves added. */
+    std::size_t seriesCount() const { return series_.size(); }
+
+  private:
+    std::string name_;
+    std::string title_;
+    std::string xLabel_ = "x";
+    std::string yLabel_ = "y";
+    bool logX_ = false;
+    bool logY_ = false;
+    std::vector<Series> series_;
+};
+
+} // namespace cachetime
+
+#endif // CACHETIME_CORE_REPORT_HH

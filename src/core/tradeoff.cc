@@ -1,0 +1,139 @@
+#include "core/tradeoff.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+#include "util/mathutil.hh"
+
+namespace cachetime
+{
+
+std::vector<double>
+isotonicNonDecreasing(std::vector<double> ys)
+{
+    // Pool-adjacent-violators: merge decreasing runs into their mean.
+    struct Block
+    {
+        double sum;
+        std::size_t count;
+    };
+    std::vector<Block> blocks;
+    blocks.reserve(ys.size());
+    for (double y : ys) {
+        blocks.push_back({y, 1});
+        while (blocks.size() > 1) {
+            Block &b = blocks.back();
+            Block &a = blocks[blocks.size() - 2];
+            if (a.sum / a.count <= b.sum / b.count)
+                break;
+            a.sum += b.sum;
+            a.count += b.count;
+            blocks.pop_back();
+        }
+    }
+    std::vector<double> out;
+    out.reserve(ys.size());
+    for (const Block &b : blocks) {
+        double mean = b.sum / b.count;
+        for (std::size_t i = 0; i < b.count; ++i)
+            out.push_back(mean);
+    }
+    return out;
+}
+
+SpeedSizeGrid
+SpeedSizeGrid::smoothed() const
+{
+    SpeedSizeGrid out = *this;
+    for (auto &column : out.execNsPerRef)
+        column = isotonicNonDecreasing(std::move(column));
+    return out;
+}
+
+double
+SpeedSizeGrid::execAt(std::size_t i, double cycle_ns) const
+{
+    if (i >= execNsPerRef.size())
+        panic("SpeedSizeGrid::execAt: size index %zu out of range", i);
+    return interpolate(cycleTimesNs, execNsPerRef[i], cycle_ns);
+}
+
+double
+SpeedSizeGrid::bestExecNsPerRef() const
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto &column : execNsPerRef)
+        for (double v : column)
+            best = std::min(best, v);
+    return best;
+}
+
+SpeedSizeGrid
+buildSpeedSizeGrid(const SystemConfig &base,
+                   const std::vector<std::uint64_t> &sizes_words_each,
+                   const std::vector<double> &cycle_times_ns,
+                   const std::vector<Trace> &traces)
+{
+    if (sizes_words_each.empty() || cycle_times_ns.empty())
+        fatal("buildSpeedSizeGrid: empty axis");
+
+    SpeedSizeGrid grid;
+    grid.sizesWordsEach = sizes_words_each;
+    grid.cycleTimesNs = cycle_times_ns;
+    grid.execNsPerRef.resize(sizes_words_each.size());
+    grid.cyclesPerRef.resize(sizes_words_each.size());
+
+    for (std::size_t i = 0; i < sizes_words_each.size(); ++i) {
+        SystemConfig config = base;
+        config.setL1SizeWordsEach(sizes_words_each[i]);
+        for (double t : cycle_times_ns) {
+            config.cycleNs = t;
+            AggregateMetrics m = runGeoMean(config, traces);
+            grid.execNsPerRef[i].push_back(m.execNsPerRef);
+            grid.cyclesPerRef[i].push_back(m.cyclesPerRef);
+        }
+        inform("speed-size grid: size %zu/%zu done", i + 1,
+               sizes_words_each.size());
+    }
+    return grid;
+}
+
+std::vector<double>
+equalPerformanceLine(const SpeedSizeGrid &grid, double level)
+{
+    std::vector<double> line;
+    line.reserve(grid.sizesWordsEach.size());
+    for (std::size_t i = 0; i < grid.sizesWordsEach.size(); ++i) {
+        const auto &exec = grid.execNsPerRef[i];
+        double lo = *std::min_element(exec.begin(), exec.end());
+        if (level < lo) {
+            line.push_back(std::numeric_limits<double>::quiet_NaN());
+            continue;
+        }
+        line.push_back(inverseInterpolate(grid.cycleTimesNs, exec,
+                                          level));
+    }
+    return line;
+}
+
+double
+slopeNsPerDoubling(const SpeedSizeGrid &grid, std::size_t i,
+                   double cycle_ns)
+{
+    if (i + 1 >= grid.sizesWordsEach.size())
+        panic("slopeNsPerDoubling: need a next-larger size");
+    double level = grid.execAt(i, cycle_ns);
+    double t_next = inverseInterpolate(grid.cycleTimesNs,
+                                       grid.execNsPerRef[i + 1],
+                                       level);
+    double doublings =
+        std::log2(static_cast<double>(grid.sizesWordsEach[i + 1]) /
+                  static_cast<double>(grid.sizesWordsEach[i]));
+    if (doublings <= 0.0)
+        panic("slopeNsPerDoubling: sizes not increasing");
+    return (t_next - cycle_ns) / doublings;
+}
+
+} // namespace cachetime

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The speed-size tradeoff analysis of Section 3.
+ *
+ * A SpeedSizeGrid holds execution time per reference over a (cache
+ * size x cycle time) design space.  From it we derive the paper's
+ * Figure 3-4: lines of equal performance (the cycle time each cache
+ * size needs to reach a given performance level, found by "vertical
+ * interpolation" between simulated cycle times) and the slope of
+ * those lines in nanoseconds of cycle time per doubling of cache
+ * size - the break-even currency of the whole paper.
+ *
+ * Quantization of the memory access time to whole cycles makes the
+ * raw exec-vs-cycle-time columns slightly non-monotonic (the 56ns
+ * anomaly of Section 3); smoothed() applies isotonic regression per
+ * column, the moral equivalent of the paper's footnote-9 smoothing.
+ */
+
+#ifndef CACHETIME_CORE_TRADEOFF_HH
+#define CACHETIME_CORE_TRADEOFF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace cachetime
+{
+
+/** Execution time over the (size, cycle time) design space. */
+struct SpeedSizeGrid
+{
+    /** Per-cache sizes in words (each of I and D). */
+    std::vector<std::uint64_t> sizesWordsEach;
+
+    /** Cycle times in nanoseconds, strictly increasing. */
+    std::vector<double> cycleTimesNs;
+
+    /** execNsPerRef[i][j] for sizes[i], cycleTimes[j]. */
+    std::vector<std::vector<double>> execNsPerRef;
+
+    /** cyclesPerRef[i][j], same indexing. */
+    std::vector<std::vector<double>> cyclesPerRef;
+
+    /** @return a copy with isotonic-smoothed exec columns. */
+    SpeedSizeGrid smoothed() const;
+
+    /** @return exec ns/ref at size index @p i, interpolated at @p t. */
+    double execAt(std::size_t i, double cycle_ns) const;
+
+    /** @return the minimum exec ns/ref anywhere on the grid. */
+    double bestExecNsPerRef() const;
+};
+
+/**
+ * Simulate the full grid.  @p base supplies every parameter other
+ * than the two axes; I and D caches are varied together.
+ */
+SpeedSizeGrid buildSpeedSizeGrid(
+    const SystemConfig &base,
+    const std::vector<std::uint64_t> &sizes_words_each,
+    const std::vector<double> &cycle_times_ns,
+    const std::vector<Trace> &traces);
+
+/**
+ * The cycle time each size needs to attain performance @p level
+ * (exec ns/ref).  Sizes that cannot reach the level even at the
+ * fastest simulated cycle time get NaN.
+ */
+std::vector<double> equalPerformanceLine(const SpeedSizeGrid &grid,
+                                         double level);
+
+/**
+ * Slope of the equal-performance line at (size index @p i, cycle
+ * time @p cycle_ns): how many nanoseconds of cycle time a doubling
+ * in cache size buys at constant performance.  Positive means the
+ * bigger cache tolerates a slower clock.
+ */
+double slopeNsPerDoubling(const SpeedSizeGrid &grid, std::size_t i,
+                          double cycle_ns);
+
+/** Isotonic (non-decreasing) regression via pool-adjacent-violators. */
+std::vector<double> isotonicNonDecreasing(std::vector<double> ys);
+
+} // namespace cachetime
+
+#endif // CACHETIME_CORE_TRADEOFF_HH

@@ -1,0 +1,37 @@
+#include "cpu/cpu.hh"
+
+#include "util/logging.hh"
+
+namespace cachetime
+{
+
+RefPairer::RefPairer(const Trace &trace, bool pair)
+    : trace_(&trace), pair_(pair)
+{
+}
+
+RefGroup
+RefPairer::next()
+{
+    const auto &refs = trace_->refs();
+    if (index_ >= refs.size())
+        panic("RefPairer::next past the end of the trace");
+
+    RefGroup group;
+    const Ref &first = refs[index_];
+    if (first.kind == RefKind::IFetch) {
+        group.ifetch = &first;
+        ++index_;
+        if (pair_ && index_ < refs.size() &&
+            isData(refs[index_].kind)) {
+            group.data = &refs[index_];
+            ++index_;
+        }
+    } else {
+        group.data = &first;
+        ++index_;
+    }
+    return group;
+}
+
+} // namespace cachetime

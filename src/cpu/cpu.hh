@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The CPU model: a pipelined machine issuing simultaneous
+ * instruction and data references.
+ *
+ * The paper: "The CPU modeled in the simulator is a pipelined
+ * machine capable of issuing simultaneous instruction and data
+ * references.  If there are separate instruction and data caches
+ * then instruction and data references in the trace are paired up
+ * without reordering any of the references.  These couplets are
+ * issued at the same time and both must complete before the CPU can
+ * proceed to the next reference or reference pair."
+ *
+ * RefPairer implements exactly that grouping; timing (hit costs)
+ * lives in CpuConfig and is applied by the System.
+ */
+
+#ifndef CACHETIME_CPU_CPU_HH
+#define CACHETIME_CPU_CPU_HH
+
+#include <cstddef>
+
+#include "trace/trace.hh"
+
+namespace cachetime
+{
+
+/** CPU-side timing parameters. */
+struct CpuConfig
+{
+    /** Cycles for a read (load or ifetch) that hits: paper uses 1. */
+    unsigned readHitCycles = 1;
+
+    /** Cycles for a write hit: one tag cycle + one data cycle. */
+    unsigned writeHitCycles = 2;
+
+    /** Pair I and D references when the caches are split. */
+    bool pairIssue = true;
+
+    /**
+     * With early continuation, the CPU resumes as soon as the
+     * demanded word arrives rather than when the whole fetch
+     * completes (Section 5 lists this as a miss-penalty reducer).
+     */
+    bool earlyContinuation = false;
+
+    /** Extra cycles to swap a block in from the victim cache. */
+    unsigned victimSwapCycles = 1;
+};
+
+/** One issue group: an ifetch optionally coupled with a data ref. */
+struct RefGroup
+{
+    const Ref *ifetch = nullptr; ///< instruction side, may be null
+    const Ref *data = nullptr;   ///< data side, may be null
+
+    /** @return number of references in the group (1 or 2). */
+    unsigned size() const { return (ifetch != nullptr) + (data != nullptr); }
+};
+
+/**
+ * Splits a trace into issue groups without reordering.
+ *
+ * With pairing enabled, an instruction fetch immediately followed by
+ * a data reference forms one couplet; otherwise references issue
+ * alone.  With pairing disabled every reference is its own group
+ * (the unified-cache case has a single port anyway).
+ */
+class RefPairer
+{
+  public:
+    /**
+     * @param trace the trace to walk
+     * @param pair  enable couplet formation
+     */
+    RefPairer(const Trace &trace, bool pair);
+
+    /** @return true if at least one more group remains. */
+    bool hasNext() const { return index_ < trace_->refs().size(); }
+
+    /** @return the index of the first reference of the next group. */
+    std::size_t position() const { return index_; }
+
+    /** Consume and return the next issue group. */
+    RefGroup next();
+
+  private:
+    const Trace *trace_;
+    bool pair_;
+    std::size_t index_ = 0;
+};
+
+} // namespace cachetime
+
+#endif // CACHETIME_CPU_CPU_HH

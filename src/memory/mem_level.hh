@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The timing interface between levels of the memory hierarchy.
+ *
+ * Each level (write buffer, second-level cache, main memory) is a
+ * MemLevel.  Requests carry the time at which they are made and
+ * replies carry completion times, so an entire multi-level hierarchy
+ * composes by recursion; a single shared clock (CPU cycles) flows
+ * through the stack, exactly as in the paper's simulator where "the
+ * user can vary the number of machine cycles that reads and writes
+ * take at each level".
+ */
+
+#ifndef CACHETIME_MEMORY_MEM_LEVEL_HH
+#define CACHETIME_MEMORY_MEM_LEVEL_HH
+
+#include "util/types.hh"
+
+namespace cachetime
+{
+
+/** Reply to a block read request. */
+struct ReadReply
+{
+    /** Time the whole requested range has arrived. */
+    Tick complete = 0;
+
+    /**
+     * Time the demanded (critical) word has arrived; equals
+     * `complete` unless load forwarding reorders the transfer.
+     */
+    Tick criticalWord = 0;
+};
+
+/** One level of the memory hierarchy, seen from above. */
+class MemLevel
+{
+  public:
+    virtual ~MemLevel() = default;
+
+    /**
+     * Read @p words words starting at word address @p addr.
+     *
+     * @param when            time the request is presented
+     * @param addr            starting word address (fetch-aligned)
+     * @param words           number of words to read
+     * @param criticalOffset  offset of the demanded word in the range
+     * @param pid             process id (virtual hierarchies)
+     * @return completion times
+     */
+    virtual ReadReply readBlock(Tick when, Addr addr, unsigned words,
+                                unsigned criticalOffset, Pid pid) = 0;
+
+    /**
+     * Write @p words words starting at word address @p addr.
+     *
+     * @param when time the data is available to this level
+     * @return time the *requester* may proceed (posted writes can
+     *         return immediately even though the level stays busy)
+     */
+    virtual Tick writeBlock(Tick when, Addr addr, unsigned words,
+                            Pid pid) = 0;
+
+    /** @return the earliest time a new operation could start. */
+    virtual Tick freeAt() const = 0;
+
+    /**
+     * Push any internally buffered state (queued writes) out, as at
+     * the end of a simulation.  @return time everything has settled.
+     */
+    virtual Tick drain(Tick when) { return when; }
+};
+
+} // namespace cachetime
+
+#endif // CACHETIME_MEMORY_MEM_LEVEL_HH

@@ -1,0 +1,60 @@
+#include "memory/memory_timing.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/mathutil.hh"
+
+namespace cachetime
+{
+
+Tick
+TransferRate::transferCycles(unsigned n) const
+{
+    if (words == 0 || cycles == 0)
+        panic("TransferRate with zero words or cycles");
+    if (n == 0)
+        return 0;
+    Tick t = ceilDiv(static_cast<std::int64_t>(n) * cycles, words);
+    return t < 1 ? 1 : t;
+}
+
+namespace
+{
+
+Tick
+ceilNsToCycles(double ns, double cycle_ns)
+{
+    if (ns <= 0.0)
+        return 0;
+    return static_cast<Tick>(std::ceil(ns / cycle_ns - 1e-9));
+}
+
+} // namespace
+
+MemoryTiming::MemoryTiming(const MainMemoryConfig &config, double cycleNs)
+    : cycleNs_(cycleNs), rate_(config.rate),
+      addressCycles_(config.addressCycles)
+{
+    if (cycleNs <= 0.0)
+        fatal("MemoryTiming: cycle time must be positive, got %f",
+              cycleNs);
+    readLatency_ =
+        addressCycles_ + ceilNsToCycles(config.readLatencyNs, cycleNs);
+    write_ = ceilNsToCycles(config.writeNs, cycleNs);
+    recovery_ = ceilNsToCycles(config.recoveryNs, cycleNs);
+}
+
+Tick
+MemoryTiming::readTimeCycles(unsigned words) const
+{
+    return readLatency_ + transferCycles(words);
+}
+
+Tick
+MemoryTiming::writeTimeCycles(unsigned words) const
+{
+    return addressCycles_ + transferCycles(words) + write_;
+}
+
+} // namespace cachetime

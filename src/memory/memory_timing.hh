@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Physical memory timing and its quantization to CPU cycles.
+ *
+ * The paper models main memory with three nanosecond parameters -
+ * read latency (180ns default), write time (100ns) and recovery time
+ * (120ns) - plus one address cycle and a transfer rate expressed in
+ * words per cycle.  Because the memory is synchronous, every
+ * nanosecond quantity is rounded up to whole CPU cycles; Table 2 of
+ * the paper lists the resulting read/write/recovery cycle counts as
+ * the cycle time sweeps 20ns..60ns, and MemoryTiming reproduces that
+ * table exactly.
+ */
+
+#ifndef CACHETIME_MEMORY_MEMORY_TIMING_HH
+#define CACHETIME_MEMORY_MEMORY_TIMING_HH
+
+#include "util/types.hh"
+
+namespace cachetime
+{
+
+/** Rate of the memory data path, as a rational words-per-cycle. */
+struct TransferRate
+{
+    unsigned words = 1;  ///< words moved per...
+    unsigned cycles = 1; ///< ...this many cycles
+
+    /** @return words per cycle as a real number. */
+    double
+    wordsPerCycle() const
+    {
+        return static_cast<double>(words) / cycles;
+    }
+
+    /** @return cycles to move @p n words (minimum one cycle). */
+    Tick transferCycles(unsigned n) const;
+};
+
+/** Nanosecond-level description of the main memory system. */
+struct MainMemoryConfig
+{
+    double readLatencyNs = 180.0; ///< DRAM access + decode + ECC
+    double writeNs = 100.0;       ///< write operation time
+    double recoveryNs = 120.0;    ///< precharge/recovery between ops
+    unsigned addressCycles = 1;   ///< cycles to present the address
+    TransferRate rate;            ///< backplane transfer rate
+
+    /**
+     * Word-interleaved banks.  With more than one bank, only the
+     * bank(s) an operation touched pay the recovery time, so
+     * back-to-back operations to different banks need not wait for
+     * precharge - the era's standard way to feed a fast backplane.
+     * 1 = the paper's single functional unit.
+     */
+    unsigned banks = 1;
+
+    /**
+     * Load forwarding: the block transfer starts at the demanded
+     * word and wraps, so the critical word arrives first.
+     */
+    bool loadForwarding = false;
+
+    /**
+     * Streaming: incoming words go to the CPU and cache
+     * simultaneously, removing the extra forward cycle otherwise
+     * charged when early continuation is used.
+     */
+    bool streaming = false;
+};
+
+/** MainMemoryConfig quantized to a specific CPU cycle time. */
+class MemoryTiming
+{
+  public:
+    /**
+     * @param config  nanosecond parameters
+     * @param cycleNs CPU/cache cycle time in nanoseconds
+     */
+    MemoryTiming(const MainMemoryConfig &config, double cycleNs);
+
+    /** @return cycles from request to first data word available. */
+    Tick readLatencyCycles() const { return readLatency_; }
+
+    /** @return cycles the write operation itself occupies memory. */
+    Tick writeCycles() const { return write_; }
+
+    /** @return recovery cycles before the next operation may start. */
+    Tick recoveryCycles() const { return recovery_; }
+
+    /** @return cycles to transfer @p words words. */
+    Tick
+    transferCycles(unsigned words) const
+    {
+        return rate_.transferCycles(words);
+    }
+
+    /**
+     * @return total cycles for a block read of @p words (Table 2's
+     * "Read Time"): address + latency + transfer.
+     */
+    Tick readTimeCycles(unsigned words) const;
+
+    /**
+     * @return total cycles for a block write of @p words (Table 2's
+     * "Write Time"): address + transfer + write operation.
+     */
+    Tick writeTimeCycles(unsigned words) const;
+
+    /** @return the cycle time this timing was quantized to. */
+    double cycleNs() const { return cycleNs_; }
+
+  private:
+    double cycleNs_;
+    TransferRate rate_;
+    unsigned addressCycles_;
+    Tick readLatency_; ///< addressCycles + ceil(readLatencyNs/cycle)
+    Tick write_;
+    Tick recovery_;
+};
+
+} // namespace cachetime
+
+#endif // CACHETIME_MEMORY_MEMORY_TIMING_HH

@@ -1,0 +1,159 @@
+#include "memory/write_buffer.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cachetime
+{
+
+WriteBuffer::WriteBuffer(const WriteBufferConfig &config,
+                         MemLevel *downstream, std::string name)
+    : config_(config), down_(downstream), name_(std::move(name))
+{
+    if (!down_)
+        panic("%s: write buffer needs a downstream level",
+              name_.c_str());
+    if (config_.enabled && config_.depth == 0)
+        fatal("%s: enabled write buffer needs depth > 0",
+              name_.c_str());
+    if (config_.matchGranularityWords == 0)
+        fatal("%s: matchGranularityWords must be nonzero",
+              name_.c_str());
+}
+
+bool
+WriteBuffer::matches(const Entry &entry, Addr addr, unsigned words,
+                     Pid pid) const
+{
+    if (entry.pid != pid)
+        return false;
+    Addr gran = config_.matchGranularityWords;
+    Addr lo1 = entry.addr / gran;
+    Addr hi1 = (entry.addr + entry.words - 1) / gran;
+    Addr lo2 = addr / gran;
+    Addr hi2 = (addr + words - 1) / gran;
+    return lo1 <= hi2 && lo2 <= hi1;
+}
+
+void
+WriteBuffer::catchUp(Tick now)
+{
+    while (!queue_.empty()) {
+        if (!config_.drainOnIdle && queue_.size() < config_.highWater)
+            break;
+        const Entry &head = queue_.front();
+        Tick start = std::max(down_->freeAt(), head.ready);
+        if (config_.readPriority && start >= now)
+            break;
+        down_->writeBlock(std::max(start, head.ready), head.addr,
+                          head.words, head.pid);
+        queue_.pop_front();
+        ++stats_.retired;
+    }
+}
+
+Tick
+WriteBuffer::forceDrain(std::size_t through, Tick now)
+{
+    Tick release = now;
+    for (std::size_t i = 0; i <= through && !queue_.empty(); ++i) {
+        const Entry head = queue_.front();
+        queue_.pop_front();
+        Tick start = std::max(now, head.ready);
+        release = down_->writeBlock(start, head.addr, head.words,
+                                    head.pid);
+        ++stats_.retired;
+    }
+    return release;
+}
+
+ReadReply
+WriteBuffer::readBlock(Tick when, Addr addr, unsigned words,
+                       unsigned criticalOffset, Pid pid)
+{
+    catchUp(when);
+
+    Tick start = when;
+    if (!config_.readPriority && !queue_.empty()) {
+        // Writes drain first regardless of the waiting read.
+        forceDrain(queue_.size() - 1, when);
+    } else if (config_.checkReadMatch) {
+        // Find the youngest queued write overlapping the read.
+        std::size_t match = queue_.size();
+        for (std::size_t i = 0; i < queue_.size(); ++i) {
+            if (matches(queue_[i], addr, words, pid))
+                match = i;
+        }
+        if (match < queue_.size()) {
+            ++stats_.readMatches;
+            Tick release = forceDrain(match, when);
+            if (release > start) {
+                stats_.readMatchStallCycles += release - start;
+                start = release;
+            }
+        }
+    }
+    return down_->readBlock(start, addr, words, criticalOffset, pid);
+}
+
+Tick
+WriteBuffer::writeBlock(Tick when, Addr addr, unsigned words, Pid pid)
+{
+    if (!config_.enabled)
+        return down_->writeBlock(when, addr, words, pid);
+
+    catchUp(when);
+
+    ++stats_.enqueued;
+    stats_.wordsEnqueued += words;
+
+    if (config_.coalesce) {
+        for (Entry &entry : queue_) {
+            if (entry.addr == addr && entry.pid == pid) {
+                entry.words = std::max(entry.words, words);
+                entry.ready = std::max(entry.ready, when);
+                ++stats_.coalesced;
+                return when;
+            }
+        }
+    }
+
+    Tick stall_until = when;
+    if (queue_.size() >= config_.depth) {
+        // Full: the requester waits for the head entry to be
+        // accepted downstream.
+        ++stats_.fullStalls;
+        const Entry head = queue_.front();
+        queue_.pop_front();
+        Tick start = std::max(when, head.ready);
+        stall_until = down_->writeBlock(start, head.addr, head.words,
+                                        head.pid);
+        ++stats_.retired;
+        if (stall_until > when)
+            stats_.fullStallCycles += stall_until - when;
+    }
+
+    queue_.push_back({addr, words, std::max(when, stall_until), pid});
+    stats_.maxOccupancy = std::max<unsigned>(
+        stats_.maxOccupancy, static_cast<unsigned>(queue_.size()));
+    stats_.occupancy.sample(queue_.size());
+    return stall_until;
+}
+
+Tick
+WriteBuffer::freeAt() const
+{
+    return down_->freeAt();
+}
+
+Tick
+WriteBuffer::drain(Tick when)
+{
+    Tick release = when;
+    if (!queue_.empty())
+        release = forceDrain(queue_.size() - 1, when);
+    return down_->drain(std::max(when, release));
+}
+
+} // namespace cachetime

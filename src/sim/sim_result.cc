@@ -1,0 +1,91 @@
+#include "sim/sim_result.hh"
+
+namespace cachetime
+{
+
+namespace
+{
+
+double
+ratio(double num, double den)
+{
+    return den == 0.0 ? 0.0 : num / den;
+}
+
+} // namespace
+
+double
+SimResult::cyclesPerRef() const
+{
+    return ratio(static_cast<double>(cycles),
+                 static_cast<double>(refs));
+}
+
+double
+SimResult::execNsPerRef() const
+{
+    return cyclesPerRef() * cycleNs;
+}
+
+double
+SimResult::totalExecNs() const
+{
+    return static_cast<double>(cycles) * cycleNs;
+}
+
+double
+SimResult::readMissRatio() const
+{
+    double misses = static_cast<double>(icache.readMisses) +
+                    static_cast<double>(dcache.readMisses);
+    double reads = static_cast<double>(icache.readAccesses) +
+                   static_cast<double>(dcache.readAccesses);
+    return ratio(misses, reads);
+}
+
+double
+SimResult::ifetchMissRatio() const
+{
+    return icache.readMissRatio();
+}
+
+double
+SimResult::loadMissRatio() const
+{
+    return dcache.readMissRatio();
+}
+
+double
+SimResult::readTrafficRatio() const
+{
+    double words = static_cast<double>(icache.wordsFetched) +
+                   static_cast<double>(dcache.wordsFetched);
+    double reads = static_cast<double>(icache.readAccesses) +
+                   static_cast<double>(dcache.readAccesses);
+    return ratio(words, reads);
+}
+
+double
+SimResult::writeTrafficBlockRatio(unsigned blockWords) const
+{
+    double blocks = static_cast<double>(icache.dirtyBlocksReplaced) +
+                    static_cast<double>(dcache.dirtyBlocksReplaced);
+    double through =
+        static_cast<double>(icache.wordsWrittenThrough) +
+        static_cast<double>(dcache.wordsWrittenThrough);
+    return ratio(blocks * blockWords + through,
+                 static_cast<double>(refs));
+}
+
+double
+SimResult::writeTrafficWordRatio() const
+{
+    double words = static_cast<double>(icache.dirtyWordsReplaced) +
+                   static_cast<double>(dcache.dirtyWordsReplaced);
+    double through =
+        static_cast<double>(icache.wordsWrittenThrough) +
+        static_cast<double>(dcache.wordsWrittenThrough);
+    return ratio(words + through, static_cast<double>(refs));
+}
+
+} // namespace cachetime

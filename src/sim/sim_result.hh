@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The measured output of one simulation run.
+ *
+ * SimResult gathers the component counters taken after the
+ * warm-start boundary plus the top-line numbers the paper's
+ * experiments are built from: total cycles, references, and the
+ * derived metrics (cycles per reference, execution time, miss and
+ * traffic ratios).
+ */
+
+#ifndef CACHETIME_SIM_SIM_RESULT_HH
+#define CACHETIME_SIM_SIM_RESULT_HH
+
+#include <string>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "memory/main_memory.hh"
+#include "memory/tlb.hh"
+#include "util/histogram.hh"
+#include "memory/write_buffer.hh"
+
+namespace cachetime
+{
+
+/** Results of simulating one trace on one machine. */
+struct SimResult
+{
+    std::string traceName;
+    std::string configSummary;
+    double cycleNs = 0.0;
+
+    // --- measured after the warm-start boundary ---
+    std::uint64_t refs = 0;       ///< references measured
+    std::uint64_t readRefs = 0;   ///< loads + ifetches measured
+    std::uint64_t writeRefs = 0;  ///< stores measured
+    std::uint64_t groups = 0;     ///< issue groups (couplets count 1)
+    Tick cycles = 0;              ///< cycles consumed
+
+    CacheStats icache;
+    CacheStats dcache;
+    CacheStats l2;          ///< first intermediate level, if any
+    bool hasL2 = false;
+    /** All intermediate levels, nearest the CPU first (L2, L3...). */
+    std::vector<CacheStats> midLevels;
+    std::vector<WriteBufferStats> midBuffers;
+    WriteBufferStats l1Buffer;
+    WriteBufferStats l2Buffer; ///< == midBuffers.front(), if any
+    MainMemoryStats memory;
+    TlbStats tlb;
+    bool physical = false; ///< TLB stats valid only when physical
+
+    /** Observed L1 read-miss service times, in cycles. */
+    Histogram missPenaltyCycles{32, 2};
+
+    /**
+     * Serial stall attribution, in cycles: time read misses held
+     * the CPU beyond the hit time, ditto writes (buffer stalls and
+     * write-allocate fills), and TLB walks.  Couplets overlap I and
+     * D service, so the parts may sum to more than `cycles`.
+     */
+    Tick stallReadCycles = 0;
+    Tick stallWriteCycles = 0;
+    Tick stallTlbCycles = 0;
+
+    /** @return total cycles / total references. */
+    double cyclesPerRef() const;
+
+    /** @return execution time per reference, in nanoseconds. */
+    double execNsPerRef() const;
+
+    /** @return total execution time in nanoseconds. */
+    double totalExecNs() const;
+
+    /** @return combined L1 read miss ratio (read misses / reads). */
+    double readMissRatio() const;
+
+    /** @return instruction-side read miss ratio. */
+    double ifetchMissRatio() const;
+
+    /** @return data-side (load) read miss ratio. */
+    double loadMissRatio() const;
+
+    /**
+     * @return read traffic ratio: words fetched from below the L1s
+     * per L1 read request (with fixed block size this is simply
+     * blockWords x miss ratio, as the paper notes).
+     */
+    double readTrafficRatio() const;
+
+    /**
+     * @return write traffic counting every word of each dirty block
+     * replaced, per reference (the larger curve of Figure 3-1).
+     */
+    double writeTrafficBlockRatio(unsigned blockWords) const;
+
+    /**
+     * @return write traffic counting only the dirty words
+     * themselves, per reference (the smaller curve of Figure 3-1).
+     */
+    double writeTrafficWordRatio() const;
+};
+
+} // namespace cachetime
+
+#endif // CACHETIME_SIM_SIM_RESULT_HH

@@ -1,0 +1,391 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cachetime
+{
+
+System::System(const SystemConfig &config) : config_(config)
+{
+    config_.validate();
+
+    memory_ = std::make_unique<MainMemory>(config_.memory,
+                                           config_.cycleNs);
+    midLevels_.clear();
+    midBuffers_.clear();
+    MemLevel *below = memory_.get();
+    auto mids = config_.resolvedMidLevels();
+    // Build from the memory upward so each level drains into the
+    // one below through its own write buffer.
+    for (std::size_t i = mids.size(); i-- > 0;) {
+        std::string name = "L" + std::to_string(i + 2);
+        midBuffers_.push_back(std::make_unique<WriteBuffer>(
+            mids[i].buffer, below, name + ".wbuf"));
+        midLevels_.push_back(std::make_unique<CacheLevel>(
+            mids[i].cache, mids[i].timing, midBuffers_.back().get(),
+            name));
+        below = midLevels_.back().get();
+    }
+    l1Buffer_ = std::make_unique<WriteBuffer>(config_.l1Buffer,
+                                              below, "L1.wbuf");
+    l1Down_ = l1Buffer_.get();
+
+    if (config_.addressing == AddressMode::Physical) {
+        // Physical caches tag with the physical address alone.
+        config_.icache.virtualTags = false;
+        config_.dcache.virtualTags = false;
+        config_.l2cache.virtualTags = false;
+        tlb_ = std::make_unique<Tlb>(config_.tlb);
+    }
+    if (config_.split)
+        icache_ = std::make_unique<Cache>(config_.icache, "L1I");
+    dcache_ = std::make_unique<Cache>(
+        config_.dcache, config_.split ? "L1D" : "L1");
+}
+
+void
+System::reset()
+{
+    // Rebuild stateful components; cheap relative to a trace run.
+    memory_ = std::make_unique<MainMemory>(config_.memory,
+                                           config_.cycleNs);
+    midLevels_.clear();
+    midBuffers_.clear();
+    MemLevel *below = memory_.get();
+    auto mids = config_.resolvedMidLevels();
+    // Build from the memory upward so each level drains into the
+    // one below through its own write buffer.
+    for (std::size_t i = mids.size(); i-- > 0;) {
+        std::string name = "L" + std::to_string(i + 2);
+        midBuffers_.push_back(std::make_unique<WriteBuffer>(
+            mids[i].buffer, below, name + ".wbuf"));
+        midLevels_.push_back(std::make_unique<CacheLevel>(
+            mids[i].cache, mids[i].timing, midBuffers_.back().get(),
+            name));
+        below = midLevels_.back().get();
+    }
+    l1Buffer_ = std::make_unique<WriteBuffer>(config_.l1Buffer,
+                                              below, "L1.wbuf");
+    l1Down_ = l1Buffer_.get();
+    if (config_.addressing == AddressMode::Physical)
+        tlb_ = std::make_unique<Tlb>(config_.tlb);
+    if (config_.split)
+        icache_ = std::make_unique<Cache>(config_.icache, "L1I");
+    dcache_ = std::make_unique<Cache>(
+        config_.dcache, config_.split ? "L1D" : "L1");
+    icacheBusy_ = 0;
+    dcacheBusy_ = 0;
+    missPenalty_.reset();
+    stallRead_ = 0;
+    stallWrite_ = 0;
+    stallTlb_ = 0;
+}
+
+Addr
+System::translate(const Ref &ref, Tick &start, Pid &pid)
+{
+    if (!tlb_)
+        return ref.addr;
+    Tlb::Translation t = tlb_->translate(ref.addr, ref.pid);
+    if (!t.hit) {
+        start += config_.tlb.missPenaltyCycles;
+        stallTlb_ += config_.tlb.missPenaltyCycles;
+    }
+    // Physical tags carry no process id.
+    pid = 0;
+    return t.paddr;
+}
+
+void
+System::resetStats()
+{
+    if (icache_)
+        icache_->resetStats();
+    dcache_->resetStats();
+    for (auto &level : midLevels_)
+        level->resetStats();
+    for (auto &buffer : midBuffers_)
+        buffer->resetStats();
+    l1Buffer_->resetStats();
+    memory_->resetStats();
+    if (tlb_)
+        tlb_->resetStats();
+    missPenalty_.reset();
+}
+
+void
+System::maybePrefetch(Cache &cache, Tick &busy, Addr addr, Pid pid,
+                      Tick when)
+{
+    Addr next = (addr / cache.config().blockWords + 1) *
+                cache.config().blockWords;
+    AccessOutcome outcome = cache.prefetch(next, pid);
+    if (!outcome.filled)
+        return; // already resident
+    ReadReply reply = l1Down_->readBlock(when, outcome.fetchAddr,
+                                         outcome.fetchedWords, 0,
+                                         pid);
+    Tick victim_ready = when;
+    if (outcome.victimDirty) {
+        unsigned block = cache.config().blockWords;
+        victim_ready = when + block;
+        Tick stall = l1Down_->writeBlock(
+            victim_ready, outcome.victimBlockAddr, block,
+            outcome.victimPid);
+        victim_ready = std::max(victim_ready, stall);
+    }
+    // The fill port stays busy; the CPU does not wait.
+    busy = std::max(busy, std::max(reply.complete, victim_ready));
+}
+
+Tick
+System::accessRead(Cache &cache, const Ref &ref, Tick issue)
+{
+    Tick &busy = (&cache == icache_.get()) ? icacheBusy_ : dcacheBusy_;
+    Tick start = std::max(issue, busy);
+    Pid pid = ref.pid;
+    Addr addr = translate(ref, start, pid);
+
+    AccessOutcome outcome = cache.read(addr, 1, pid);
+    if (outcome.hit) {
+        Tick done = start + config_.cpu.readHitCycles;
+        busy = std::max(busy, done);
+        if (outcome.hitPrefetched &&
+            cache.config().prefetchPolicy == PrefetchPolicy::Tagged) {
+            // Tagged prefetch: first use of a prefetched block
+            // triggers the next lookahead.
+            maybePrefetch(cache, busy, addr, pid, done);
+        }
+        return done;
+    }
+
+    if (outcome.victimCacheHit && !outcome.filled) {
+        // Victim-cache swap: a short fixed penalty instead of the
+        // memory round trip; a dirty castout still drains below.
+        Tick done = start + config_.cpu.readHitCycles +
+                    config_.cpu.victimSwapCycles;
+        if (outcome.victimDirty) {
+            l1Down_->writeBlock(done, outcome.victimBlockAddr,
+                                cache.config().blockWords,
+                                outcome.victimPid);
+        }
+        busy = std::max(busy, done);
+        missPenalty_.sample(
+            static_cast<std::uint64_t>(done - start));
+        stallRead_ += done - start - config_.cpu.readHitCycles;
+        return done;
+    }
+
+    // Miss: the tag probe costs the hit time, then the fetch goes
+    // down through the write buffer (which checks for stale data).
+    Tick request = start + config_.cpu.readHitCycles;
+    ReadReply reply =
+        l1Down_->readBlock(request, outcome.fetchAddr,
+                           outcome.fetchedWords,
+                           outcome.fetchCriticalOffset, pid);
+
+    // Dirty victim: extracted over a one-word-wide path during the
+    // memory latency; write-back is hidden iff the latency covers
+    // the block transfer into the buffer.
+    Tick victim_ready = request;
+    if (outcome.victimDirty) {
+        unsigned block = cache.config().blockWords;
+        victim_ready = request + block; // one word per cycle
+        Tick stall = l1Down_->writeBlock(
+            victim_ready, outcome.victimBlockAddr, block,
+            outcome.victimPid);
+        victim_ready = std::max(victim_ready, stall);
+    }
+
+    Tick fill_done = std::max(reply.complete, victim_ready);
+    busy = std::max(busy, fill_done);
+    missPenalty_.sample(static_cast<std::uint64_t>(fill_done - start));
+
+    Tick done = fill_done;
+    if (config_.cpu.earlyContinuation) {
+        // Resume on the demanded word; unless the memory streams
+        // data to CPU and cache simultaneously, one extra forward
+        // cycle is charged.
+        Tick resume = reply.criticalWord +
+                      (config_.memory.streaming ? 0 : 1);
+        resume = std::max(resume, victim_ready);
+        done = std::min(resume, fill_done);
+    }
+    stallRead_ += done - start - config_.cpu.readHitCycles;
+    if (cache.config().prefetchPolicy != PrefetchPolicy::None) {
+        // One-block lookahead behind the demand fill.
+        maybePrefetch(cache, busy, addr, pid, fill_done);
+    }
+    return done;
+}
+
+Tick
+System::accessWrite(Cache &cache, const Ref &ref, Tick issue)
+{
+    Tick &busy = (&cache == icache_.get()) ? icacheBusy_ : dcacheBusy_;
+    Tick start = std::max(issue, busy);
+    Pid pid = ref.pid;
+    Addr addr = translate(ref, start, pid);
+
+    AccessOutcome outcome = cache.write(addr, 1, pid);
+    Tick done = start + config_.cpu.writeHitCycles;
+
+    if (outcome.hit) {
+        if (cache.config().writePolicy == WritePolicy::WriteThrough) {
+            Tick stall =
+                l1Down_->writeBlock(done, addr, 1, pid);
+            done = std::max(done, stall);
+        }
+        busy = std::max(busy, done);
+        stallWrite_ += done - start - config_.cpu.writeHitCycles;
+        return done;
+    }
+
+    if (outcome.victimCacheHit && !outcome.filled) {
+        // The store landed in a block swapped back from the victim
+        // cache; only the swap penalty (and any castout) is paid.
+        done += config_.cpu.victimSwapCycles;
+        if (outcome.victimDirty) {
+            l1Down_->writeBlock(done, outcome.victimBlockAddr,
+                                cache.config().blockWords,
+                                outcome.victimPid);
+        }
+        busy = std::max(busy, done);
+        stallWrite_ += done - start - config_.cpu.writeHitCycles;
+        return done;
+    }
+
+    if (!outcome.filled) {
+        // No-write-allocate: the word goes straight down.
+        Tick stall = l1Down_->writeBlock(done, addr, 1, pid);
+        done = std::max(done, stall);
+        busy = std::max(busy, done);
+        stallWrite_ += done - start - config_.cpu.writeHitCycles;
+        return done;
+    }
+
+    // Write-allocate: fetch the block, then complete the write.
+    Tick request = start + config_.cpu.readHitCycles;
+    ReadReply reply =
+        l1Down_->readBlock(request, outcome.fetchAddr,
+                           outcome.fetchedWords,
+                           outcome.fetchCriticalOffset, pid);
+    Tick victim_ready = request;
+    if (outcome.victimDirty) {
+        unsigned block = cache.config().blockWords;
+        victim_ready = request + block;
+        Tick stall = l1Down_->writeBlock(
+            victim_ready, outcome.victimBlockAddr, block,
+            outcome.victimPid);
+        victim_ready = std::max(victim_ready, stall);
+    }
+    done = std::max(reply.complete, victim_ready) + 1;
+    if (cache.config().writePolicy == WritePolicy::WriteThrough) {
+        Tick stall = l1Down_->writeBlock(done, addr, 1, pid);
+        done = std::max(done, stall);
+    }
+    busy = std::max(busy, done);
+    stallWrite_ += done - start - config_.cpu.writeHitCycles;
+    return done;
+}
+
+SimResult
+System::run(const Trace &trace)
+{
+    reset();
+
+    Cache &iside = config_.split ? *icache_ : *dcache_;
+    Cache &dside = *dcache_;
+
+    RefPairer pairer(trace, config_.split && config_.cpu.pairIssue);
+
+    Tick now = 0;
+    Tick warm_time = 0;
+    bool warmed = trace.warmStart() == 0;
+    std::uint64_t measured_refs = 0;
+    std::uint64_t measured_reads = 0;
+    std::uint64_t measured_writes = 0;
+    std::uint64_t measured_groups = 0;
+
+    if (warmed)
+        resetStats();
+
+    while (pairer.hasNext()) {
+        if (!warmed && pairer.position() >= trace.warmStart()) {
+            warmed = true;
+            warm_time = now;
+            resetStats();
+        }
+        RefGroup group = pairer.next();
+
+        Tick done = now;
+        if (group.ifetch) {
+            done = std::max(done,
+                            accessRead(iside, *group.ifetch, now));
+        }
+        if (group.data) {
+            Cache &cache = config_.split ? dside : *dcache_;
+            Tick d = group.data->kind == RefKind::Store
+                         ? accessWrite(cache, *group.data, now)
+                         : accessRead(cache, *group.data, now);
+            done = std::max(done, d);
+        }
+        if (done <= now)
+            panic("System: time failed to advance at ref %zu",
+                  pairer.position());
+        now = done;
+
+        if (warmed) {
+            ++measured_groups;
+            if (group.ifetch) {
+                ++measured_refs;
+                ++measured_reads;
+            }
+            if (group.data) {
+                ++measured_refs;
+                if (group.data->kind == RefKind::Store)
+                    ++measured_writes;
+                else
+                    ++measured_reads;
+            }
+        }
+    }
+
+    SimResult result;
+    result.traceName = trace.name();
+    result.configSummary = config_.describe();
+    result.cycleNs = config_.cycleNs;
+    result.refs = measured_refs;
+    result.readRefs = measured_reads;
+    result.writeRefs = measured_writes;
+    result.groups = measured_groups;
+    result.cycles = now - warm_time;
+    if (config_.split)
+        result.icache = icache_->stats();
+    result.dcache = dcache_->stats();
+    // midLevels_ is ordered memory-first; expose CPU-first.
+    result.hasL2 = !midLevels_.empty();
+    for (std::size_t i = midLevels_.size(); i-- > 0;) {
+        result.midLevels.push_back(midLevels_[i]->cache().stats());
+        result.midBuffers.push_back(midBuffers_[i]->stats());
+    }
+    if (!result.midLevels.empty()) {
+        result.l2 = result.midLevels.front();
+        result.l2Buffer = result.midBuffers.front();
+    }
+    result.l1Buffer = l1Buffer_->stats();
+    result.memory = memory_->stats();
+    if (tlb_) {
+        result.tlb = tlb_->stats();
+        result.physical = true;
+    }
+    result.missPenaltyCycles = missPenalty_;
+    result.stallReadCycles = stallRead_;
+    result.stallWriteCycles = stallWrite_;
+    result.stallTlbCycles = stallTlb_;
+    return result;
+}
+
+} // namespace cachetime

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The whole simulated machine: CPU + split L1 caches + write
+ * buffer(s) + optional L2 + main memory, driven by a trace.
+ *
+ * System owns every component and implements the first-level timing
+ * rules of Section 2:
+ *
+ *  - read hits take one CPU cycle, write hits two (tag then data);
+ *  - on a read miss the memory read starts immediately; a dirty
+ *    victim streams into the write buffer over a one-word-wide path
+ *    during the memory latency, so the write-back is hidden unless
+ *    the block is long relative to the latency;
+ *  - stores that miss are not allocated; the words go down through
+ *    the write buffer;
+ *  - I and D references issue as couplets and both must complete
+ *    before the next group issues.
+ */
+
+#ifndef CACHETIME_SIM_SYSTEM_HH
+#define CACHETIME_SIM_SYSTEM_HH
+
+#include <memory>
+
+#include "cache/cache.hh"
+#include "cache/cache_level.hh"
+#include "cpu/cpu.hh"
+#include "memory/main_memory.hh"
+#include "memory/tlb.hh"
+#include "util/histogram.hh"
+#include "memory/write_buffer.hh"
+#include "sim/sim_result.hh"
+#include "sim/system_config.hh"
+#include "trace/trace.hh"
+
+namespace cachetime
+{
+
+/** One simulated machine instance. */
+class System
+{
+  public:
+    /** Build the machine; the configuration is validated here. */
+    explicit System(const SystemConfig &config);
+
+    /**
+     * Run @p trace to completion and return measurements taken
+     * after its warm-start boundary.  A System may run several
+     * traces; state (cache contents, clock) is reset between runs.
+     */
+    SimResult run(const Trace &trace);
+
+    /** @return the configuration this machine was built from. */
+    const SystemConfig &config() const { return config_; }
+
+  private:
+    /** Reset caches, buffers, clock and statistics for a new run. */
+    void reset();
+
+    /** Reset statistics only (warm-start boundary). */
+    void resetStats();
+
+    /** @return completion time of a read issued at @p issue. */
+    Tick accessRead(Cache &cache, const Ref &ref, Tick issue);
+
+    /**
+     * Issue a one-block-lookahead prefetch for the block after
+     * @p addr, if the cache's policy requests it.  The fetch
+     * occupies the downstream path and the cache's fill port, but
+     * the CPU does not wait for it.
+     */
+    void maybePrefetch(Cache &cache, Tick &busy, Addr addr, Pid pid,
+                       Tick when);
+
+    /** @return completion time of a write issued at @p issue. */
+    Tick accessWrite(Cache &cache, const Ref &ref, Tick issue);
+
+    SystemConfig config_;
+
+    /**
+     * Translate and, on a TLB miss, delay the access.  Identity in
+     * virtual mode.  @return the address the caches see.
+     */
+    Addr translate(const Ref &ref, Tick &start, Pid &pid);
+
+    std::unique_ptr<Cache> icache_;
+    std::unique_ptr<Cache> dcache_;
+    std::unique_ptr<Tlb> tlb_;
+    std::unique_ptr<MainMemory> memory_;
+    /** Intermediate levels, nearest to memory first when built. */
+    std::vector<std::unique_ptr<CacheLevel>> midLevels_;
+    std::vector<std::unique_ptr<WriteBuffer>> midBuffers_;
+    std::unique_ptr<WriteBuffer> l1Buffer_; ///< L1 -> (L2|memory)
+
+    /** The level L1 misses and writes go to (the L1 write buffer). */
+    MemLevel *l1Down_ = nullptr;
+
+    /** Per-L1-cache busy horizon (fills outlast early continuation). */
+    Tick icacheBusy_ = 0;
+    Tick dcacheBusy_ = 0;
+
+    /** Observed L1 read-miss service times, in cycles. */
+    Histogram missPenalty_{32, 2};
+
+    // Stall attribution (serial, per access; couplet overlap means
+    // the parts can sum to more than the total).
+    Tick stallRead_ = 0;
+    Tick stallWrite_ = 0;
+    Tick stallTlb_ = 0;
+};
+
+} // namespace cachetime
+
+#endif // CACHETIME_SIM_SYSTEM_HH

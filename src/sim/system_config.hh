@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The full description of one simulated machine.
+ *
+ * The paper's specification files carry "about 130 parameters" for a
+ * two-level system; SystemConfig is the equivalent: CPU issue
+ * timing, split or unified first-level caches, the write buffer at
+ * each level, an optional second-level cache, and the main-memory
+ * nanosecond model, all tied together by the CPU/cache cycle time
+ * (the paper assumes the system cycle time is set by the cache).
+ *
+ * paperDefault() reproduces the baseline machine of Section 2:
+ * split 64KB I and D caches, 4-word blocks, direct mapped, whole
+ * block fetched on a miss, write-back data cache with no fetch on
+ * write miss, a four-block write buffer, 40ns cycle time, and a
+ * 180/100/120ns memory transferring one word per cycle.
+ */
+
+#ifndef CACHETIME_SIM_SYSTEM_CONFIG_HH
+#define CACHETIME_SIM_SYSTEM_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+#include "cache/cache_config.hh"
+#include "cache/cache_level.hh"
+#include "cpu/cpu.hh"
+#include "memory/memory_timing.hh"
+#include "memory/tlb.hh"
+#include "memory/write_buffer.hh"
+
+namespace cachetime
+{
+
+/** Where virtual-to-physical translation happens. */
+enum class AddressMode : std::uint8_t
+{
+    /** Virtual caches with the pid in the tag (the paper's setup). */
+    Virtual,
+    /**
+     * Physically-addressed caches behind a TLB; a TLB miss stalls
+     * the access by the configured penalty.
+     */
+    Physical,
+};
+
+/** @return a short stable name for the mode. */
+const char *addressModeName(AddressMode mode);
+
+/** Complete machine description. */
+struct SystemConfig
+{
+    /** CPU == cache cycle time in nanoseconds. */
+    double cycleNs = 40.0;
+
+    CpuConfig cpu;
+
+    /** Translation placement; Virtual is the paper's default. */
+    AddressMode addressing = AddressMode::Virtual;
+    TlbConfig tlb;
+
+    /** Split (Harvard) first level; if false, dcache is unified. */
+    bool split = true;
+
+    CacheConfig icache;
+    CacheConfig dcache;
+
+    /** Write buffer below the first level. */
+    WriteBufferConfig l1Buffer;
+
+    /** Optional second-level (unified) cache. */
+    bool hasL2 = false;
+    CacheConfig l2cache;
+    CacheLevelTiming l2Timing;
+    WriteBufferConfig l2Buffer;
+
+    /**
+     * One cache level between the L1s and main memory.  A write
+     * buffer sits below the level, per the paper ("write buffers
+     * are included between every level of the modeled system").
+     */
+    struct MidLevelConfig
+    {
+        CacheConfig cache;
+        CacheLevelTiming timing;
+        WriteBufferConfig buffer;
+    };
+
+    /**
+     * The full intermediate hierarchy, nearest level first (L2, L3,
+     * ...).  When non-empty this takes precedence over the hasL2 /
+     * l2cache sugar above, which describes the common
+     * single-intermediate-level case.
+     */
+    std::vector<MidLevelConfig> midLevels;
+
+    /** @return the effective intermediate levels (sugar resolved). */
+    std::vector<MidLevelConfig> resolvedMidLevels() const;
+
+    MainMemoryConfig memory;
+
+    /** Fatal-exit unless the whole configuration is consistent. */
+    void validate() const;
+
+    /**
+     * @return total first-level data capacity in words (the paper's
+     * "Total L1 Size" x-axis counts I + D data portions).
+     */
+    std::uint64_t totalL1Words() const;
+
+    /** Set both L1 caches to @p words each (I and D varied together). */
+    void setL1SizeWordsEach(std::uint64_t words);
+
+    /** Set block size (and whole-block fetch) on both L1 caches. */
+    void setL1BlockWords(unsigned words);
+
+    /** Set the set size (associativity) on both L1 caches. */
+    void setL1Assoc(unsigned assoc);
+
+    /** @return a short human-readable summary, for tables. */
+    std::string describe() const;
+
+    /** The Section 2 baseline machine. */
+    static SystemConfig paperDefault();
+};
+
+/**
+ * Parse "key=value" lines (# comments allowed) into @p config,
+ * starting from its current values.  Unknown keys are fatal.  This
+ * plays the role of the paper's variation files layered over a
+ * specification file.
+ */
+void applyKeyValues(SystemConfig &config, const std::string &text);
+
+} // namespace cachetime
+
+#endif // CACHETIME_SIM_SYSTEM_CONFIG_HH

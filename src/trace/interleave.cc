@@ -1,0 +1,119 @@
+#include "trace/interleave.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace cachetime
+{
+
+namespace
+{
+
+/**
+ * One process's warm-start prefix.
+ *
+ * The paper: the first portion of each uniprocess trace "contains
+ * all the unique references touched by the programs up to the time
+ * at which tracing was begun.  These references are in the order of
+ * their most recent use."  A long-running program has touched
+ * essentially its whole footprint, so the prefix is the footprint:
+ * words the sample run did not reach come first (least recently
+ * used), then sampled words ordered by recency.
+ */
+std::vector<Ref>
+buildPrefix(ProcessModel &process, std::size_t sample_refs)
+{
+    struct LastUse
+    {
+        std::uint64_t seq;
+        RefKind kind;
+    };
+    std::unordered_map<Addr, LastUse> last_use;
+    last_use.reserve(sample_refs / 4);
+    for (std::size_t i = 0; i < sample_refs; ++i) {
+        Ref ref = process.next();
+        last_use[ref.addr] = {i, ref.kind};
+    }
+
+    std::vector<Ref> prefix;
+    // Unsampled footprint words first, in address order.
+    for (const auto &region : process.footprint()) {
+        for (std::uint64_t w = 0; w < region.words; ++w) {
+            Addr addr = region.base + w;
+            if (!last_use.contains(addr))
+                prefix.push_back({addr, region.kind, process.pid()});
+        }
+    }
+    // Then sampled words, least recently used first.
+    std::vector<std::pair<Addr, LastUse>> ordered(last_use.begin(),
+                                                  last_use.end());
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second.seq < b.second.seq;
+              });
+    prefix.reserve(prefix.size() + ordered.size());
+    for (const auto &[addr, use] : ordered)
+        prefix.push_back({addr, use.kind, process.pid()});
+    return prefix;
+}
+
+} // namespace
+
+Trace
+interleave(const std::string &name, std::vector<ProcessModel> &processes,
+           const InterleaveConfig &cfg)
+{
+    if (processes.empty())
+        fatal("interleave: no processes for workload '%s'", name.c_str());
+
+    Rng rng(cfg.seed);
+    std::vector<Ref> refs;
+    refs.reserve(cfg.lengthRefs + cfg.prefixSampleRefs / 2);
+
+    // Warm-start prefix (R2000-style), interleaved with the same
+    // slice distribution as the live stream.
+    if (cfg.prefixSampleRefs > 0) {
+        std::vector<std::vector<Ref>> prefixes;
+        std::vector<std::size_t> cursors(processes.size(), 0);
+        prefixes.reserve(processes.size());
+        for (auto &process : processes)
+            prefixes.push_back(buildPrefix(process,
+                                           cfg.prefixSampleRefs));
+        std::size_t remaining = 0;
+        for (const auto &p : prefixes)
+            remaining += p.size();
+        while (remaining > 0) {
+            std::size_t who = rng.below(processes.size());
+            if (cursors[who] >= prefixes[who].size())
+                continue;
+            std::size_t slice =
+                1 + rng.geometric(1.0 / cfg.meanSliceRefs);
+            slice = std::min(slice,
+                             prefixes[who].size() - cursors[who]);
+            for (std::size_t i = 0; i < slice; ++i)
+                refs.push_back(prefixes[who][cursors[who] + i]);
+            cursors[who] += slice;
+            remaining -= slice;
+        }
+    }
+
+    const std::size_t prefix_len = refs.size();
+
+    // Live multiprogrammed stream.
+    while (refs.size() < prefix_len + cfg.lengthRefs) {
+        std::size_t who = rng.below(processes.size());
+        std::size_t slice = 1 + rng.geometric(1.0 / cfg.meanSliceRefs);
+        slice = std::min(slice,
+                         prefix_len + cfg.lengthRefs - refs.size());
+        for (std::size_t i = 0; i < slice; ++i)
+            refs.push_back(processes[who].next());
+    }
+
+    std::size_t warm = std::max(cfg.warmStartRefs, prefix_len);
+    return Trace(name, std::move(refs), warm);
+}
+
+} // namespace cachetime

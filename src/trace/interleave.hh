@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Multiprogrammed interleaving of per-process reference streams.
+ *
+ * The paper's traces exhibit real multiprogramming: processes run in
+ * slices separated by context switches.  The interleaver reproduces
+ * that structure with geometrically distributed slice lengths, and
+ * also implements the R2000 traces' warm-start device: a prefix
+ * containing every unique address touched before the trace window,
+ * emitted in the order of most recent use, so that simulation
+ * results are valid even for very large caches.
+ */
+
+#ifndef CACHETIME_TRACE_INTERLEAVE_HH
+#define CACHETIME_TRACE_INTERLEAVE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/synthetic.hh"
+#include "trace/trace.hh"
+
+namespace cachetime
+{
+
+/** Parameters controlling multiprogrammed interleaving. */
+struct InterleaveConfig
+{
+    /** Total live references to generate (excluding any prefix). */
+    std::size_t lengthRefs = 1'000'000;
+
+    /** Mean context-switch interval in references. */
+    double meanSliceRefs = 10'000;
+
+    /**
+     * If nonzero, pre-run each process for this many references,
+     * then emit every address touched, in recency order, as a
+     * prefix before the live stream (the R2000 warm-start device).
+     */
+    std::size_t prefixSampleRefs = 0;
+
+    /** Warm-start boundary of the resulting trace, in references. */
+    std::size_t warmStartRefs = 0;
+
+    /** Seed for the interleaving (slice scheduling) decisions. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Interleave @p processes into one multiprogrammed trace.
+ *
+ * Processes are advanced in randomly ordered slices whose lengths
+ * are geometrically distributed around cfg.meanSliceRefs.  When
+ * cfg.prefixSampleRefs is nonzero, the warm-start prefix described
+ * above is emitted first and the warm-start boundary is placed at
+ * max(cfg.warmStartRefs, prefix length).
+ */
+Trace interleave(const std::string &name,
+                 std::vector<ProcessModel> &processes,
+                 const InterleaveConfig &cfg);
+
+} // namespace cachetime
+
+#endif // CACHETIME_TRACE_INTERLEAVE_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The memory-reference record that flows through the simulator.
+ *
+ * Following the paper's preprocessing, traces contain only 32-bit
+ * word references: sequential instruction fetches from one word are
+ * collapsed, and multi-word accesses are split into sequential word
+ * accesses.  Each record carries the process identifier so virtual
+ * caches can include it in their tags.
+ */
+
+#ifndef CACHETIME_TRACE_REF_HH
+#define CACHETIME_TRACE_REF_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace cachetime
+{
+
+/** Classification of a memory reference. */
+enum class RefKind : std::uint8_t
+{
+    IFetch, ///< instruction fetch
+    Load,   ///< data read
+    Store,  ///< data write
+};
+
+/** @return true for references the paper counts as "reads". */
+constexpr bool
+isRead(RefKind kind)
+{
+    return kind == RefKind::IFetch || kind == RefKind::Load;
+}
+
+/** @return true for data-side (load/store) references. */
+constexpr bool
+isData(RefKind kind)
+{
+    return kind != RefKind::IFetch;
+}
+
+/** @return a short stable mnemonic ("I", "L", "S") for a kind. */
+const char *refKindName(RefKind kind);
+
+/** One word reference in a trace. */
+struct Ref
+{
+    Addr addr = 0;                 ///< virtual word address
+    RefKind kind = RefKind::Load;  ///< reference class
+    Pid pid = 0;                   ///< issuing process
+
+    bool operator==(const Ref &other) const = default;
+};
+
+} // namespace cachetime
+
+#endif // CACHETIME_TRACE_REF_HH

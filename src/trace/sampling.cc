@@ -1,0 +1,59 @@
+#include "trace/sampling.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cachetime
+{
+
+Trace
+sampleTime(const Trace &trace, const SamplingConfig &config)
+{
+    if (config.windowRefs == 0 || config.periodRefs == 0)
+        fatal("sampleTime: zero window or period");
+    if (config.windowWarmupRefs >= config.windowRefs)
+        fatal("sampleTime: window warm-up must be shorter than the "
+              "window");
+    if (config.windowRefs > config.periodRefs)
+        fatal("sampleTime: window longer than the period");
+
+    const auto &refs = trace.refs();
+    std::size_t live_start = trace.warmStart();
+
+    std::vector<Ref> sampled;
+    // Keep the original prefix so caches are primed identically.
+    sampled.insert(sampled.end(), refs.begin(),
+                   refs.begin() +
+                       static_cast<std::ptrdiff_t>(live_start));
+
+    for (std::size_t window = live_start; window < refs.size();
+         window += config.periodRefs) {
+        std::size_t end =
+            std::min(window + config.windowRefs, refs.size());
+        sampled.insert(sampled.end(),
+                       refs.begin() +
+                           static_cast<std::ptrdiff_t>(window),
+                       refs.begin() +
+                           static_cast<std::ptrdiff_t>(end));
+    }
+
+    std::size_t warm = live_start + std::min(config.windowWarmupRefs,
+                                             sampled.size() -
+                                                 live_start);
+    return Trace(trace.name() + ".sampled", std::move(sampled),
+                 warm);
+}
+
+double
+samplingFraction(const Trace &trace, const SamplingConfig &config)
+{
+    std::size_t live = trace.size() - trace.warmStart();
+    if (live == 0)
+        return 0.0;
+    double windows = static_cast<double>(live) / config.periodRefs;
+    double kept = windows * config.windowRefs;
+    return std::min(1.0, kept / static_cast<double>(live));
+}
+
+} // namespace cachetime

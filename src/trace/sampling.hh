@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Trace sampling (Laha/Patel-style time sampling).
+ *
+ * Full traces at the paper's scale take minutes per design point;
+ * the era's standard acceleration was to simulate periodic windows
+ * of the trace and discard a warm-up prefix of each window.
+ * sampleTime() extracts such windows; the companion bench
+ * (`ext_sampling`) measures the miss-ratio and execution-time error
+ * the shortcut introduces, which is itself a methodological result:
+ * time-dependent metrics are *more* sensitive to sampling than miss
+ * ratios, another reason the paper's farm simulated full traces.
+ */
+
+#ifndef CACHETIME_TRACE_SAMPLING_HH
+#define CACHETIME_TRACE_SAMPLING_HH
+
+#include <cstddef>
+
+#include "trace/trace.hh"
+
+namespace cachetime
+{
+
+/** Parameters of periodic time sampling. */
+struct SamplingConfig
+{
+    /** References between window starts. */
+    std::size_t periodRefs = 100'000;
+
+    /** References kept per window. */
+    std::size_t windowRefs = 10'000;
+
+    /**
+     * Leading references of each window excluded from statistics
+     * (cold-cache bias control); must be < windowRefs.
+     */
+    std::size_t windowWarmupRefs = 2'000;
+};
+
+/**
+ * Extract periodic windows from @p trace (its live, post-warm-start
+ * portion).  The result's warm-start boundary covers the original
+ * prefix plus the first window's warm-up; note that per-window
+ * warm-up inside later windows is NOT excluded from statistics by
+ * the simulator - the bench quantifies exactly that bias.
+ *
+ * @return the sampled trace (named "<name>.sampled")
+ */
+Trace sampleTime(const Trace &trace, const SamplingConfig &config);
+
+/** @return fraction of the live trace a sampling config keeps. */
+double samplingFraction(const Trace &trace,
+                        const SamplingConfig &config);
+
+} // namespace cachetime
+
+#endif // CACHETIME_TRACE_SAMPLING_HH

@@ -1,0 +1,70 @@
+#include "trace/trace.hh"
+
+#include <unordered_set>
+
+namespace cachetime
+{
+
+const char *
+refKindName(RefKind kind)
+{
+    switch (kind) {
+      case RefKind::IFetch:
+        return "I";
+      case RefKind::Load:
+        return "L";
+      case RefKind::Store:
+        return "S";
+    }
+    return "?";
+}
+
+Trace::Trace(std::string name, std::vector<Ref> refs, std::size_t warm_start)
+    : name_(std::move(name)), refs_(std::move(refs))
+{
+    setWarmStart(warm_start);
+}
+
+void
+Trace::setWarmStart(std::size_t warm_start)
+{
+    warmStart_ = warm_start > refs_.size() ? refs_.size() : warm_start;
+}
+
+double
+TraceStats::dataFraction() const
+{
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(loads + stores) / static_cast<double>(total);
+}
+
+TraceStats
+computeStats(const Trace &trace)
+{
+    TraceStats stats;
+    std::unordered_set<std::uint64_t> unique;
+    std::unordered_set<std::uint16_t> pids;
+    for (const Ref &ref : trace.refs()) {
+        ++stats.total;
+        switch (ref.kind) {
+          case RefKind::IFetch:
+            ++stats.ifetches;
+            break;
+          case RefKind::Load:
+            ++stats.loads;
+            break;
+          case RefKind::Store:
+            ++stats.stores;
+            break;
+        }
+        unique.insert((static_cast<std::uint64_t>(ref.pid) << 48) ^
+                      ref.addr);
+        pids.insert(ref.pid);
+    }
+    stats.uniqueAddrs = unique.size();
+    stats.processes = pids.size();
+    return stats;
+}
+
+} // namespace cachetime

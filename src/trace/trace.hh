@@ -1,0 +1,79 @@
+/**
+ * @file
+ * In-memory trace container and trace-level statistics.
+ *
+ * A Trace owns the full reference stream for one workload plus the
+ * metadata the paper's methodology needs: a human name and the warm
+ * start boundary (statistics gathering only begins once that many
+ * references have been issued, so cold-start misses do not pollute
+ * the results).
+ */
+
+#ifndef CACHETIME_TRACE_TRACE_HH
+#define CACHETIME_TRACE_TRACE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "trace/ref.hh"
+
+namespace cachetime
+{
+
+/** A named reference stream with its warm-start boundary. */
+class Trace
+{
+  public:
+    Trace() = default;
+
+    /** Construct from parts. */
+    Trace(std::string name, std::vector<Ref> refs,
+          std::size_t warm_start = 0);
+
+    /** @return the workload name, e.g. "mu3". */
+    const std::string &name() const { return name_; }
+
+    /** @return the reference stream. */
+    const std::vector<Ref> &refs() const { return refs_; }
+
+    /** @return number of references before statistics begin. */
+    std::size_t warmStart() const { return warmStart_; }
+
+    /** Set the warm-start boundary (clamped to the trace length). */
+    void setWarmStart(std::size_t warm_start);
+
+    /** Append a reference. */
+    void push(const Ref &ref) { refs_.push_back(ref); }
+
+    /** @return total number of references. */
+    std::size_t size() const { return refs_.size(); }
+
+    bool empty() const { return refs_.empty(); }
+
+  private:
+    std::string name_;
+    std::vector<Ref> refs_;
+    std::size_t warmStart_ = 0;
+};
+
+/** Aggregate, organization-independent statistics about a trace. */
+struct TraceStats
+{
+    std::size_t total = 0;        ///< total references
+    std::size_t ifetches = 0;     ///< instruction fetches
+    std::size_t loads = 0;        ///< data reads
+    std::size_t stores = 0;       ///< data writes
+    std::size_t uniqueAddrs = 0;  ///< distinct (pid, addr) words
+    std::size_t processes = 0;    ///< distinct pids
+
+    /** @return fraction of references that are data accesses. */
+    double dataFraction() const;
+};
+
+/** Compute organization-independent statistics for @p trace. */
+TraceStats computeStats(const Trace &trace);
+
+} // namespace cachetime
+
+#endif // CACHETIME_TRACE_TRACE_HH

@@ -1,0 +1,257 @@
+#include "trace/trace_io.hh"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace cachetime
+{
+
+namespace
+{
+
+constexpr char binaryMagic[8] = {'C', 'T', 'T', 'R', 'A', 'C', 'E', '1'};
+
+RefKind
+kindFromChar(char c)
+{
+    switch (c) {
+      case 'I':
+      case 'i':
+        return RefKind::IFetch;
+      case 'L':
+      case 'l':
+        return RefKind::Load;
+      case 'S':
+      case 's':
+        return RefKind::Store;
+      default:
+        fatal("trace_io: unknown reference kind '%c'", c);
+    }
+}
+
+template <typename T>
+void
+writeLE(std::ostream &os, T value)
+{
+    std::array<char, sizeof(T)> bytes;
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+        bytes[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+    os.write(bytes.data(), bytes.size());
+}
+
+template <typename T>
+T
+readLE(std::istream &is)
+{
+    std::array<unsigned char, sizeof(T)> bytes;
+    is.read(reinterpret_cast<char *>(bytes.data()), bytes.size());
+    if (!is)
+        fatal("trace_io: truncated binary trace");
+    T value = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+        value |= static_cast<T>(bytes[i]) << (8 * i);
+    return value;
+}
+
+} // namespace
+
+void
+writeText(const Trace &trace, std::ostream &os)
+{
+    os << "# cachetime text trace: " << trace.name() << '\n';
+    os << "#warmstart " << trace.warmStart() << '\n';
+    for (const Ref &ref : trace.refs()) {
+        os << refKindName(ref.kind) << ' ' << std::hex << ref.addr
+           << std::dec << ' ' << ref.pid << '\n';
+    }
+}
+
+Trace
+readText(std::istream &is, const std::string &name)
+{
+    std::vector<Ref> refs;
+    std::size_t warm_start = 0;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            std::istringstream ss(line);
+            std::string directive;
+            ss >> directive;
+            if (directive == "#warmstart")
+                ss >> warm_start;
+            continue;
+        }
+        std::istringstream ss(line);
+        std::string kind;
+        std::uint64_t addr;
+        unsigned pid = 0;
+        ss >> kind >> std::hex >> addr >> std::dec >> pid;
+        if (kind.empty() || ss.fail())
+            fatal("trace_io: malformed trace line %zu: '%s'", lineno,
+                  line.c_str());
+        refs.push_back({addr, kindFromChar(kind[0]),
+                        static_cast<Pid>(pid)});
+    }
+    return Trace(name, std::move(refs), warm_start);
+}
+
+Trace
+readDinero(std::istream &is, const std::string &name)
+{
+    std::vector<Ref> refs;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ss(line);
+        unsigned label;
+        std::uint64_t byte_addr;
+        ss >> label >> std::hex >> byte_addr >> std::dec;
+        if (ss.fail())
+            fatal("trace_io: malformed din line %zu: '%s'", lineno,
+                  line.c_str());
+        RefKind kind;
+        switch (label) {
+          case 0:
+            kind = RefKind::Load;
+            break;
+          case 1:
+            kind = RefKind::Store;
+            break;
+          case 2:
+            kind = RefKind::IFetch;
+            break;
+          default:
+            continue; // dineroIV ignores other labels
+        }
+        refs.push_back({byte_addr / wordBytes, kind, 0});
+    }
+    return Trace(name, std::move(refs), 0);
+}
+
+void
+writeDinero(const Trace &trace, std::ostream &os)
+{
+    for (const Ref &ref : trace.refs()) {
+        unsigned label = 0;
+        switch (ref.kind) {
+          case RefKind::Load:
+            label = 0;
+            break;
+          case RefKind::Store:
+            label = 1;
+            break;
+          case RefKind::IFetch:
+            label = 2;
+            break;
+        }
+        os << label << ' ' << std::hex << ref.addr * wordBytes
+           << std::dec << '\n';
+    }
+}
+
+void
+writeBinary(const Trace &trace, std::ostream &os)
+{
+    os.write(binaryMagic, sizeof(binaryMagic));
+    writeLE<std::uint64_t>(os, trace.size());
+    writeLE<std::uint64_t>(os, trace.warmStart());
+    for (const Ref &ref : trace.refs()) {
+        writeLE<std::uint64_t>(os, ref.addr);
+        writeLE<std::uint16_t>(os, ref.pid);
+        writeLE<std::uint8_t>(os, static_cast<std::uint8_t>(ref.kind));
+    }
+}
+
+Trace
+readBinary(std::istream &is, const std::string &name)
+{
+    char magic[sizeof(binaryMagic)];
+    is.read(magic, sizeof(magic));
+    if (!is || std::memcmp(magic, binaryMagic, sizeof(magic)) != 0)
+        fatal("trace_io: not a cachetime binary trace");
+    auto count = readLE<std::uint64_t>(is);
+    auto warm_start = readLE<std::uint64_t>(is);
+    std::vector<Ref> refs;
+    refs.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Ref ref;
+        ref.addr = readLE<std::uint64_t>(is);
+        ref.pid = readLE<std::uint16_t>(is);
+        auto kind = readLE<std::uint8_t>(is);
+        if (kind > static_cast<std::uint8_t>(RefKind::Store))
+            fatal("trace_io: bad reference kind %u at record %llu",
+                  unsigned(kind), static_cast<unsigned long long>(i));
+        ref.kind = static_cast<RefKind>(kind);
+        refs.push_back(ref);
+    }
+    return Trace(name, std::move(refs), warm_start);
+}
+
+namespace
+{
+
+bool
+hasSuffix(const std::string &text, const char *suffix)
+{
+    std::string s(suffix);
+    return text.size() >= s.size() &&
+           text.compare(text.size() - s.size(), s.size(), s) == 0;
+}
+
+} // namespace
+
+Trace
+loadFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("trace_io: cannot open '%s'", path.c_str());
+    char magic[sizeof(binaryMagic)];
+    is.read(magic, sizeof(magic));
+    bool binary = is &&
+        std::memcmp(magic, binaryMagic, sizeof(magic)) == 0;
+    is.clear();
+    is.seekg(0);
+    // Derive a workload name from the file name.
+    std::string name = path;
+    if (auto slash = name.find_last_of('/'); slash != std::string::npos)
+        name = name.substr(slash + 1);
+    if (auto dot = name.find_last_of('.'); dot != std::string::npos)
+        name = name.substr(0, dot);
+    if (binary)
+        return readBinary(is, name);
+    if (hasSuffix(path, ".din"))
+        return readDinero(is, name);
+    return readText(is, name);
+}
+
+void
+saveFile(const Trace &trace, const std::string &path, bool binary)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        fatal("trace_io: cannot create '%s'", path.c_str());
+    if (hasSuffix(path, ".din"))
+        writeDinero(trace, os);
+    else if (binary)
+        writeBinary(trace, os);
+    else
+        writeText(trace, os);
+    if (!os)
+        fatal("trace_io: write to '%s' failed", path.c_str());
+}
+
+} // namespace cachetime

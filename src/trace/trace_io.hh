@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Trace serialization.
+ *
+ * Two interchange formats are supported:
+ *
+ *  - a human-readable text format, one reference per line:
+ *        <kind> <hex word address> <pid>
+ *    where kind is I, L or S (the classic "din" dialect extended
+ *    with a process id column);
+ *
+ *  - a compact little-endian binary format with a small header, for
+ *    traces in the multi-million-reference range.
+ *
+ * Both round-trip exactly, including the warm-start boundary, which
+ * is carried in a header/comment line.
+ */
+
+#ifndef CACHETIME_TRACE_TRACE_IO_HH
+#define CACHETIME_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace cachetime
+{
+
+/** Write @p trace to @p os in the text format. */
+void writeText(const Trace &trace, std::ostream &os);
+
+/**
+ * Parse a text-format trace from @p is.
+ *
+ * Lines beginning with '#' are comments, except the optional
+ * "#warmstart N" directive.  Malformed lines are a fatal error.
+ */
+Trace readText(std::istream &is, const std::string &name = "trace");
+
+/**
+ * Parse a classic Dinero "din" format trace: one access per line,
+ * `<label> <hex byte address>` where label 0 = data read, 1 = data
+ * write, 2 = instruction fetch (other labels are ignored, matching
+ * dineroIV).  Byte addresses are converted to word addresses and
+ * all references get pid 0 (the format is uniprocess).
+ */
+Trace readDinero(std::istream &is, const std::string &name = "din");
+
+/** Write @p trace in the Dinero din format (pids are dropped). */
+void writeDinero(const Trace &trace, std::ostream &os);
+
+/** Write @p trace to @p os in the binary format. */
+void writeBinary(const Trace &trace, std::ostream &os);
+
+/** Parse a binary-format trace; fatal on a bad magic or truncation. */
+Trace readBinary(std::istream &is, const std::string &name = "trace");
+
+/** Load a trace from @p path, sniffing text vs binary by magic. */
+Trace loadFile(const std::string &path);
+
+/** Save @p trace to @p path; binary iff @p binary. */
+void saveFile(const Trace &trace, const std::string &path,
+              bool binary = true);
+
+} // namespace cachetime
+
+#endif // CACHETIME_TRACE_TRACE_IO_HH

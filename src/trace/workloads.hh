@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The eight Table 1 workloads.
+ *
+ * Each spec names a workload from the paper's Table 1 and records
+ * its multiprogramming level, length, warm-start protocol and
+ * flavour (VAX/VMS multiprogramming vs. interleaved R2000 user
+ * programs with a warm-start prefix).  generate() expands a spec
+ * into a concrete trace; a scale factor shortens every length
+ * proportionally so benches can trade fidelity for runtime.
+ */
+
+#ifndef CACHETIME_TRACE_WORKLOADS_HH
+#define CACHETIME_TRACE_WORKLOADS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace cachetime
+{
+
+/** Declarative description of one Table 1 workload. */
+struct WorkloadSpec
+{
+    std::string name;             ///< paper name, e.g. "mu3"
+    unsigned processes = 1;       ///< multiprogramming level
+    std::size_t lengthRefs = 0;   ///< live references (paper scale)
+    std::size_t warmStartRefs = 0;///< warm-start boundary (VAX style)
+    bool risc = false;            ///< R2000 flavour with init prefix
+    unsigned zeroingProcs = 0;    ///< processes that zero their data
+    std::uint64_t seed = 1;       ///< determinism root
+    double footprintScale = 1.0;  ///< scales per-process footprints
+};
+
+/** @return the specs for all eight Table 1 workloads. */
+std::vector<WorkloadSpec> table1Workloads();
+
+/**
+ * Expand @p spec into a trace.
+ *
+ * @param spec  the workload description
+ * @param scale multiplies every reference count (length, warm start,
+ *              prefix sample); footprints are unaffected
+ */
+Trace generate(const WorkloadSpec &spec, double scale = 1.0);
+
+/** Generate all eight Table 1 traces at the given scale. */
+std::vector<Trace> generateTable1(double scale = 1.0);
+
+/**
+ * @return the default scale used by benches: the value of the
+ * CACHETIME_SCALE environment variable if set, else @p fallback.
+ */
+double benchScale(double fallback = 0.20);
+
+} // namespace cachetime
+
+#endif // CACHETIME_TRACE_WORKLOADS_HH

@@ -1,0 +1,74 @@
+#include "util/histogram.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace cachetime
+{
+
+Histogram::Histogram(std::size_t bins, std::uint64_t width)
+    : counts_(bins, 0), width_(width)
+{
+    if (bins == 0 || width == 0)
+        panic("Histogram needs nonzero bins and width");
+}
+
+void
+Histogram::sample(std::uint64_t value)
+{
+    sample(value, 1);
+}
+
+void
+Histogram::sample(std::uint64_t value, std::uint64_t weight)
+{
+    std::size_t index = static_cast<std::size_t>(value / width_);
+    if (index < counts_.size())
+        counts_[index] += weight;
+    else
+        overflow_ += weight;
+    count_ += weight;
+    sum_ += static_cast<double>(value) * weight;
+    max_ = std::max(max_, value);
+}
+
+std::uint64_t
+Histogram::bin(std::size_t index) const
+{
+    if (index >= counts_.size())
+        panic("Histogram::bin index %zu out of %zu", index,
+              counts_.size());
+    return counts_[index];
+}
+
+double
+Histogram::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    overflow_ = 0;
+    count_ = 0;
+    sum_ = 0.0;
+    max_ = 0;
+}
+
+std::string
+Histogram::summary() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "n=%llu mean=%.2f max=%llu overflow=%llu",
+                  static_cast<unsigned long long>(count_), mean(),
+                  static_cast<unsigned long long>(max_),
+                  static_cast<unsigned long long>(overflow_));
+    return buf;
+}
+
+} // namespace cachetime

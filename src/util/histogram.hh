@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Simple bounded histograms for simulator statistics.
+ *
+ * The paper's simulator gathered "up to about 400 unique statistics"
+ * per run; beyond scalar counters, distribution shape matters for
+ * several of them (write-buffer occupancy, miss penalties observed,
+ * gaps between misses).  Histogram provides fixed-bin counting with
+ * overflow tracking and summary moments.
+ */
+
+#ifndef CACHETIME_UTIL_HISTOGRAM_HH
+#define CACHETIME_UTIL_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cachetime
+{
+
+/** Fixed-width-bin histogram over [0, bins x width). */
+class Histogram
+{
+  public:
+    /**
+     * @param bins  number of bins
+     * @param width value range covered by each bin (>= 1)
+     */
+    explicit Histogram(std::size_t bins = 16, std::uint64_t width = 1);
+
+    /** Count one sample; values beyond the range go to overflow. */
+    void sample(std::uint64_t value);
+
+    /** Count one sample @p weight times. */
+    void sample(std::uint64_t value, std::uint64_t weight);
+
+    /** @return number of samples in bin @p index. */
+    std::uint64_t bin(std::size_t index) const;
+
+    /** @return samples beyond the last bin. */
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** @return total samples. */
+    std::uint64_t count() const { return count_; }
+
+    /** @return mean of all samples (including overflow values). */
+    double mean() const;
+
+    /** @return largest sample seen. */
+    std::uint64_t max() const { return max_; }
+
+    /** @return smallest value of bin @p index's range. */
+    std::uint64_t
+    binStart(std::size_t index) const
+    {
+        return index * width_;
+    }
+
+    std::size_t bins() const { return counts_.size(); }
+
+    /** Reset all counts (warm-start boundary). */
+    void reset();
+
+    /** Render a compact one-line summary, e.g. for reports. */
+    std::string summary() const;
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t width_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    std::uint64_t max_ = 0;
+};
+
+} // namespace cachetime
+
+#endif // CACHETIME_UTIL_HISTOGRAM_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 convention.
+ *
+ * panic()  - an internal invariant was violated: a cachetime bug.
+ *            Aborts so a debugger or core dump can capture state.
+ * fatal()  - the *user's* configuration or input is unusable; exits
+ *            with a normal error status.
+ * warn()   - something is suspicious but simulation can continue.
+ * inform() - purely informational progress output.
+ */
+
+#ifndef CACHETIME_UTIL_LOGGING_HH
+#define CACHETIME_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace cachetime
+{
+
+/** Abort with a formatted message; use for internal invariant failures. */
+[[noreturn]] void panic(const char *fmt, ...);
+
+/** Exit(1) with a formatted message; use for bad user configuration. */
+[[noreturn]] void fatal(const char *fmt, ...);
+
+/** Print a warning to stderr; simulation continues. */
+void warn(const char *fmt, ...);
+
+/** Print an informational message to stderr; suppressed when quiet. */
+void inform(const char *fmt, ...);
+
+/** Globally suppress inform() output (benches use this). */
+void setQuiet(bool quiet);
+
+/** @return true if inform() output is currently suppressed. */
+bool quiet();
+
+} // namespace cachetime
+
+#endif // CACHETIME_UTIL_LOGGING_HH

@@ -1,0 +1,105 @@
+#include "util/mathutil.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace cachetime
+{
+
+unsigned
+ilog2(std::uint64_t x)
+{
+    if (x == 0)
+        panic("ilog2(0) is undefined");
+    unsigned result = 0;
+    while (x >>= 1)
+        ++result;
+    return result;
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        panic("geometricMean of empty vector");
+    double logSum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            panic("geometricMean requires positive values, got %f", v);
+        logSum += std::log(v);
+    }
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+double
+interpolate(const std::vector<double> &xs, const std::vector<double> &ys,
+            double x)
+{
+    if (xs.size() != ys.size() || xs.empty())
+        panic("interpolate: mismatched or empty samples");
+    if (xs.size() == 1)
+        return ys.front();
+    // Find the segment [i, i+1] containing (or nearest) x.
+    std::size_t i = 0;
+    if (x >= xs.back()) {
+        i = xs.size() - 2;
+    } else {
+        while (i + 2 < xs.size() && xs[i + 1] <= x)
+            ++i;
+    }
+    double x0 = xs[i], x1 = xs[i + 1];
+    if (x1 <= x0)
+        panic("interpolate: xs not strictly increasing");
+    double t = (x - x0) / (x1 - x0);
+    return ys[i] + t * (ys[i + 1] - ys[i]);
+}
+
+double
+parabolicMinimum(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    if (xs.size() != ys.size() || xs.size() < 3)
+        panic("parabolicMinimum needs at least three samples");
+    std::size_t best =
+        std::min_element(ys.begin(), ys.end()) - ys.begin();
+    if (best == 0 || best + 1 == ys.size())
+        return xs[best];
+    // Three-point parabolic vertex through the minimum sample and
+    // its neighbours.
+    double x0 = xs[best - 1], x1 = xs[best], x2 = xs[best + 1];
+    double y0 = ys[best - 1], y1 = ys[best], y2 = ys[best + 1];
+    double num = (x1 - x0) * (x1 - x0) * (y1 - y2) -
+                 (x1 - x2) * (x1 - x2) * (y1 - y0);
+    double denom = (x1 - x0) * (y1 - y2) - (x1 - x2) * (y1 - y0);
+    if (denom == 0.0)
+        return x1;
+    return x1 - 0.5 * num / denom;
+}
+
+double
+inverseInterpolate(const std::vector<double> &xs,
+                   const std::vector<double> &ys, double target)
+{
+    if (xs.size() != ys.size() || xs.size() < 2)
+        panic("inverseInterpolate needs at least two samples");
+    const bool increasing = ys.back() > ys.front();
+    // Find the segment bracketing the target, or the nearest end
+    // segment for extrapolation.
+    std::size_t i = 0;
+    for (; i + 2 < xs.size(); ++i) {
+        double lo = std::min(ys[i], ys[i + 1]);
+        double hi = std::max(ys[i], ys[i + 1]);
+        if (target >= lo && target <= hi)
+            break;
+        if (increasing ? target < ys[i] : target > ys[i])
+            break;
+    }
+    double y0 = ys[i], y1 = ys[i + 1];
+    if (y1 == y0)
+        return xs[i];
+    double t = (target - y0) / (y1 - y0);
+    return xs[i] + t * (xs[i + 1] - xs[i]);
+}
+
+} // namespace cachetime

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Small numeric helpers used throughout cachetime: integer ceilings
+ * and logs, geometric means, linear interpolation, and the parabola
+ * fit the paper uses to locate optimal block sizes (Section 5).
+ */
+
+#ifndef CACHETIME_UTIL_MATHUTIL_HH
+#define CACHETIME_UTIL_MATHUTIL_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace cachetime
+{
+
+/** @return ceil(num / den) for positive integers. */
+constexpr std::int64_t
+ceilDiv(std::int64_t num, std::int64_t den)
+{
+    return (num + den - 1) / den;
+}
+
+/** @return true if x is a nonzero power of two. */
+constexpr bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** @return floor(log2(x)); x must be nonzero. */
+unsigned ilog2(std::uint64_t x);
+
+/** @return the geometric mean of the values; all must be positive. */
+double geometricMean(const std::vector<double> &values);
+
+/**
+ * Linearly interpolate y at @p x given samples (xs[i], ys[i]) with xs
+ * strictly increasing.  Extrapolates linearly beyond the ends.
+ */
+double interpolate(const std::vector<double> &xs,
+                   const std::vector<double> &ys, double x);
+
+/**
+ * Given samples (xs[i], ys[i]) with ys having an interior minimum,
+ * fit a parabola through the minimum sample and its two neighbours
+ * and return the abscissa of the parabola's vertex.  This is exactly
+ * the paper's procedure for estimating non-integral optimal block
+ * sizes (Figure 5-3).
+ *
+ * If the minimum sample is at either end of the range, the sample's
+ * own x is returned (no interior minimum to refine).
+ */
+double parabolicMinimum(const std::vector<double> &xs,
+                        const std::vector<double> &ys);
+
+/**
+ * Solve for the x at which the interpolant of (xs, ys) equals
+ * @p target.  xs must be strictly increasing and ys strictly
+ * monotonic.  Used for "vertical interpolation" between simulated
+ * cycle times when constructing equal-performance lines (Fig. 3-4).
+ */
+double inverseInterpolate(const std::vector<double> &xs,
+                          const std::vector<double> &ys, double target);
+
+} // namespace cachetime
+
+#endif // CACHETIME_UTIL_MATHUTIL_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The synthetic workload generator must produce bit-identical traces
+ * on every platform and compiler, so cachetime carries its own small
+ * generator (xoshiro256**) and its own distribution helpers instead
+ * of relying on <random>, whose distribution implementations are not
+ * standardized across library vendors.
+ */
+
+#ifndef CACHETIME_UTIL_RNG_HH
+#define CACHETIME_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace cachetime
+{
+
+/**
+ * xoshiro256** pseudo-random generator with SplitMix64 seeding.
+ *
+ * Small, fast, and high quality; every stream is fully determined by
+ * its 64-bit seed.
+ */
+class Rng
+{
+  public:
+    /** Construct a generator from a 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** @return the next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** @return a uniform integer in [0, bound), bound > 0. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** @return a uniform integer in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** @return a uniform double in [0, 1). */
+    double uniform();
+
+    /** @return true with probability p (clamped to [0,1]). */
+    bool chance(double p);
+
+    /**
+     * Sample a geometric distribution: the number of failures before
+     * the first success with success probability p in (0, 1].
+     */
+    std::uint64_t geometric(double p);
+
+    /**
+     * Sample an (approximate) Zipf-like rank in [0, n): small ranks
+     * are much more likely than large ones.  Used to model temporal
+     * locality of data working sets.
+     *
+     * @param n     number of distinct items
+     * @param theta skew in (0, 1); larger is more skewed
+     */
+    std::uint64_t zipf(std::uint64_t n, double theta);
+
+    /** @return a standard normal variate (Box-Muller). */
+    double normal();
+
+    /**
+     * Sample a lognormal value clamped to [0, n): exp(ln(median) +
+     * sigma * Z).  Used for LRU stack distances, whose distribution
+     * in real programs has a lognormal-like body and tail.
+     */
+    std::uint64_t lognormalBelow(std::uint64_t n, double median,
+                                 double sigma);
+
+    /** Fork a statistically independent child stream. */
+    Rng split();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace cachetime
+
+#endif // CACHETIME_UTIL_RNG_HH

@@ -1,0 +1,99 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace cachetime
+{
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        panic("TablePrinter needs at least one column");
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        panic("TablePrinter row has %zu cells, expected %zu",
+              cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            if (c + 1 < cells.size())
+                os << std::string(widths[c] - cells[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    emit(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+void
+TablePrinter::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            if (c + 1 < cells.size())
+                os << ',';
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+TablePrinter::fmt(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+TablePrinter::fmtSizeWords(std::uint64_t words)
+{
+    std::uint64_t bytes = words * wordBytes;
+    char buf[32];
+    if (bytes >= (1ULL << 20) && bytes % (1ULL << 20) == 0)
+        std::snprintf(buf, sizeof(buf), "%lluMB",
+                      static_cast<unsigned long long>(bytes >> 20));
+    else if (bytes >= 1024 && bytes % 1024 == 0)
+        std::snprintf(buf, sizeof(buf), "%lluKB",
+                      static_cast<unsigned long long>(bytes >> 10));
+    else
+        std::snprintf(buf, sizeof(buf), "%lluB",
+                      static_cast<unsigned long long>(bytes));
+    return buf;
+}
+
+} // namespace cachetime

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Plain-text table and CSV rendering.
+ *
+ * The paper's custom post-processing programs "read in the raw data
+ * files and generate the graphs and tables"; TablePrinter is our
+ * equivalent, turning experiment output into aligned console tables
+ * (and optionally CSV for external plotting).
+ */
+
+#ifndef CACHETIME_UTIL_TABLE_HH
+#define CACHETIME_UTIL_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cachetime
+{
+
+/**
+ * Accumulates rows of stringified cells and renders them with
+ * column-aligned plain text or CSV output.
+ */
+class TablePrinter
+{
+  public:
+    /** Construct a table with the given column headers. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append one row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render as an aligned plain-text table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV. */
+    void printCsv(std::ostream &os) const;
+
+    /** @return the number of data rows added so far. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Format a double with @p decimals places. */
+    static std::string fmt(double value, int decimals = 3);
+
+    /** Format a size in words as "4KB" / "2MB" style text. */
+    static std::string fmtSizeWords(std::uint64_t words);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace cachetime
+
+#endif // CACHETIME_UTIL_TABLE_HH

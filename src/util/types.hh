@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every cachetime module.
+ *
+ * The simulator follows the paper's conventions: a *word* is 32 bits
+ * and every trace reference is a word reference, so addresses are
+ * expressed in words, not bytes.  Time is measured either in
+ * nanoseconds (double, for physical parameters such as DRAM latency)
+ * or in CPU cycles (Tick, for everything the synchronous machine
+ * does).
+ */
+
+#ifndef CACHETIME_UTIL_TYPES_HH
+#define CACHETIME_UTIL_TYPES_HH
+
+#include <cstdint>
+
+namespace cachetime
+{
+
+/** A virtual word address (the paper's traces contain only word refs). */
+using Addr = std::uint64_t;
+
+/** Process identifier, included in cache tags for virtual caches. */
+using Pid = std::uint16_t;
+
+/** A point in time or duration, in CPU cycles. */
+using Tick = std::int64_t;
+
+/** Number of bytes in a word; fixed by the paper ("a word is 32 bits"). */
+constexpr unsigned wordBytes = 4;
+
+} // namespace cachetime
+
+#endif // CACHETIME_UTIL_TYPES_HH

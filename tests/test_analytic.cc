@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for the no-contention analytic estimator and the mean-read-
+ * time model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/analytic.hh"
+#include "core/experiment.hh"
+#include "trace/workloads.hh"
+#include "util/logging.hh"
+
+namespace cachetime
+{
+namespace
+{
+
+TEST(Analytic, MeanReadTimeModel)
+{
+    // The paper's Section 3 example: 10% miss rate and a 10-cycle
+    // penalty give 2 cycles per read; 9% gives 1.9.
+    EXPECT_DOUBLE_EQ(meanReadTimeCycles(0.10, 10.0), 2.0);
+    EXPECT_DOUBLE_EQ(meanReadTimeCycles(0.09, 10.0), 1.9);
+    EXPECT_DOUBLE_EQ(meanReadTimeCycles(0.0, 20.0), 1.0);
+}
+
+TEST(Analytic, HandBuiltCounts)
+{
+    SystemConfig config = SystemConfig::paperDefault();
+    SimResult r;
+    r.refs = 100;
+    r.groups = 100;
+    r.writeRefs = 0;
+    r.icache.readMisses = 0;
+    r.dcache.readMisses = 10;
+    // 10 misses x 10-cycle penalty (Table 2 at 40ns) on top of one
+    // cycle per group.
+    EXPECT_NEAR(estimateCyclesPerRef(r, config),
+                (100 + 10 * 10) / 100.0, 1e-12);
+}
+
+TEST(Analytic, WritesAddTheirExtraCycle)
+{
+    SystemConfig config = SystemConfig::paperDefault();
+    SimResult r;
+    r.refs = 100;
+    r.groups = 100;
+    r.writeRefs = 20;
+    EXPECT_NEAR(estimateCyclesPerRef(r, config),
+                (100 + 20 * 1) / 100.0, 1e-12);
+}
+
+TEST(Analytic, ZeroRefsIsZero)
+{
+    SystemConfig config = SystemConfig::paperDefault();
+    SimResult r;
+    EXPECT_DOUBLE_EQ(estimateCyclesPerRef(r, config), 0.0);
+}
+
+TEST(Analytic, EstimateTracksSimulationWithinTolerance)
+{
+    // The estimator ignores contention, so it should land in the
+    // right ballpark but not exactly on the measurement.
+    setQuiet(true);
+    Trace trace = generate(table1Workloads()[0], 0.02);
+    SystemConfig config = SystemConfig::paperDefault();
+    SimResult r = simulateOne(config, trace);
+    double measured = r.cyclesPerRef();
+    double estimated = estimateCyclesPerRef(r, config);
+    EXPECT_GT(estimated, 0.5 * measured);
+    EXPECT_LT(estimated, 1.5 * measured);
+}
+
+} // namespace
+} // namespace cachetime

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for word-interleaved memory banks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/main_memory.hh"
+
+namespace cachetime
+{
+namespace
+{
+
+TEST(Banks, SingleBankMatchesLegacyTiming)
+{
+    MainMemoryConfig config; // banks = 1
+    MainMemory memory(config, 40.0);
+    ReadReply r = memory.readBlock(100, 0, 4, 0, 0);
+    EXPECT_EQ(r.complete, 110);
+    EXPECT_EQ(memory.freeAt(), 113); // complete + 3 recovery
+}
+
+TEST(Banks, DifferentBanksSkipRecovery)
+{
+    MainMemoryConfig config;
+    config.banks = 8;
+    MainMemory memory(config, 40.0);
+    // 4-word read touches banks 0..3; next read to banks 4..7 only
+    // waits for the bus (complete at 10), not the recovery.
+    memory.readBlock(0, 0, 4, 0, 0);
+    ReadReply second = memory.readBlock(0, 4, 4, 0, 0);
+    EXPECT_EQ(second.complete, 10 + 10);
+
+    // A read back to banks 0..3 pays bank recovery: the banks free
+    // at 13, later than the bus... the bus frees at 20 after the
+    // second read, so the third starts at max(20, 13) = 20 anyway;
+    // check with an idle bus instead.
+    MainMemory fresh(config, 40.0);
+    fresh.readBlock(0, 0, 4, 0, 0);          // banks 0..3 until 13
+    ReadReply same = fresh.readBlock(11, 0, 4, 0, 0);
+    EXPECT_EQ(same.complete, 13 + 10); // waited for bank recovery
+}
+
+TEST(Banks, SameBankSerializesOnRecovery)
+{
+    MainMemoryConfig config;
+    config.banks = 8;
+    MainMemory memory(config, 40.0);
+    memory.readBlock(0, 0, 1, 0, 0);  // bank 0; complete 7; bank til 10
+    ReadReply same_bank = memory.readBlock(7, 8, 1, 0, 0); // bank 0
+    EXPECT_EQ(same_bank.complete, 10 + 7);
+    MainMemory memory2(config, 40.0);
+    memory2.readBlock(0, 0, 1, 0, 0);
+    ReadReply other_bank = memory2.readBlock(7, 9, 1, 0, 0); // bank 1
+    EXPECT_EQ(other_bank.complete, 7 + 7); // only the bus serializes
+}
+
+TEST(Banks, WriteRecoveryIsPerBank)
+{
+    MainMemoryConfig config;
+    config.banks = 4;
+    MainMemory memory(config, 40.0);
+    // Write to banks 0..3: release 5, banks busy until 5+3+3=11.
+    Tick release = memory.writeBlock(0, 0, 4, 0);
+    EXPECT_EQ(release, 5);
+    // Bus frees at 5: a read to the same banks waits for 11.
+    ReadReply read = memory.readBlock(5, 0, 4, 0, 0);
+    EXPECT_EQ(read.complete, 11 + 10);
+}
+
+TEST(Banks, MoreBanksNeverSlower)
+{
+    // A stream of back-to-back block reads across the address space
+    // completes no later with more banks.
+    auto run = [](unsigned banks) {
+        MainMemoryConfig config;
+        config.banks = banks;
+        MainMemory memory(config, 40.0);
+        Tick t = 0;
+        for (Addr a = 0; a < 64; a += 4)
+            t = memory.readBlock(t, a, 4, 0, 0).complete;
+        return t;
+    };
+    EXPECT_LE(run(4), run(1));
+    EXPECT_LE(run(16), run(4));
+}
+
+} // namespace
+} // namespace cachetime

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the associativity break-even analysis on analytic grids.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/breakeven.hh"
+
+namespace cachetime
+{
+namespace
+{
+
+/** exec(t) = (1 + k(1 + 180/t)) * t for a given miss cost k. */
+SpeedSizeGrid
+gridWithMissCosts(const std::vector<double> &ks)
+{
+    SpeedSizeGrid grid;
+    for (std::size_t i = 0; i < ks.size(); ++i)
+        grid.sizesWordsEach.push_back(1024u << i);
+    for (double t = 20; t <= 80; t += 10)
+        grid.cycleTimesNs.push_back(t);
+    for (double k : ks) {
+        std::vector<double> exec, cpr;
+        for (double t : grid.cycleTimesNs) {
+            double cycles = 1.0 + k * (1.0 + 180.0 / t);
+            cpr.push_back(cycles);
+            exec.push_back(cycles * t);
+        }
+        grid.execNsPerRef.push_back(exec);
+        grid.cyclesPerRef.push_back(cpr);
+    }
+    return grid;
+}
+
+TEST(BreakEven, BetterMissRateYieldsPositiveBudget)
+{
+    SpeedSizeGrid dm = gridWithMissCosts({0.4, 0.2});
+    SpeedSizeGrid sa = gridWithMissCosts({0.32, 0.16}); // 20% better
+    BreakEvenMap map = computeBreakEven(dm, sa, 2);
+    EXPECT_EQ(map.assoc, 2u);
+    for (const auto &row : map.breakEvenNs)
+        for (double v : row)
+            EXPECT_GT(v, 0.0);
+}
+
+TEST(BreakEven, NoImprovementMeansZeroBudget)
+{
+    SpeedSizeGrid dm = gridWithMissCosts({0.4});
+    BreakEvenMap map = computeBreakEven(dm, dm, 2);
+    for (const auto &row : map.breakEvenNs)
+        for (double v : row)
+            EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(BreakEven, WorseMissRateMeansNegativeBudget)
+{
+    SpeedSizeGrid dm = gridWithMissCosts({0.4});
+    SpeedSizeGrid sa = gridWithMissCosts({0.5});
+    BreakEvenMap map = computeBreakEven(dm, sa, 2);
+    for (const auto &row : map.breakEvenNs)
+        for (double v : row)
+            EXPECT_LT(v, 0.0);
+}
+
+TEST(BreakEven, BudgetScalesWithMissImprovement)
+{
+    SpeedSizeGrid dm = gridWithMissCosts({0.4});
+    SpeedSizeGrid small = gridWithMissCosts({0.38});
+    SpeedSizeGrid large = gridWithMissCosts({0.28});
+    double be_small =
+        computeBreakEven(dm, small, 2).breakEvenNs[0][2];
+    double be_large =
+        computeBreakEven(dm, large, 2).breakEvenNs[0][2];
+    EXPECT_GT(be_large, be_small);
+}
+
+TEST(BreakEven, AnalyticValueMatchesClosedForm)
+{
+    // With exec(t) = (1+k)t + 180k, the set-associative machine
+    // matches the direct-mapped level L at t_sa = (L-180k)/(1+k);
+    // the break-even budget is t_sa - t.
+    double k_dm = 0.4, k_sa = 0.3, t = 40.0;
+    SpeedSizeGrid dm = gridWithMissCosts({k_dm});
+    SpeedSizeGrid sa = gridWithMissCosts({k_sa});
+    double level = (1 + k_dm) * t + 180 * k_dm;
+    double expected = (level - 180 * k_sa) / (1 + k_sa) - t;
+    BreakEvenMap map = computeBreakEven(dm, sa, 2);
+    // t = 40 is index 2 on the 20..80-by-10 axis.
+    EXPECT_NEAR(map.breakEvenNs[0][2], expected, 1e-6);
+}
+
+TEST(BreakEven, MismatchedAxesAreFatal)
+{
+    SpeedSizeGrid a = gridWithMissCosts({0.4});
+    SpeedSizeGrid b = gridWithMissCosts({0.4, 0.2});
+    EXPECT_EXIT(computeBreakEven(a, b, 2),
+                ::testing::ExitedWithCode(1), "different axes");
+}
+
+TEST(BreakEven, PaperConstantsAreTheTTLDelays)
+{
+    EXPECT_DOUBLE_EQ(asMuxDataInToOutNs, 6.0);
+    EXPECT_DOUBLE_EQ(asMuxSelectToOutNs, 11.0);
+}
+
+} // namespace
+} // namespace cachetime

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the intermediate (second-level) cache as a MemLevel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_level.hh"
+#include "memory/main_memory.hh"
+
+namespace cachetime
+{
+namespace
+{
+
+struct Fixture
+{
+    MainMemory memory{MainMemoryConfig{}, 40.0};
+    CacheConfig config;
+    CacheLevelTiming timing;
+
+    Fixture()
+    {
+        config.sizeWords = 1024;
+        config.blockWords = 16;
+        config.assoc = 1;
+        config.allocPolicy = AllocPolicy::WriteAllocate;
+        timing.hitCycles = 3;
+    }
+
+    CacheLevel
+    make()
+    {
+        return CacheLevel(config, timing, &memory);
+    }
+};
+
+TEST(CacheLevel, MissGoesToMemoryThenHitIsFast)
+{
+    Fixture f;
+    CacheLevel l2 = f.make();
+    ReadReply miss = l2.readBlock(0, 0, 4, 0, 0);
+    // Probe (3) + memory 16W read (6 + 16) + deliver 4 words.
+    EXPECT_EQ(miss.complete, 3 + 22 + 4);
+    ReadReply hit = l2.readBlock(100, 0, 4, 0, 0);
+    EXPECT_EQ(hit.complete, 100 + 3 + 4);
+}
+
+TEST(CacheLevel, HitServesOtherBlockInSameL2Line)
+{
+    Fixture f;
+    CacheLevel l2 = f.make();
+    l2.readBlock(0, 0, 4, 0, 0);  // fills words 0..15
+    ReadReply hit = l2.readBlock(100, 8, 4, 0, 0);
+    EXPECT_EQ(hit.complete, 100 + 3 + 4);
+}
+
+TEST(CacheLevel, CriticalWordBeforeComplete)
+{
+    Fixture f;
+    CacheLevel l2 = f.make();
+    l2.readBlock(0, 0, 4, 0, 0);
+    ReadReply hit = l2.readBlock(100, 0, 4, 3, 0);
+    EXPECT_EQ(hit.complete, 107);
+    EXPECT_EQ(hit.criticalWord, 107); // offset 3 of 4: last word
+    ReadReply hit2 = l2.readBlock(200, 4, 2, 0, 0);
+    EXPECT_LT(hit2.criticalWord, hit2.complete);
+}
+
+TEST(CacheLevel, PortSerializesBackToBackRequests)
+{
+    Fixture f;
+    CacheLevel l2 = f.make();
+    l2.readBlock(0, 0, 4, 0, 0); // busy until 29
+    ReadReply second = l2.readBlock(1, 0, 4, 0, 0);
+    EXPECT_EQ(second.complete, 29 + 3 + 4);
+}
+
+TEST(CacheLevel, WriteAllocateFillsOnWriteMiss)
+{
+    Fixture f;
+    CacheLevel l2 = f.make();
+    Tick release = l2.writeBlock(0, 0, 4, 0);
+    EXPECT_GT(release, 3 + 4); // had to fetch from memory
+    // Now resident: a read hits.
+    ReadReply hit = l2.readBlock(1000, 0, 4, 0, 0);
+    EXPECT_EQ(hit.complete, 1000 + 3 + 4);
+}
+
+TEST(CacheLevel, WriteHitIsFast)
+{
+    Fixture f;
+    CacheLevel l2 = f.make();
+    l2.readBlock(0, 0, 4, 0, 0);
+    Tick release = l2.writeBlock(1000, 0, 4, 0);
+    EXPECT_EQ(release, 1000 + 3 + 4);
+}
+
+TEST(CacheLevel, DirtyVictimWrittenBack)
+{
+    Fixture f;
+    f.config.sizeWords = 32; // 2 blocks of 16W, direct mapped
+    CacheLevel l2 = f.make();
+    l2.writeBlock(0, 0, 4, 0); // dirty block 0
+    // Block at word 32 maps to the same set; its fill evicts the
+    // dirty block, which must be written to memory.
+    l2.readBlock(2000, 32, 4, 0, 0);
+    EXPECT_EQ(l2.cache().stats().dirtyBlocksReplaced, 1u);
+    EXPECT_GE(f.memory.stats().writes, 1u);
+    EXPECT_EQ(f.memory.stats().wordsWritten, 16u);
+}
+
+TEST(CacheLevel, NoWriteAllocatePassesThrough)
+{
+    Fixture f;
+    f.config.allocPolicy = AllocPolicy::NoWriteAllocate;
+    CacheLevel l2 = f.make();
+    Tick release = l2.writeBlock(0, 0, 4, 0);
+    EXPECT_GT(release, 0);
+    EXPECT_EQ(f.memory.stats().writes, 1u);
+    // Still not resident.
+    ReadReply read = l2.readBlock(1000, 0, 4, 0, 0);
+    EXPECT_GT(read.complete, 1000 + 3 + 4);
+}
+
+TEST(CacheLevel, StatsResetKeepsContents)
+{
+    Fixture f;
+    CacheLevel l2 = f.make();
+    l2.readBlock(0, 0, 4, 0, 0);
+    l2.resetStats();
+    EXPECT_EQ(l2.cache().stats().readAccesses, 0u);
+    ReadReply hit = l2.readBlock(100, 0, 4, 0, 0);
+    EXPECT_EQ(hit.complete, 100 + 3 + 4);
+}
+
+} // namespace
+} // namespace cachetime

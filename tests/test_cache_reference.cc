@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Differential test: the production Cache against a deliberately
+ * naive reference model, over randomized access streams and a grid
+ * of organizations.
+ *
+ * The reference model stores lines in a flat list per set and
+ * recomputes everything the slow, obvious way; any divergence in
+ * hit/miss outcomes, victim choice (for deterministic policies) or
+ * dirty accounting is a bug in one of them.
+ */
+
+#include <list>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "util/rng.hh"
+
+namespace cachetime
+{
+namespace
+{
+
+/** Slow but obviously-correct set-associative cache (LRU/FIFO). */
+class ReferenceCache
+{
+  public:
+    explicit ReferenceCache(const CacheConfig &config)
+        : config_(config), sets_(config.numSets())
+    {
+    }
+
+    struct Outcome
+    {
+        bool hit = false;
+        bool victimValid = false;
+        unsigned victimDirtyWords = 0;
+    };
+
+    Outcome
+    read(Addr addr, Pid pid)
+    {
+        Addr block = addr / config_.blockWords;
+        unsigned offset =
+            static_cast<unsigned>(addr % config_.blockWords);
+        auto &set = sets_[block % config_.numSets()];
+        Outcome outcome;
+        for (auto it = set.begin(); it != set.end(); ++it) {
+            if (it->block == block && it->pid == pid) {
+                if (it->valid[offset]) {
+                    outcome.hit = true;
+                    // LRU: move to front.
+                    if (config_.replPolicy == ReplPolicy::LRU)
+                        set.splice(set.begin(), set, it);
+                    return outcome;
+                }
+                // Sub-block miss: validate the fetch range.
+                fill(*it, offset);
+                if (config_.replPolicy == ReplPolicy::LRU)
+                    set.splice(set.begin(), set, it);
+                return outcome;
+            }
+        }
+        // Full miss.
+        if (set.size() == config_.assoc) {
+            outcome.victimValid = true;
+            outcome.victimDirtyWords = countDirty(set.back());
+            set.pop_back(); // LRU and FIFO both evict the back
+        }
+        set.push_front(Line{block, pid,
+                            std::vector<bool>(config_.blockWords),
+                            std::vector<bool>(config_.blockWords)});
+        fill(set.front(), offset);
+        return outcome;
+    }
+
+    Outcome
+    write(Addr addr, Pid pid)
+    {
+        Addr block = addr / config_.blockWords;
+        unsigned offset =
+            static_cast<unsigned>(addr % config_.blockWords);
+        auto &set = sets_[block % config_.numSets()];
+        Outcome outcome;
+        for (auto it = set.begin(); it != set.end(); ++it) {
+            if (it->block == block && it->pid == pid) {
+                outcome.hit = true;
+                it->valid[offset] = true;
+                if (config_.writePolicy == WritePolicy::WriteBack)
+                    it->dirty[offset] = true;
+                bool reorder =
+                    config_.replPolicy == ReplPolicy::LRU;
+                if (reorder)
+                    set.splice(set.begin(), set, it);
+                return outcome;
+            }
+        }
+        // No-write-allocate misses leave the cache unchanged.
+        return outcome;
+    }
+
+  private:
+    struct Line
+    {
+        Addr block;
+        Pid pid;
+        std::vector<bool> valid;
+        std::vector<bool> dirty;
+    };
+
+    void
+    fill(Line &line, unsigned offset)
+    {
+        unsigned fetch = config_.effectiveFetchWords();
+        unsigned start = (offset / fetch) * fetch;
+        for (unsigned w = 0; w < fetch; ++w)
+            line.valid[start + w] = true;
+    }
+
+    unsigned
+    countDirty(const Line &line)
+    {
+        unsigned n = 0;
+        for (bool d : line.dirty)
+            n += d;
+        return n;
+    }
+
+    CacheConfig config_;
+    std::vector<std::list<Line>> sets_;
+};
+
+struct Org
+{
+    std::uint64_t sizeWords;
+    unsigned blockWords;
+    unsigned assoc;
+    unsigned fetchWords;
+    ReplPolicy repl;
+};
+
+class Differential : public ::testing::TestWithParam<Org>
+{
+};
+
+TEST_P(Differential, MatchesReferenceModel)
+{
+    Org org = GetParam();
+    CacheConfig config;
+    config.sizeWords = org.sizeWords;
+    config.blockWords = org.blockWords;
+    config.assoc = org.assoc;
+    config.fetchWords = org.fetchWords;
+    config.replPolicy = org.repl;
+
+    Cache cache(config);
+    ReferenceCache reference(config);
+
+    Rng rng(org.sizeWords * 31 + org.blockWords * 7 + org.assoc);
+    std::uint64_t ref_dirty_words = 0, dut_dirty_words = 0;
+    for (int i = 0; i < 20000; ++i) {
+        Addr addr = rng.below(org.sizeWords * 4);
+        Pid pid = static_cast<Pid>(rng.below(2));
+        bool is_write = rng.chance(0.3);
+
+        if (is_write) {
+            AccessOutcome dut = cache.write(addr, 1, pid);
+            auto ref = reference.write(addr, pid);
+            ASSERT_EQ(dut.hit, ref.hit)
+                << "write divergence at step " << i;
+        } else {
+            AccessOutcome dut = cache.read(addr, 1, pid);
+            auto ref = reference.read(addr, pid);
+            ASSERT_EQ(dut.hit, ref.hit)
+                << "read divergence at step " << i;
+            ASSERT_EQ(dut.victimValid, ref.victimValid)
+                << "victim divergence at step " << i;
+            dut_dirty_words += dut.victimDirtyWords;
+            ref_dirty_words += ref.victimDirtyWords;
+            ASSERT_EQ(dut_dirty_words, ref_dirty_words)
+                << "dirty accounting divergence at step " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Orgs, Differential,
+    ::testing::Values(Org{64, 4, 1, 0, ReplPolicy::LRU},
+                      Org{64, 4, 2, 0, ReplPolicy::LRU},
+                      Org{256, 8, 4, 0, ReplPolicy::LRU},
+                      Org{256, 8, 4, 4, ReplPolicy::LRU},
+                      Org{128, 16, 2, 8, ReplPolicy::LRU},
+                      Org{64, 4, 2, 0, ReplPolicy::FIFO},
+                      Org{256, 4, 8, 0, ReplPolicy::FIFO},
+                      Org{512, 8, 2, 2, ReplPolicy::LRU}));
+
+} // namespace
+} // namespace cachetime

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the board-level cost/cycle-time model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cost.hh"
+
+namespace cachetime
+{
+namespace
+{
+
+CacheConfig
+org(std::uint64_t size_words, unsigned assoc = 1)
+{
+    CacheConfig config;
+    config.sizeWords = size_words;
+    config.blockWords = 4;
+    config.assoc = assoc;
+    return config;
+}
+
+TEST(Cost, TagBitsShrinkWithMoreIndexBits)
+{
+    BoardModel board;
+    unsigned small = tagBitsPerBlock(org(1024), board);
+    unsigned large = tagBitsPerBlock(org(64 * 1024), board);
+    EXPECT_GT(small, large);
+}
+
+TEST(Cost, AssociativityWidensTags)
+{
+    BoardModel board;
+    // Same size, more ways -> fewer sets -> more tag bits.
+    EXPECT_GT(tagBitsPerBlock(org(4096, 4), board),
+              tagBitsPerBlock(org(4096, 1), board));
+}
+
+TEST(Cost, CapacityDominatesForBigCaches)
+{
+    BoardModel board;
+    RamPart part{"16Kb", 16, 4, 15.0, 1.0};
+    // 64KB of data = 512Kbit -> 32 chips of 16Kbit.
+    CacheImplementation impl =
+        implementCache(org(16 * 1024), part, board);
+    EXPECT_EQ(impl.dataChips, 32u);
+}
+
+TEST(Cost, WidthDominatesForSmallCaches)
+{
+    BoardModel board;
+    RamPart part{"1Mb", 1024, 8, 45.0, 8.0};
+    // 8KB of data fits in one 1Mb chip, but a 32-bit read path
+    // needs four by-8 chips.
+    CacheImplementation impl =
+        implementCache(org(2 * 1024), part, board);
+    EXPECT_EQ(impl.dataChips, 4u);
+}
+
+TEST(Cost, AssocAddsWidthChipsAndCyclePenalty)
+{
+    BoardModel board;
+    RamPart part{"64Kb", 64, 8, 25.0, 2.0};
+    CacheImplementation dm =
+        implementCache(org(2 * 1024, 1), part, board);
+    CacheImplementation sa =
+        implementCache(org(2 * 1024, 4), part, board);
+    EXPECT_GE(sa.dataChips, dm.dataChips);
+    EXPECT_DOUBLE_EQ(dm.cycleNs, 25.0 + 25.0);
+    EXPECT_DOUBLE_EQ(sa.cycleNs, 25.0 + 25.0 + 6.0 * 2);
+}
+
+TEST(Cost, WorkedExampleChipCounts)
+{
+    // The paper: 8KB/cache from 2Kx8b parts vs 32KB/cache from
+    // 8Kx8b parts - "both contain the same number of chips in the
+    // same configuration".
+    BoardModel board;
+    RamPart small{"16Kb 15ns", 16, 8, 15.0, 1.0};
+    RamPart big{"64Kb 25ns", 64, 8, 25.0, 2.0};
+    CacheImplementation a =
+        implementCache(org(2 * 1024), small, board);
+    CacheImplementation b =
+        implementCache(org(8 * 1024), big, board);
+    EXPECT_EQ(a.dataChips, b.dataChips);
+    // And the bigger build supports a 10ns slower cycle.
+    EXPECT_DOUBLE_EQ(b.cycleNs - a.cycleNs, 10.0);
+}
+
+TEST(Cost, CatalogIsOrderedByDensityAndSpeed)
+{
+    auto catalog = defaultCatalog();
+    ASSERT_GE(catalog.size(), 3u);
+    for (std::size_t i = 1; i < catalog.size(); ++i) {
+        EXPECT_GT(catalog[i].kilobits, catalog[i - 1].kilobits);
+        EXPECT_GT(catalog[i].accessNs, catalog[i - 1].accessNs);
+    }
+}
+
+} // namespace
+} // namespace cachetime

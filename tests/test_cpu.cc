@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the reference-pairing CPU front end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/cpu.hh"
+
+namespace cachetime
+{
+namespace
+{
+
+Trace
+mixedTrace()
+{
+    return Trace("t",
+                 {
+                     {0x10, RefKind::IFetch, 0},
+                     {0x20, RefKind::Load, 0},
+                     {0x11, RefKind::IFetch, 0},
+                     {0x12, RefKind::IFetch, 0},
+                     {0x21, RefKind::Store, 0},
+                     {0x22, RefKind::Load, 0},
+                 });
+}
+
+TEST(RefPairer, PairsIFetchWithFollowingData)
+{
+    Trace trace = mixedTrace();
+    RefPairer pairer(trace, true);
+
+    RefGroup g1 = pairer.next();
+    ASSERT_NE(g1.ifetch, nullptr);
+    ASSERT_NE(g1.data, nullptr);
+    EXPECT_EQ(g1.ifetch->addr, 0x10u);
+    EXPECT_EQ(g1.data->addr, 0x20u);
+    EXPECT_EQ(g1.size(), 2u);
+
+    RefGroup g2 = pairer.next(); // ifetch followed by ifetch: alone
+    EXPECT_NE(g2.ifetch, nullptr);
+    EXPECT_EQ(g2.data, nullptr);
+    EXPECT_EQ(g2.ifetch->addr, 0x11u);
+
+    RefGroup g3 = pairer.next(); // ifetch + store couplet
+    EXPECT_EQ(g3.ifetch->addr, 0x12u);
+    EXPECT_EQ(g3.data->addr, 0x21u);
+
+    RefGroup g4 = pairer.next(); // bare load
+    EXPECT_EQ(g4.ifetch, nullptr);
+    EXPECT_EQ(g4.data->addr, 0x22u);
+
+    EXPECT_FALSE(pairer.hasNext());
+}
+
+TEST(RefPairer, NoPairingEveryRefAlone)
+{
+    Trace trace = mixedTrace();
+    RefPairer pairer(trace, false);
+    std::size_t groups = 0;
+    while (pairer.hasNext()) {
+        RefGroup group = pairer.next();
+        EXPECT_EQ(group.size(), 1u);
+        ++groups;
+    }
+    EXPECT_EQ(groups, trace.size());
+}
+
+TEST(RefPairer, NeverReorders)
+{
+    Trace trace = mixedTrace();
+    RefPairer pairer(trace, true);
+    std::vector<Addr> order;
+    while (pairer.hasNext()) {
+        RefGroup group = pairer.next();
+        if (group.ifetch)
+            order.push_back(group.ifetch->addr);
+        if (group.data)
+            order.push_back(group.data->addr);
+    }
+    ASSERT_EQ(order.size(), trace.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], trace.refs()[i].addr);
+}
+
+TEST(RefPairer, PositionTracksConsumption)
+{
+    Trace trace = mixedTrace();
+    RefPairer pairer(trace, true);
+    EXPECT_EQ(pairer.position(), 0u);
+    pairer.next();
+    EXPECT_EQ(pairer.position(), 2u);
+    pairer.next();
+    EXPECT_EQ(pairer.position(), 3u);
+}
+
+TEST(RefPairer, EmptyTrace)
+{
+    Trace trace;
+    RefPairer pairer(trace, true);
+    EXPECT_FALSE(pairer.hasNext());
+}
+
+} // namespace
+} // namespace cachetime

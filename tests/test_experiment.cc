@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the experiment runner and geometric-mean aggregation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "trace/workloads.hh"
+#include "util/logging.hh"
+
+namespace cachetime
+{
+namespace
+{
+
+std::vector<Trace>
+tinyTraces()
+{
+    setQuiet(true);
+    auto specs = table1Workloads();
+    return {generate(specs[0], 0.01), generate(specs[4], 0.01)};
+}
+
+TEST(Experiment, SimulateOneProducesConsistentResult)
+{
+    auto traces = tinyTraces();
+    SystemConfig config = SystemConfig::paperDefault();
+    SimResult r = simulateOne(config, traces[0]);
+    EXPECT_GT(r.refs, 0u);
+    EXPECT_GT(r.cycles, 0);
+    EXPECT_GT(r.cyclesPerRef(), 0.9);
+    EXPECT_NEAR(r.execNsPerRef(), r.cyclesPerRef() * 40.0, 1e-9);
+    EXPECT_EQ(r.readRefs + r.writeRefs, r.refs);
+    EXPECT_EQ(r.traceName, traces[0].name());
+}
+
+TEST(Experiment, GeoMeanBetweenPerTraceValues)
+{
+    auto traces = tinyTraces();
+    SystemConfig config = SystemConfig::paperDefault();
+    double lo = 1e300, hi = 0;
+    for (const Trace &t : traces) {
+        double v = simulateOne(config, t).execNsPerRef();
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    AggregateMetrics m = runGeoMean(config, traces);
+    EXPECT_GE(m.execNsPerRef, lo);
+    EXPECT_LE(m.execNsPerRef, hi);
+}
+
+TEST(Experiment, BiggerCacheNeverSlowerAtSameCycleTime)
+{
+    auto traces = tinyTraces();
+    SystemConfig small = SystemConfig::paperDefault();
+    small.setL1SizeWordsEach(1024);
+    SystemConfig big = SystemConfig::paperDefault();
+    big.setL1SizeWordsEach(64 * 1024);
+    AggregateMetrics ms = runGeoMean(small, traces);
+    AggregateMetrics mb = runGeoMean(big, traces);
+    EXPECT_LE(mb.readMissRatio, ms.readMissRatio);
+    EXPECT_LE(mb.execNsPerRef, ms.execNsPerRef * 1.001);
+}
+
+TEST(Experiment, SlowerClockLowersCycleCountButRaisesTime)
+{
+    // Figure 3-2's "illusion of improved performance".
+    auto traces = tinyTraces();
+    SystemConfig fast = SystemConfig::paperDefault();
+    fast.cycleNs = 20.0;
+    SystemConfig slow = SystemConfig::paperDefault();
+    slow.cycleNs = 80.0;
+    AggregateMetrics mf = runGeoMean(fast, traces);
+    AggregateMetrics ms = runGeoMean(slow, traces);
+    EXPECT_LT(ms.cyclesPerRef, mf.cyclesPerRef);
+    EXPECT_GT(ms.execNsPerRef, mf.execNsPerRef);
+}
+
+TEST(Experiment, MissRatioIndependentOfCycleTime)
+{
+    // Organizational behaviour must not depend on timing.
+    auto traces = tinyTraces();
+    SystemConfig a = SystemConfig::paperDefault();
+    a.cycleNs = 20.0;
+    SystemConfig b = SystemConfig::paperDefault();
+    b.cycleNs = 80.0;
+    AggregateMetrics ma = runGeoMean(a, traces);
+    AggregateMetrics mb = runGeoMean(b, traces);
+    EXPECT_DOUBLE_EQ(ma.readMissRatio, mb.readMissRatio);
+    EXPECT_DOUBLE_EQ(ma.writeMissRatio, mb.writeMissRatio);
+}
+
+} // namespace
+} // namespace cachetime

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Timing tests for the MainMemory functional unit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/main_memory.hh"
+
+namespace cachetime
+{
+namespace
+{
+
+TEST(MainMemory, ReadTimingAtDefault)
+{
+    MainMemory memory(MainMemoryConfig{}, 40.0);
+    ReadReply reply = memory.readBlock(100, 0, 4, 0, 0);
+    // latency 6 cycles + 4 transfer = 10 (Table 2 read time).
+    EXPECT_EQ(reply.complete, 110);
+    // Recovery: 3 more cycles before the next op may start.
+    EXPECT_EQ(memory.freeAt(), 113);
+}
+
+TEST(MainMemory, CriticalWordWithoutForwarding)
+{
+    MainMemory memory(MainMemoryConfig{}, 40.0);
+    ReadReply reply = memory.readBlock(0, 0, 4, 2, 0);
+    // Word 2 arrives after three transfer cycles.
+    EXPECT_EQ(reply.criticalWord, 6 + 3);
+    EXPECT_EQ(reply.complete, 6 + 4);
+}
+
+TEST(MainMemory, LoadForwardingDeliversCriticalFirst)
+{
+    MainMemoryConfig config;
+    config.loadForwarding = true;
+    MainMemory memory(config, 40.0);
+    ReadReply reply = memory.readBlock(0, 0, 4, 3, 0);
+    EXPECT_EQ(reply.criticalWord, 6 + 1);
+    EXPECT_EQ(reply.complete, 6 + 4);
+}
+
+TEST(MainMemory, BusySerializesRequests)
+{
+    MainMemory memory(MainMemoryConfig{}, 40.0);
+    memory.readBlock(0, 0, 4, 0, 0);            // busy until 13
+    ReadReply second = memory.readBlock(5, 64, 4, 0, 0);
+    EXPECT_EQ(second.complete, 13 + 10);
+    EXPECT_EQ(memory.stats().readWaitCycles, 13 - 5);
+}
+
+TEST(MainMemory, IdleGapDoesNotCarryRecovery)
+{
+    MainMemory memory(MainMemoryConfig{}, 40.0);
+    memory.readBlock(0, 0, 4, 0, 0); // free at 13
+    ReadReply reply = memory.readBlock(1000, 0, 4, 0, 0);
+    EXPECT_EQ(reply.complete, 1010);
+}
+
+TEST(MainMemory, WriteReleasesBeforeOperationCompletes)
+{
+    MainMemory memory(MainMemoryConfig{}, 40.0);
+    Tick release = memory.writeBlock(0, 0, 4, 0);
+    // Requester holds for address + transfer = 5 cycles; the 100ns
+    // write (3 cycles) and 120ns recovery (3 cycles) hide behind it.
+    EXPECT_EQ(release, 5);
+    EXPECT_EQ(memory.freeAt(), 5 + 3 + 3);
+}
+
+TEST(MainMemory, StatsAccumulate)
+{
+    MainMemory memory(MainMemoryConfig{}, 40.0);
+    memory.readBlock(0, 0, 4, 0, 0);
+    memory.writeBlock(20, 64, 4, 0);
+    EXPECT_EQ(memory.stats().reads, 1u);
+    EXPECT_EQ(memory.stats().writes, 1u);
+    EXPECT_EQ(memory.stats().wordsRead, 4u);
+    EXPECT_EQ(memory.stats().wordsWritten, 4u);
+    memory.resetStats();
+    EXPECT_EQ(memory.stats().reads, 0u);
+}
+
+TEST(MainMemory, FastCycleTimeRaisesCyclePenalty)
+{
+    MainMemory slow(MainMemoryConfig{}, 60.0);
+    MainMemory fast(MainMemoryConfig{}, 20.0);
+    Tick slow_read = slow.readBlock(0, 0, 4, 0, 0).complete;
+    Tick fast_read = fast.readBlock(0, 0, 4, 0, 0).complete;
+    EXPECT_EQ(slow_read, 8);  // Table 2 at 60ns
+    EXPECT_EQ(fast_read, 14); // Table 2 at 20ns
+}
+
+} // namespace
+} // namespace cachetime

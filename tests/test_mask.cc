@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for the 128-bit word mask.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/mask.hh"
+
+namespace cachetime
+{
+namespace
+{
+
+TEST(Mask128, StartsEmpty)
+{
+    Mask128 mask;
+    EXPECT_TRUE(mask.none());
+    EXPECT_FALSE(mask.any());
+    EXPECT_EQ(mask.count(), 0u);
+}
+
+TEST(Mask128, SetAndTestLowHalf)
+{
+    Mask128 mask;
+    mask.set(0);
+    mask.set(63);
+    EXPECT_TRUE(mask.test(0));
+    EXPECT_TRUE(mask.test(63));
+    EXPECT_FALSE(mask.test(1));
+    EXPECT_EQ(mask.count(), 2u);
+}
+
+TEST(Mask128, SetAndTestHighHalf)
+{
+    Mask128 mask;
+    mask.set(64);
+    mask.set(127);
+    EXPECT_TRUE(mask.test(64));
+    EXPECT_TRUE(mask.test(127));
+    EXPECT_FALSE(mask.test(65));
+    EXPECT_EQ(mask.count(), 2u);
+}
+
+TEST(Mask128, RangeAcrossTheHalfBoundary)
+{
+    Mask128 mask;
+    mask.setRange(60, 8); // bits 60..67
+    EXPECT_EQ(mask.count(), 8u);
+    EXPECT_TRUE(mask.testRange(60, 8));
+    EXPECT_FALSE(mask.testRange(59, 8));
+    EXPECT_TRUE(mask.test(63));
+    EXPECT_TRUE(mask.test(64));
+    EXPECT_FALSE(mask.test(68));
+}
+
+TEST(Mask128, TestRangeRequiresAllBits)
+{
+    Mask128 mask;
+    mask.setRange(4, 4);
+    EXPECT_TRUE(mask.testRange(4, 4));
+    EXPECT_TRUE(mask.testRange(5, 2));
+    EXPECT_FALSE(mask.testRange(4, 5));
+}
+
+TEST(Mask128, ClearResets)
+{
+    Mask128 mask;
+    mask.setRange(0, 128);
+    EXPECT_EQ(mask.count(), 128u);
+    mask.clear();
+    EXPECT_TRUE(mask.none());
+}
+
+TEST(Mask128, Equality)
+{
+    Mask128 a, b;
+    a.set(5);
+    b.set(5);
+    EXPECT_EQ(a, b);
+    b.set(100);
+    EXPECT_NE(a, b);
+}
+
+} // namespace
+} // namespace cachetime

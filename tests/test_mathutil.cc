@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the numeric helpers in util/mathutil.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "util/mathutil.hh"
+
+namespace cachetime
+{
+namespace
+{
+
+TEST(CeilDiv, ExactDivision)
+{
+    EXPECT_EQ(ceilDiv(12, 4), 3);
+    EXPECT_EQ(ceilDiv(0, 4), 0);
+}
+
+TEST(CeilDiv, RoundsUp)
+{
+    EXPECT_EQ(ceilDiv(13, 4), 4);
+    EXPECT_EQ(ceilDiv(1, 4), 1);
+    EXPECT_EQ(ceilDiv(180, 40), 5);
+    EXPECT_EQ(ceilDiv(180, 52), 4);
+}
+
+TEST(IsPowerOfTwo, Basics)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ULL << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ULL << 40) + 1));
+}
+
+TEST(Ilog2, Values)
+{
+    EXPECT_EQ(ilog2(1), 0u);
+    EXPECT_EQ(ilog2(2), 1u);
+    EXPECT_EQ(ilog2(3), 1u);
+    EXPECT_EQ(ilog2(1024), 10u);
+}
+
+TEST(GeometricMean, SingleValue)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({4.0}), 4.0);
+}
+
+TEST(GeometricMean, TwoValues)
+{
+    EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(GeometricMean, IsBelowArithmeticMean)
+{
+    std::vector<double> values{1.0, 2.0, 3.0, 10.0};
+    double geo = geometricMean(values);
+    double arith = (1.0 + 2.0 + 3.0 + 10.0) / 4.0;
+    EXPECT_LT(geo, arith);
+    EXPECT_GT(geo, 1.0);
+}
+
+TEST(Interpolate, AtSamplePoints)
+{
+    std::vector<double> xs{1, 2, 4};
+    std::vector<double> ys{10, 20, 40};
+    EXPECT_DOUBLE_EQ(interpolate(xs, ys, 1.0), 10.0);
+    EXPECT_DOUBLE_EQ(interpolate(xs, ys, 4.0), 40.0);
+}
+
+TEST(Interpolate, Between)
+{
+    std::vector<double> xs{0, 10};
+    std::vector<double> ys{0, 100};
+    EXPECT_DOUBLE_EQ(interpolate(xs, ys, 2.5), 25.0);
+}
+
+TEST(Interpolate, ExtrapolatesLinearly)
+{
+    std::vector<double> xs{0, 10};
+    std::vector<double> ys{0, 100};
+    EXPECT_DOUBLE_EQ(interpolate(xs, ys, 20.0), 200.0);
+    EXPECT_DOUBLE_EQ(interpolate(xs, ys, -10.0), -100.0);
+}
+
+TEST(ParabolicMinimum, ExactParabola)
+{
+    // y = (x - 3)^2 + 1 sampled at 1, 2, 4, 6.
+    std::vector<double> xs{1, 2, 4, 6};
+    std::vector<double> ys;
+    for (double x : xs)
+        ys.push_back((x - 3) * (x - 3) + 1);
+    EXPECT_NEAR(parabolicMinimum(xs, ys), 3.0, 1e-9);
+}
+
+TEST(ParabolicMinimum, EdgeMinimumReturnsSample)
+{
+    std::vector<double> xs{1, 2, 3};
+    std::vector<double> ys{1, 2, 3}; // minimum at the left edge
+    EXPECT_DOUBLE_EQ(parabolicMinimum(xs, ys), 1.0);
+}
+
+TEST(InverseInterpolate, RecoverForwardValue)
+{
+    std::vector<double> xs{20, 40, 60, 80};
+    std::vector<double> ys{2.0, 3.0, 4.5, 7.0};
+    for (double x : {25.0, 40.0, 55.0, 70.0}) {
+        double y = interpolate(xs, ys, x);
+        EXPECT_NEAR(inverseInterpolate(xs, ys, y), x, 1e-9);
+    }
+}
+
+TEST(InverseInterpolate, DecreasingSeries)
+{
+    std::vector<double> xs{1, 2, 3};
+    std::vector<double> ys{30, 20, 10};
+    EXPECT_NEAR(inverseInterpolate(xs, ys, 25.0), 1.5, 1e-12);
+}
+
+/** Property sweep: inverse of interpolate over random monotone data. */
+class InverseRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(InverseRoundTrip, RoundTrips)
+{
+    int seed = GetParam();
+    std::vector<double> xs, ys;
+    double x = 0, y = 0;
+    for (int i = 0; i < 8; ++i) {
+        x += 1.0 + (seed * 7 + i * 3) % 5;
+        y += 0.5 + (seed * 13 + i * 11) % 7;
+        xs.push_back(x);
+        ys.push_back(y);
+    }
+    for (double t = xs.front(); t <= xs.back(); t += 0.7) {
+        double v = interpolate(xs, ys, t);
+        EXPECT_NEAR(inverseInterpolate(xs, ys, v), t, 1e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InverseRoundTrip,
+                         ::testing::Range(1, 13));
+
+} // namespace
+} // namespace cachetime

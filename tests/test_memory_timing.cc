@@ -1,0 +1,102 @@
+/**
+ * @file
+ * MemoryTiming must reproduce Table 2 of the paper exactly, plus
+ * unit coverage of the transfer-rate arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/memory_timing.hh"
+
+namespace cachetime
+{
+namespace
+{
+
+TEST(TransferRate, OneWordPerCycle)
+{
+    TransferRate rate{1, 1};
+    EXPECT_EQ(rate.transferCycles(0), 0);
+    EXPECT_EQ(rate.transferCycles(1), 1);
+    EXPECT_EQ(rate.transferCycles(4), 4);
+}
+
+TEST(TransferRate, FourWordsPerCycleHasMinimumOneCycle)
+{
+    TransferRate rate{4, 1};
+    EXPECT_EQ(rate.transferCycles(1), 1); // min one cycle
+    EXPECT_EQ(rate.transferCycles(4), 1);
+    EXPECT_EQ(rate.transferCycles(5), 2);
+    EXPECT_EQ(rate.transferCycles(16), 4);
+}
+
+TEST(TransferRate, OneWordPerFourCycles)
+{
+    TransferRate rate{1, 4};
+    EXPECT_EQ(rate.transferCycles(1), 4);
+    EXPECT_EQ(rate.transferCycles(4), 16);
+    EXPECT_DOUBLE_EQ(rate.wordsPerCycle(), 0.25);
+}
+
+/** The paper's Table 2, row by row. */
+struct Table2Row
+{
+    double cycleNs;
+    Tick read, write, recovery;
+};
+
+class Table2 : public ::testing::TestWithParam<Table2Row>
+{
+};
+
+TEST_P(Table2, MatchesPaper)
+{
+    const Table2Row &row = GetParam();
+    MainMemoryConfig config; // 180/100/120ns, 1 addr cycle, 1W/cyc
+    MemoryTiming timing(config, row.cycleNs);
+    EXPECT_EQ(timing.readTimeCycles(4), row.read);
+    EXPECT_EQ(timing.writeTimeCycles(4), row.write);
+    EXPECT_EQ(timing.recoveryCycles(), row.recovery);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, Table2,
+    ::testing::Values(Table2Row{20, 14, 10, 6}, Table2Row{24, 13, 10, 5},
+                      Table2Row{28, 12, 9, 5}, Table2Row{32, 11, 9, 4},
+                      Table2Row{36, 10, 8, 4}, Table2Row{40, 10, 8, 3},
+                      Table2Row{48, 9, 8, 3}, Table2Row{52, 9, 7, 3},
+                      Table2Row{60, 8, 7, 2}));
+
+TEST(MemoryTiming, DefaultLatencyAtFortyNs)
+{
+    // "the latency becomes 1 + ceil(180/40) or 6 cycles"
+    MemoryTiming timing(MainMemoryConfig{}, 40.0);
+    EXPECT_EQ(timing.readLatencyCycles(), 6);
+}
+
+TEST(MemoryTiming, ExactMultipleDoesNotRoundUp)
+{
+    MainMemoryConfig config;
+    config.readLatencyNs = 160.0;
+    MemoryTiming timing(config, 40.0);
+    EXPECT_EQ(timing.readLatencyCycles(), 1 + 4);
+}
+
+TEST(MemoryTiming, PenaltyGrowsAsCycleShrinks)
+{
+    // The Section 6 premise: the miss penalty in cycles rises as the
+    // cycle time falls.
+    MainMemoryConfig config;
+    Tick prev = 0;
+    for (double t : {80.0, 60.0, 40.0, 30.0, 20.0, 10.0}) {
+        MemoryTiming timing(config, t);
+        Tick penalty = timing.readTimeCycles(4);
+        if (prev != 0) {
+            EXPECT_GE(penalty, prev);
+        }
+        prev = penalty;
+    }
+}
+
+} // namespace
+} // namespace cachetime

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for hierarchies deeper than two levels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/system.hh"
+
+namespace cachetime
+{
+namespace
+{
+
+SystemConfig::MidLevelConfig
+makeLevel(std::uint64_t size_words, unsigned block_words,
+          unsigned hit_cycles)
+{
+    SystemConfig::MidLevelConfig level;
+    level.cache.sizeWords = size_words;
+    level.cache.blockWords = block_words;
+    level.cache.assoc = 1;
+    level.cache.allocPolicy = AllocPolicy::WriteAllocate;
+    level.timing.hitCycles = hit_cycles;
+    level.buffer.matchGranularityWords = block_words;
+    return level;
+}
+
+TEST(MultiLevel, ResolvedMidLevelsSugar)
+{
+    SystemConfig config = SystemConfig::paperDefault();
+    EXPECT_TRUE(config.resolvedMidLevels().empty());
+    config.hasL2 = true;
+    ASSERT_EQ(config.resolvedMidLevels().size(), 1u);
+    config.midLevels.push_back(makeLevel(1024, 16, 3));
+    config.midLevels.push_back(makeLevel(8192, 32, 8));
+    // Explicit midLevels win over the sugar.
+    ASSERT_EQ(config.resolvedMidLevels().size(), 2u);
+}
+
+TEST(MultiLevel, ThreeLevelHierarchyRuns)
+{
+    SystemConfig config = SystemConfig::paperDefault();
+    config.setL1SizeWordsEach(64);
+    config.midLevels.push_back(makeLevel(1024, 16, 3));   // L2
+    config.midLevels.push_back(makeLevel(16384, 32, 8));  // L3
+
+    // A footprint that misses L1 and L2 but lives in L3.
+    Trace trace("t", {}, 0);
+    for (int pass = 0; pass < 3; ++pass)
+        for (Addr a = 0; a < 8192; a += 16)
+            trace.push({a, RefKind::Load, 0});
+
+    SimResult r = System(config).run(trace);
+    ASSERT_EQ(r.midLevels.size(), 2u);
+    // L2 sees every L1 miss; L3 sees every L2 miss.
+    EXPECT_GT(r.midLevels[0].readAccesses, 0u);
+    EXPECT_EQ(r.midLevels[1].readAccesses,
+              r.midLevels[0].readMisses);
+    // After the first pass, L3 hits: its miss count stays at the
+    // cold fill count.
+    EXPECT_EQ(r.midLevels[1].readMisses, 8192u / 32);
+    // Sugar field mirrors the first level.
+    EXPECT_EQ(r.l2.readAccesses, r.midLevels[0].readAccesses);
+}
+
+TEST(MultiLevel, ThirdLevelImprovesOverTwo)
+{
+    // Working set larger than L2 but within L3, on a fast clock
+    // where the quantized memory penalty is large (Section 6's
+    // regime: an L3 only pays once the level below it is slow in
+    // cycles).
+    Trace trace("t", {}, 0);
+    for (int pass = 0; pass < 4; ++pass)
+        for (Addr a = 0; a < 16384; a += 8)
+            trace.push({a, RefKind::Load, 0});
+
+    SystemConfig two = SystemConfig::paperDefault();
+    two.cycleNs = 10.0;
+    two.setL1SizeWordsEach(64);
+    two.midLevels.push_back(makeLevel(1024, 16, 3));
+
+    SystemConfig three = two;
+    three.midLevels.push_back(makeLevel(32768, 32, 8));
+
+    SimResult r2 = System(two).run(trace);
+    SimResult r3 = System(three).run(trace);
+    EXPECT_LT(r3.cycles, r2.cycles);
+}
+
+TEST(MultiLevel, ValidatesBlockSizeOrdering)
+{
+    SystemConfig config = SystemConfig::paperDefault();
+    config.midLevels.push_back(makeLevel(1024, 16, 3));
+    config.midLevels.push_back(makeLevel(8192, 8, 8)); // shrinks!
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "block size");
+}
+
+} // namespace
+} // namespace cachetime

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for sequential (one-block-lookahead) prefetching.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "sim/system.hh"
+
+namespace cachetime
+{
+namespace
+{
+
+CacheConfig
+smallConfig()
+{
+    CacheConfig config;
+    config.sizeWords = 64;
+    config.blockWords = 4;
+    config.assoc = 1;
+    config.replPolicy = ReplPolicy::LRU;
+    return config;
+}
+
+TEST(Prefetch, FillsAbsentBlockWithoutDemandStats)
+{
+    Cache cache(smallConfig());
+    AccessOutcome outcome = cache.prefetch(100, 0);
+    EXPECT_TRUE(outcome.filled);
+    EXPECT_EQ(cache.stats().prefetches, 1u);
+    EXPECT_EQ(cache.stats().readAccesses, 0u);
+    EXPECT_EQ(cache.stats().readMisses, 0u);
+    EXPECT_TRUE(cache.probe(100, 1, 0));
+    EXPECT_TRUE(cache.prefetchTagged(100, 0));
+}
+
+TEST(Prefetch, ResidentBlockIsNoOp)
+{
+    Cache cache(smallConfig());
+    cache.read(100, 1, 0);
+    AccessOutcome outcome = cache.prefetch(100, 0);
+    EXPECT_FALSE(outcome.filled);
+    EXPECT_EQ(cache.stats().prefetches, 0u);
+}
+
+TEST(Prefetch, DemandHitConsumesTag)
+{
+    Cache cache(smallConfig());
+    cache.prefetch(100, 0);
+    AccessOutcome hit = cache.read(101, 1, 0);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_TRUE(hit.hitPrefetched);
+    EXPECT_EQ(cache.stats().prefetchHits, 1u);
+    EXPECT_FALSE(cache.prefetchTagged(100, 0));
+    // Second hit is an ordinary one.
+    EXPECT_FALSE(cache.read(101, 1, 0).hitPrefetched);
+}
+
+TEST(Prefetch, OnMissSystemPrefetchesNextBlock)
+{
+    SystemConfig config = SystemConfig::paperDefault();
+    config.setL1SizeWordsEach(64);
+    config.dcache.prefetchPolicy = PrefetchPolicy::OnMiss;
+
+    // A miss at block 0 should pull block 1 behind it.
+    Trace trace("t",
+                {
+                    {0, RefKind::Load, 0},
+                    {4, RefKind::Load, 0}, // next block: prefetched
+                });
+    SimResult r = System(config).run(trace);
+    EXPECT_EQ(r.dcache.readMisses, 1u);
+    EXPECT_EQ(r.dcache.prefetches, 1u);
+    EXPECT_EQ(r.dcache.prefetchHits, 1u);
+}
+
+TEST(Prefetch, SequentialStreamMissesMuchLess)
+{
+    Trace trace("t", {}, 0);
+    for (Addr a = 0; a < 2048; ++a)
+        trace.push({a, RefKind::Load, 0});
+
+    SystemConfig plain = SystemConfig::paperDefault();
+    plain.setL1SizeWordsEach(64);
+    SystemConfig pf = plain;
+    pf.dcache.prefetchPolicy = PrefetchPolicy::Tagged;
+
+    SimResult rp = System(plain).run(trace);
+    SimResult rf = System(pf).run(trace);
+    // Tagged lookahead hides most sequential misses.  Execution
+    // time improves far less: the prefetch occupies the cache fill
+    // port and the memory, so on a one-word-per-cycle bus the
+    // latency saved is largely paid back as contention (the classic
+    // argument for stream buffers).
+    EXPECT_LT(rf.dcache.readMisses, rp.dcache.readMisses / 2);
+    EXPECT_LT(rf.cycles,
+              rp.cycles + rp.cycles / 100); // within 1%
+}
+
+TEST(Prefetch, TimingChargesThePortNotTheCpu)
+{
+    SystemConfig config = SystemConfig::paperDefault();
+    config.setL1SizeWordsEach(64);
+    config.dcache.prefetchPolicy = PrefetchPolicy::OnMiss;
+    // Single miss: CPU completion is the demand fill; the prefetch
+    // extends only the port/bus occupancy.
+    Trace trace("t", {{0, RefKind::Load, 0}});
+    SimResult with_pf = System(config).run(trace);
+    SystemConfig no_pf = config;
+    no_pf.dcache.prefetchPolicy = PrefetchPolicy::None;
+    SimResult without = System(no_pf).run(trace);
+    EXPECT_EQ(with_pf.cycles, without.cycles);
+    EXPECT_EQ(with_pf.dcache.prefetches, 1u);
+}
+
+} // namespace
+} // namespace cachetime

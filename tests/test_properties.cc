@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Property-based tests: invariants that must hold across sweeps of
+ * randomized traces and configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "sim/system.hh"
+#include "util/rng.hh"
+
+namespace cachetime
+{
+namespace
+{
+
+/** A random but locality-bearing trace, deterministic per seed. */
+Trace
+randomTrace(std::uint64_t seed, std::size_t length = 4000)
+{
+    Rng rng(seed);
+    Trace trace;
+    Addr hot = 0;
+    for (std::size_t i = 0; i < length; ++i) {
+        if (rng.chance(0.1))
+            hot = rng.below(4096);
+        Addr addr = hot + rng.below(32);
+        RefKind kind;
+        double p = rng.uniform();
+        if (p < 0.55)
+            kind = RefKind::IFetch;
+        else if (p < 0.85)
+            kind = RefKind::Load;
+        else
+            kind = RefKind::Store;
+        trace.push({addr, kind, static_cast<Pid>(rng.below(3))});
+    }
+    return trace;
+}
+
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SeededProperty, TimeAdvancesAndAccountingBalances)
+{
+    SystemConfig config = SystemConfig::paperDefault();
+    config.setL1SizeWordsEach(256);
+    Trace trace = randomTrace(GetParam());
+    SimResult r = System(config).run(trace);
+
+    EXPECT_EQ(r.refs, trace.size());
+    EXPECT_GE(static_cast<std::size_t>(r.cycles), r.groups);
+    EXPECT_EQ(r.icache.readAccesses + r.dcache.readAccesses,
+              r.readRefs);
+    EXPECT_EQ(r.dcache.writeAccesses, r.writeRefs);
+    EXPECT_LE(r.icache.readMisses, r.icache.readAccesses);
+    EXPECT_LE(r.dcache.readMisses, r.dcache.readAccesses);
+    // Write-back invariant: dirty words never exceed words of dirty
+    // blocks.
+    EXPECT_LE(r.dcache.dirtyWordsReplaced,
+              r.dcache.dirtyBlocksReplaced *
+                  config.dcache.blockWords);
+}
+
+TEST_P(SeededProperty, MissesAreTimingInvariant)
+{
+    Trace trace = randomTrace(GetParam() ^ 0xabc);
+    SystemConfig a = SystemConfig::paperDefault();
+    a.setL1SizeWordsEach(512);
+    SystemConfig b = a;
+    b.cycleNs = 23.0;
+    b.memory.readLatencyNs = 400.0;
+    SimResult ra = System(a).run(trace);
+    SimResult rb = System(b).run(trace);
+    EXPECT_EQ(ra.dcache.readMisses, rb.dcache.readMisses);
+    EXPECT_EQ(ra.icache.readMisses, rb.icache.readMisses);
+    EXPECT_EQ(ra.dcache.dirtyBlocksReplaced,
+              rb.dcache.dirtyBlocksReplaced);
+}
+
+TEST_P(SeededProperty, FullyAssociativeLruInclusionBySize)
+{
+    // The LRU stack property, end to end: a fully-associative LRU
+    // cache of twice the size never misses more.  Write-allocate
+    // keeps the touch sequences of both sizes identical, which the
+    // inclusion argument requires.
+    Trace trace = randomTrace(GetParam() ^ 0xdef);
+    auto run = [&](std::uint64_t words) {
+        SystemConfig config = SystemConfig::paperDefault();
+        config.setL1SizeWordsEach(words);
+        config.setL1Assoc(static_cast<unsigned>(words / 4));
+        config.icache.replPolicy = ReplPolicy::LRU;
+        config.dcache.replPolicy = ReplPolicy::LRU;
+        config.icache.allocPolicy = AllocPolicy::WriteAllocate;
+        config.dcache.allocPolicy = AllocPolicy::WriteAllocate;
+        SimResult r = System(config).run(trace);
+        return r.icache.readMisses + r.dcache.readMisses +
+               r.icache.writeMisses + r.dcache.writeMisses;
+    };
+    EXPECT_LE(run(256), run(128));
+}
+
+TEST_P(SeededProperty, WriteThroughTrafficAtLeastStoreCount)
+{
+    Trace trace = randomTrace(GetParam() ^ 0x123);
+    SystemConfig config = SystemConfig::paperDefault();
+    config.setL1SizeWordsEach(256);
+    config.dcache.writePolicy = WritePolicy::WriteThrough;
+    SimResult r = System(config).run(trace);
+    EXPECT_GE(r.dcache.wordsWrittenThrough, r.writeRefs);
+    EXPECT_EQ(r.dcache.dirtyBlocksReplaced, 0u);
+}
+
+TEST_P(SeededProperty, EarlyContinuationNeverSlower)
+{
+    Trace trace = randomTrace(GetParam() ^ 0x456);
+    SystemConfig plain = SystemConfig::paperDefault();
+    plain.setL1SizeWordsEach(256);
+    SystemConfig early = plain;
+    early.cpu.earlyContinuation = true;
+    early.memory.loadForwarding = true;
+    early.memory.streaming = true;
+    SimResult rp = System(plain).run(trace);
+    SimResult re = System(early).run(trace);
+    EXPECT_LE(re.cycles, rp.cycles);
+}
+
+TEST_P(SeededProperty, DeeperWriteBufferNeverMoreFullStalls)
+{
+    Trace trace = randomTrace(GetParam() ^ 0x789);
+    auto stalls = [&](unsigned depth) {
+        SystemConfig config = SystemConfig::paperDefault();
+        config.setL1SizeWordsEach(128);
+        config.l1Buffer.depth = depth;
+        SimResult r = System(config).run(trace);
+        return r.l1Buffer.fullStalls;
+    };
+    EXPECT_LE(stalls(8), stalls(1));
+}
+
+TEST_P(SeededProperty, SlowerMemoryNeverFasterExecution)
+{
+    Trace trace = randomTrace(GetParam() ^ 0x9a9);
+    auto cycles = [&](double latency) {
+        SystemConfig config = SystemConfig::paperDefault();
+        config.setL1SizeWordsEach(128);
+        config.memory.readLatencyNs = latency;
+        SimResult r = System(config).run(trace);
+        return r.cycles;
+    };
+    EXPECT_LE(cycles(180.0), cycles(420.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+} // namespace
+} // namespace cachetime

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for the gnuplot report writer.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/report.hh"
+
+namespace cachetime
+{
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST(Report, WritesDataAndScript)
+{
+    Report report("ct_test_fig", "A test figure");
+    report.axes("size", "miss ratio");
+    report.logX();
+    report.add({"direct mapped", {1, 2, 4}, {0.3, 0.2, 0.1}});
+    report.add({"2-way", {1, 2, 4}, {0.25, 0.15, 0.08}});
+
+    std::string gp = report.write("/tmp");
+    EXPECT_EQ(gp, "/tmp/ct_test_fig.gp");
+
+    std::string dat = slurp("/tmp/ct_test_fig.dat");
+    EXPECT_NE(dat.find("# direct mapped"), std::string::npos);
+    EXPECT_NE(dat.find("4 0.1"), std::string::npos);
+    EXPECT_NE(dat.find("# 2-way"), std::string::npos);
+
+    std::string script = slurp("/tmp/ct_test_fig.gp");
+    EXPECT_NE(script.find("set logscale x 2"), std::string::npos);
+    EXPECT_NE(script.find("index 1"), std::string::npos);
+    EXPECT_NE(script.find("A test figure"), std::string::npos);
+
+    std::remove("/tmp/ct_test_fig.dat");
+    std::remove("/tmp/ct_test_fig.gp");
+}
+
+TEST(Report, SkipsNaNPoints)
+{
+    Report report("ct_test_nan", "nan");
+    report.add({"s", {1, 2, 3}, {0.1, std::nan(""), 0.3}});
+    report.write("/tmp");
+    std::string dat = slurp("/tmp/ct_test_nan.dat");
+    EXPECT_EQ(dat.find("nan"), std::string::npos);
+    EXPECT_NE(dat.find("3 0.3"), std::string::npos);
+    std::remove("/tmp/ct_test_nan.dat");
+    std::remove("/tmp/ct_test_nan.gp");
+}
+
+TEST(Report, SeriesCount)
+{
+    Report report("x", "x");
+    EXPECT_EQ(report.seriesCount(), 0u);
+    report.add({"a", {1}, {1}});
+    EXPECT_EQ(report.seriesCount(), 1u);
+}
+
+} // namespace
+} // namespace cachetime

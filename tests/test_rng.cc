@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit and statistical tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hh"
+
+namespace cachetime
+{
+namespace
+{
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowIsInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    Rng rng(11);
+    bool seen[8] = {};
+    for (int i = 0; i < 1000; ++i)
+        seen[rng.below(8)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(13);
+    bool lo = false, hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        lo |= v == -3;
+        hi |= v == 3;
+    }
+    EXPECT_TRUE(lo);
+    EXPECT_TRUE(hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(17);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceEdgeCases)
+{
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceFrequency)
+{
+    Rng rng(23);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng rng(29);
+    double p = 1.0 / 16.0;
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.geometric(p));
+    // Mean of the geometric (failures before success) is (1-p)/p = 15.
+    EXPECT_NEAR(sum / n, 15.0, 1.0);
+}
+
+TEST(Rng, GeometricPOneIsZero)
+{
+    Rng rng(31);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Rng, ZipfSkewsSmall)
+{
+    Rng rng(37);
+    const std::uint64_t n = 1000;
+    int top_decile = 0;
+    const int samples = 20000;
+    for (int i = 0; i < samples; ++i) {
+        auto r = rng.zipf(n, 0.7);
+        ASSERT_LT(r, n);
+        top_decile += r < n / 10;
+    }
+    // With theta 0.7 the top 10% of ranks get ~0.1^0.3 = 50%.
+    EXPECT_GT(top_decile, samples / 3);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(41);
+    double sum = 0, sq = 0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i) {
+        double z = rng.normal();
+        sum += z;
+        sq += z * z;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, LognormalBelowClampsAndCenters)
+{
+    Rng rng(43);
+    const std::uint64_t n = 10000;
+    int below_median = 0;
+    const int samples = 20000;
+    for (int i = 0; i < samples; ++i) {
+        auto v = rng.lognormalBelow(n, 32.0, 2.0);
+        ASSERT_LT(v, n);
+        below_median += v < 32;
+    }
+    // About half the mass sits below the median.
+    EXPECT_NEAR(static_cast<double>(below_median) / samples, 0.5,
+                0.05);
+}
+
+TEST(Rng, SplitStreamsAreIndependent)
+{
+    Rng parent(47);
+    Rng child = parent.split();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += parent.next() == child.next();
+    EXPECT_LT(same, 2);
+}
+
+} // namespace
+} // namespace cachetime

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for time sampling of traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/sampling.hh"
+
+namespace cachetime
+{
+namespace
+{
+
+Trace
+countingTrace(std::size_t n, std::size_t warm)
+{
+    Trace trace("t", {}, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        trace.push({static_cast<Addr>(i), RefKind::Load, 0});
+    trace.setWarmStart(warm);
+    return trace;
+}
+
+TEST(Sampling, KeepsPrefixAndWindows)
+{
+    Trace trace = countingTrace(1000, 100);
+    SamplingConfig config;
+    config.periodRefs = 300;
+    config.windowRefs = 50;
+    config.windowWarmupRefs = 10;
+    Trace sampled = sampleTime(trace, config);
+
+    // Prefix (100) + windows at 100, 400, 700 (50 each).
+    ASSERT_EQ(sampled.size(), 100u + 3 * 50u);
+    // Prefix preserved verbatim.
+    for (std::size_t i = 0; i < 100; ++i)
+        EXPECT_EQ(sampled.refs()[i].addr, i);
+    // First window starts at the live boundary.
+    EXPECT_EQ(sampled.refs()[100].addr, 100u);
+    EXPECT_EQ(sampled.refs()[150].addr, 400u);
+    EXPECT_EQ(sampled.refs()[200].addr, 700u);
+    // Warm boundary covers prefix + first window warm-up.
+    EXPECT_EQ(sampled.warmStart(), 110u);
+    EXPECT_EQ(sampled.name(), "t.sampled");
+}
+
+TEST(Sampling, LastPartialWindowKept)
+{
+    Trace trace = countingTrace(130, 0);
+    SamplingConfig config;
+    config.periodRefs = 100;
+    config.windowRefs = 50;
+    config.windowWarmupRefs = 5;
+    Trace sampled = sampleTime(trace, config);
+    // Window at 0 (50 refs) and partial window at 100 (30 refs).
+    EXPECT_EQ(sampled.size(), 80u);
+}
+
+TEST(Sampling, FractionEstimate)
+{
+    Trace trace = countingTrace(100'000, 0);
+    SamplingConfig config;
+    config.periodRefs = 10'000;
+    config.windowRefs = 1'000;
+    EXPECT_NEAR(samplingFraction(trace, config), 0.1, 1e-9);
+    config.windowRefs = 10'000;
+    EXPECT_DOUBLE_EQ(samplingFraction(trace, config), 1.0);
+}
+
+TEST(Sampling, FullWindowEqualsOriginal)
+{
+    Trace trace = countingTrace(500, 50);
+    SamplingConfig config;
+    config.periodRefs = 1000;
+    config.windowRefs = 1000;
+    config.windowWarmupRefs = 0;
+    Trace sampled = sampleTime(trace, config);
+    ASSERT_EQ(sampled.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(sampled.refs()[i], trace.refs()[i]);
+}
+
+} // namespace
+} // namespace cachetime

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for SimResult's derived metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/sim_result.hh"
+
+namespace cachetime
+{
+namespace
+{
+
+SimResult
+sample()
+{
+    SimResult r;
+    r.cycleNs = 40.0;
+    r.refs = 1000;
+    r.readRefs = 800;
+    r.writeRefs = 200;
+    r.cycles = 2500;
+    r.icache.readAccesses = 500;
+    r.icache.readMisses = 10;
+    r.icache.wordsFetched = 40;
+    r.dcache.readAccesses = 300;
+    r.dcache.readMisses = 30;
+    r.dcache.wordsFetched = 120;
+    r.dcache.writeAccesses = 200;
+    r.dcache.writeMisses = 50;
+    r.dcache.dirtyBlocksReplaced = 20;
+    r.dcache.dirtyWordsReplaced = 35;
+    r.dcache.wordsWrittenThrough = 50;
+    return r;
+}
+
+TEST(SimResult, CyclesAndTime)
+{
+    SimResult r = sample();
+    EXPECT_DOUBLE_EQ(r.cyclesPerRef(), 2.5);
+    EXPECT_DOUBLE_EQ(r.execNsPerRef(), 100.0);
+    EXPECT_DOUBLE_EQ(r.totalExecNs(), 100000.0);
+}
+
+TEST(SimResult, MissRatios)
+{
+    SimResult r = sample();
+    EXPECT_DOUBLE_EQ(r.readMissRatio(), 40.0 / 800.0);
+    EXPECT_DOUBLE_EQ(r.ifetchMissRatio(), 10.0 / 500.0);
+    EXPECT_DOUBLE_EQ(r.loadMissRatio(), 30.0 / 300.0);
+}
+
+TEST(SimResult, TrafficRatios)
+{
+    SimResult r = sample();
+    EXPECT_DOUBLE_EQ(r.readTrafficRatio(), 160.0 / 800.0);
+    // Whole-block accounting: 20 dirty blocks x 4 words + 50
+    // written through, per reference.
+    EXPECT_DOUBLE_EQ(r.writeTrafficBlockRatio(4),
+                     (20.0 * 4 + 50.0) / 1000.0);
+    // Dirty-word accounting.
+    EXPECT_DOUBLE_EQ(r.writeTrafficWordRatio(),
+                     (35.0 + 50.0) / 1000.0);
+}
+
+TEST(SimResult, BlockCurveDominatesWordCurve)
+{
+    SimResult r = sample();
+    EXPECT_GE(r.writeTrafficBlockRatio(4),
+              r.writeTrafficWordRatio());
+}
+
+TEST(SimResult, EmptyResultIsAllZero)
+{
+    SimResult r;
+    EXPECT_DOUBLE_EQ(r.cyclesPerRef(), 0.0);
+    EXPECT_DOUBLE_EQ(r.readMissRatio(), 0.0);
+    EXPECT_DOUBLE_EQ(r.readTrafficRatio(), 0.0);
+    EXPECT_DOUBLE_EQ(r.writeTrafficWordRatio(), 0.0);
+}
+
+} // namespace
+} // namespace cachetime

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Unit tests for the table/CSV renderer.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/table.hh"
+
+namespace cachetime
+{
+namespace
+{
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter table({"a", "long header"});
+    table.addRow({"xxxxx", "1"});
+    std::ostringstream os;
+    table.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("a      long header"), std::string::npos);
+    EXPECT_NE(out.find("xxxxx  1"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvOutput)
+{
+    TablePrinter table({"x", "y"});
+    table.addRow({"1", "2"});
+    table.addRow({"3", "4"});
+    std::ostringstream os;
+    table.printCsv(os);
+    EXPECT_EQ(os.str(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(TablePrinter, RowCount)
+{
+    TablePrinter table({"x"});
+    EXPECT_EQ(table.rows(), 0u);
+    table.addRow({"1"});
+    table.addRow({"2"});
+    EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TablePrinter, FmtDecimals)
+{
+    EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::fmt(2.0, 0), "2");
+}
+
+TEST(TablePrinter, FmtSizeWords)
+{
+    EXPECT_EQ(TablePrinter::fmtSizeWords(1024), "4KB");
+    EXPECT_EQ(TablePrinter::fmtSizeWords(16 * 1024), "64KB");
+    EXPECT_EQ(TablePrinter::fmtSizeWords(1024 * 1024), "4MB");
+    EXPECT_EQ(TablePrinter::fmtSizeWords(3), "12B");
+}
+
+} // namespace
+} // namespace cachetime

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for the trace container and trace statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/trace.hh"
+
+namespace cachetime
+{
+namespace
+{
+
+TEST(RefKinds, Classification)
+{
+    EXPECT_TRUE(isRead(RefKind::IFetch));
+    EXPECT_TRUE(isRead(RefKind::Load));
+    EXPECT_FALSE(isRead(RefKind::Store));
+    EXPECT_FALSE(isData(RefKind::IFetch));
+    EXPECT_TRUE(isData(RefKind::Load));
+    EXPECT_TRUE(isData(RefKind::Store));
+}
+
+TEST(RefKinds, Names)
+{
+    EXPECT_STREQ(refKindName(RefKind::IFetch), "I");
+    EXPECT_STREQ(refKindName(RefKind::Load), "L");
+    EXPECT_STREQ(refKindName(RefKind::Store), "S");
+}
+
+TEST(Trace, WarmStartClampedToLength)
+{
+    Trace trace("t", {{1, RefKind::Load, 0}}, 100);
+    EXPECT_EQ(trace.warmStart(), 1u);
+}
+
+TEST(Trace, PushAndSize)
+{
+    Trace trace;
+    EXPECT_TRUE(trace.empty());
+    trace.push({1, RefKind::Load, 0});
+    trace.push({2, RefKind::Store, 0});
+    EXPECT_EQ(trace.size(), 2u);
+    EXPECT_FALSE(trace.empty());
+}
+
+TEST(TraceStats, CountsKinds)
+{
+    Trace trace("t",
+                {
+                    {1, RefKind::IFetch, 0},
+                    {2, RefKind::Load, 0},
+                    {2, RefKind::Store, 0},
+                    {3, RefKind::Load, 1},
+                });
+    TraceStats stats = computeStats(trace);
+    EXPECT_EQ(stats.total, 4u);
+    EXPECT_EQ(stats.ifetches, 1u);
+    EXPECT_EQ(stats.loads, 2u);
+    EXPECT_EQ(stats.stores, 1u);
+    EXPECT_EQ(stats.processes, 2u);
+    EXPECT_DOUBLE_EQ(stats.dataFraction(), 0.75);
+}
+
+TEST(TraceStats, UniqueAddressesArePerPid)
+{
+    // The same word touched by two processes counts twice: virtual
+    // caches tag with the pid.
+    Trace trace("t",
+                {
+                    {5, RefKind::Load, 0},
+                    {5, RefKind::Load, 1},
+                    {5, RefKind::Load, 0},
+                });
+    TraceStats stats = computeStats(trace);
+    EXPECT_EQ(stats.uniqueAddrs, 2u);
+}
+
+TEST(TraceStats, EmptyTrace)
+{
+    TraceStats stats = computeStats(Trace{});
+    EXPECT_EQ(stats.total, 0u);
+    EXPECT_DOUBLE_EQ(stats.dataFraction(), 0.0);
+}
+
+} // namespace
+} // namespace cachetime

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Round-trip tests for trace serialization.
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_io.hh"
+
+namespace cachetime
+{
+namespace
+{
+
+Trace
+sampleTrace()
+{
+    return Trace("sample",
+                 {
+                     {0x1000, RefKind::IFetch, 1},
+                     {0x2000, RefKind::Load, 1},
+                     {0x2001, RefKind::Store, 2},
+                     {0xdeadbeef, RefKind::Load, 3},
+                 },
+                 2);
+}
+
+TEST(TraceIo, TextRoundTrip)
+{
+    Trace original = sampleTrace();
+    std::stringstream buffer;
+    writeText(original, buffer);
+    Trace copy = readText(buffer, "sample");
+    ASSERT_EQ(copy.size(), original.size());
+    EXPECT_EQ(copy.warmStart(), original.warmStart());
+    for (std::size_t i = 0; i < original.size(); ++i)
+        EXPECT_EQ(copy.refs()[i], original.refs()[i]);
+}
+
+TEST(TraceIo, BinaryRoundTrip)
+{
+    Trace original = sampleTrace();
+    std::stringstream buffer;
+    writeBinary(original, buffer);
+    Trace copy = readBinary(buffer, "sample");
+    ASSERT_EQ(copy.size(), original.size());
+    EXPECT_EQ(copy.warmStart(), original.warmStart());
+    for (std::size_t i = 0; i < original.size(); ++i)
+        EXPECT_EQ(copy.refs()[i], original.refs()[i]);
+}
+
+TEST(TraceIo, TextSkipsCommentsAndBlanks)
+{
+    std::stringstream buffer;
+    buffer << "# a comment\n\nL 10 1\n# another\nS ff 2\n";
+    Trace trace = readText(buffer);
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace.refs()[0].addr, 0x10u);
+    EXPECT_EQ(trace.refs()[0].kind, RefKind::Load);
+    EXPECT_EQ(trace.refs()[1].addr, 0xffu);
+    EXPECT_EQ(trace.refs()[1].pid, 2u);
+}
+
+TEST(TraceIo, TextWarmStartDirective)
+{
+    std::stringstream buffer;
+    buffer << "#warmstart 1\nL 1 0\nL 2 0\n";
+    Trace trace = readText(buffer);
+    EXPECT_EQ(trace.warmStart(), 1u);
+}
+
+TEST(TraceIo, FileRoundTripBothFormats)
+{
+    Trace original = sampleTrace();
+    for (bool binary : {false, true}) {
+        std::string path = std::string("/tmp/cachetime_io_test_") +
+                           (binary ? "bin" : "txt") + ".trace";
+        saveFile(original, path, binary);
+        Trace copy = loadFile(path);
+        ASSERT_EQ(copy.size(), original.size());
+        for (std::size_t i = 0; i < original.size(); ++i)
+            EXPECT_EQ(copy.refs()[i], original.refs()[i]);
+        std::remove(path.c_str());
+    }
+}
+
+TEST(TraceIo, DineroRoundTrip)
+{
+    // Pids are dropped by the format, so compare against pid 0.
+    Trace original("d",
+                   {
+                       {0x400, RefKind::IFetch, 0},
+                       {0x800, RefKind::Load, 0},
+                       {0x801, RefKind::Store, 0},
+                   });
+    std::stringstream buffer;
+    writeDinero(original, buffer);
+    Trace copy = readDinero(buffer, "d");
+    ASSERT_EQ(copy.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i)
+        EXPECT_EQ(copy.refs()[i], original.refs()[i]);
+}
+
+TEST(TraceIo, DineroParsesClassicFormat)
+{
+    std::stringstream buffer;
+    // Byte addresses; label 0 read, 1 write, 2 ifetch; label 3
+    // (escape) ignored.
+    buffer << "2 1000\n0 2000\n1 2004\n3 0\n";
+    Trace trace = readDinero(buffer);
+    ASSERT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace.refs()[0].kind, RefKind::IFetch);
+    EXPECT_EQ(trace.refs()[0].addr, 0x1000u / 4);
+    EXPECT_EQ(trace.refs()[1].kind, RefKind::Load);
+    EXPECT_EQ(trace.refs()[2].kind, RefKind::Store);
+    EXPECT_EQ(trace.refs()[2].addr, 0x2004u / 4);
+}
+
+TEST(TraceIo, DineroByFileExtension)
+{
+    Trace original("d", {{0x10, RefKind::Load, 0}});
+    saveFile(original, "/tmp/cachetime_t.din");
+    Trace copy = loadFile("/tmp/cachetime_t.din");
+    ASSERT_EQ(copy.size(), 1u);
+    EXPECT_EQ(copy.refs()[0].addr, 0x10u);
+    std::remove("/tmp/cachetime_t.din");
+}
+
+TEST(TraceIo, LoadFileDerivesName)
+{
+    Trace original = sampleTrace();
+    saveFile(original, "/tmp/myworkload.trace", true);
+    Trace copy = loadFile("/tmp/myworkload.trace");
+    EXPECT_EQ(copy.name(), "myworkload");
+    std::remove("/tmp/myworkload.trace");
+}
+
+} // namespace
+} // namespace cachetime

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the speed-size tradeoff analysis on synthetic grids
+ * with known structure (no simulation needed), plus the isotonic
+ * smoother.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/tradeoff.hh"
+
+namespace cachetime
+{
+namespace
+{
+
+/**
+ * An analytic grid: exec(i, t) = (base_i + k_i * penalty(t)) * t
+ * with miss cost halving per size step - qualitatively the paper's
+ * design space.
+ */
+SpeedSizeGrid
+syntheticGrid()
+{
+    SpeedSizeGrid grid;
+    grid.sizesWordsEach = {1024, 2048, 4096, 8192};
+    for (double t = 20; t <= 80; t += 10)
+        grid.cycleTimesNs.push_back(t);
+    double k = 0.4;
+    for (std::size_t i = 0; i < grid.sizesWordsEach.size(); ++i) {
+        std::vector<double> exec, cpr;
+        for (double t : grid.cycleTimesNs) {
+            double penalty = 1.0 + 180.0 / t; // cycles
+            double cycles = 1.0 + k * penalty;
+            cpr.push_back(cycles);
+            exec.push_back(cycles * t);
+        }
+        grid.execNsPerRef.push_back(exec);
+        grid.cyclesPerRef.push_back(cpr);
+        k /= 2.0;
+    }
+    return grid;
+}
+
+TEST(Tradeoff, ExecAtInterpolates)
+{
+    SpeedSizeGrid grid = syntheticGrid();
+    double mid = grid.execAt(0, 25.0);
+    EXPECT_GT(mid, grid.execNsPerRef[0][0]);
+    EXPECT_LT(mid, grid.execNsPerRef[0][1]);
+    EXPECT_DOUBLE_EQ(grid.execAt(1, 30.0), grid.execNsPerRef[1][1]);
+}
+
+TEST(Tradeoff, BestExecIsGridMinimum)
+{
+    SpeedSizeGrid grid = syntheticGrid();
+    // Best point: biggest cache, fastest clock.
+    EXPECT_DOUBLE_EQ(grid.bestExecNsPerRef(),
+                     grid.execNsPerRef.back().front());
+}
+
+TEST(Tradeoff, EqualPerformanceLineMonotoneInSize)
+{
+    SpeedSizeGrid grid = syntheticGrid();
+    double level = grid.execAt(0, 40.0);
+    auto line = equalPerformanceLine(grid, level);
+    ASSERT_EQ(line.size(), 4u);
+    EXPECT_NEAR(line[0], 40.0, 1e-6);
+    // Bigger caches afford slower clocks at equal performance.
+    for (std::size_t i = 1; i < line.size(); ++i)
+        EXPECT_GT(line[i], line[i - 1]);
+}
+
+TEST(Tradeoff, UnattainableLevelIsNaN)
+{
+    SpeedSizeGrid grid = syntheticGrid();
+    double level = grid.bestExecNsPerRef() * 0.5;
+    auto line = equalPerformanceLine(grid, level);
+    EXPECT_TRUE(std::isnan(line[0]));
+}
+
+TEST(Tradeoff, SlopePositiveAndShrinkingWithSize)
+{
+    SpeedSizeGrid grid = syntheticGrid();
+    double s0 = slopeNsPerDoubling(grid, 0, 40.0);
+    double s1 = slopeNsPerDoubling(grid, 1, 40.0);
+    double s2 = slopeNsPerDoubling(grid, 2, 40.0);
+    EXPECT_GT(s0, 0.0);
+    EXPECT_GT(s1, 0.0);
+    // Diminishing returns: the miss-cost halving halves the worth.
+    EXPECT_LT(s1, s0);
+    EXPECT_LT(s2, s1);
+}
+
+TEST(Tradeoff, SlopeAccountsForNonPowerOfTwoSteps)
+{
+    SpeedSizeGrid grid = syntheticGrid();
+    // Replace the second size with a 4x step; slope is per doubling.
+    grid.sizesWordsEach = {1024, 4096, 8192, 16384};
+    double s = slopeNsPerDoubling(grid, 0, 40.0);
+    SpeedSizeGrid plain = syntheticGrid();
+    double s2 = slopeNsPerDoubling(plain, 0, 40.0);
+    EXPECT_NEAR(s, s2 / 2.0, 1e-9);
+}
+
+TEST(Isotonic, LeavesMonotoneAlone)
+{
+    std::vector<double> ys{1, 2, 3, 4};
+    EXPECT_EQ(isotonicNonDecreasing(ys), ys);
+}
+
+TEST(Isotonic, PoolsViolators)
+{
+    auto out = isotonicNonDecreasing({1.0, 3.0, 2.0, 4.0});
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_DOUBLE_EQ(out[0], 1.0);
+    EXPECT_DOUBLE_EQ(out[1], 2.5);
+    EXPECT_DOUBLE_EQ(out[2], 2.5);
+    EXPECT_DOUBLE_EQ(out[3], 4.0);
+}
+
+TEST(Isotonic, ResultIsNonDecreasing)
+{
+    auto out = isotonicNonDecreasing({5, 1, 4, 2, 8, 3, 9});
+    for (std::size_t i = 1; i < out.size(); ++i)
+        EXPECT_LE(out[i - 1], out[i]);
+}
+
+TEST(Isotonic, PreservesMean)
+{
+    std::vector<double> ys{5, 1, 4, 2, 8, 3, 9};
+    auto out = isotonicNonDecreasing(ys);
+    double sum_in = 0, sum_out = 0;
+    for (double v : ys)
+        sum_in += v;
+    for (double v : out)
+        sum_out += v;
+    EXPECT_NEAR(sum_in, sum_out, 1e-9);
+}
+
+TEST(Tradeoff, SmoothedGridRemovesQuantizationDips)
+{
+    SpeedSizeGrid grid = syntheticGrid();
+    // Inject a 56ns-style dip.
+    grid.execNsPerRef[0][4] = grid.execNsPerRef[0][3] - 5.0;
+    SpeedSizeGrid smooth = grid.smoothed();
+    for (std::size_t j = 1; j < smooth.cycleTimesNs.size(); ++j)
+        EXPECT_LE(smooth.execNsPerRef[0][j - 1],
+                  smooth.execNsPerRef[0][j]);
+}
+
+} // namespace
+} // namespace cachetime

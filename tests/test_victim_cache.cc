@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the victim cache (organizational swaps + timing).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "sim/system.hh"
+
+namespace cachetime
+{
+namespace
+{
+
+CacheConfig
+withVictims(unsigned entries)
+{
+    CacheConfig config;
+    config.sizeWords = 64; // 16 sets of 4W, direct mapped
+    config.blockWords = 4;
+    config.assoc = 1;
+    config.replPolicy = ReplPolicy::LRU;
+    config.victimEntries = entries;
+    return config;
+}
+
+TEST(VictimCache, ConflictPairPingPongsThroughBuffer)
+{
+    Cache cache(withVictims(2));
+    cache.read(0, 1, 0);   // cold miss, block 0
+    cache.read(64, 1, 0);  // conflict: block 0 parks, block 16 in
+    AccessOutcome back = cache.read(0, 1, 0);
+    EXPECT_FALSE(back.hit);
+    EXPECT_TRUE(back.victimCacheHit);
+    EXPECT_FALSE(back.filled); // no memory fetch for the swap
+    EXPECT_EQ(cache.stats().victimHits, 1u);
+    // And the displaced block is parked again.
+    EXPECT_TRUE(cache.read(64, 1, 0).victimCacheHit);
+}
+
+TEST(VictimCache, DirtyStateSurvivesTheRoundTrip)
+{
+    Cache cache(withVictims(2));
+    cache.read(0, 1, 0);
+    cache.write(1, 1, 0);  // dirty word in block 0
+    cache.read(64, 1, 0);  // block 0 parks dirty
+    cache.read(0, 1, 0);   // swaps back in
+    // Evict it for real now: fill the buffer with other blocks so
+    // the dirty block is cast out.
+    AccessOutcome a = cache.read(128, 1, 0); // parks block 0 again
+    (void)a;
+    AccessOutcome b = cache.read(192, 1, 0); // parks block 32
+    (void)b;
+    // Buffer holds blocks 0(dirty) and 32; next conflict parks
+    // block 48 and casts out the LRU entry (block 0, dirty).
+    AccessOutcome c = cache.read(256, 1, 0);
+    EXPECT_TRUE(c.victimDirty);
+    EXPECT_EQ(c.victimDirtyWords, 1u);
+    EXPECT_EQ(c.victimBlockAddr, 0u);
+    EXPECT_EQ(cache.stats().dirtyBlocksReplaced, 1u);
+}
+
+TEST(VictimCache, WriteMissSwapsAndDirties)
+{
+    Cache cache(withVictims(2)); // no-write-allocate otherwise
+    cache.read(0, 1, 0);
+    cache.read(64, 1, 0); // block 0 parked
+    AccessOutcome w = cache.write(2, 1, 0);
+    EXPECT_FALSE(w.hit);
+    EXPECT_TRUE(w.victimCacheHit);
+    EXPECT_EQ(cache.stats().wordsWrittenThrough, 0u);
+    EXPECT_TRUE(cache.read(2, 1, 0).hit);
+}
+
+TEST(VictimCache, MissesStillCountAsMisses)
+{
+    Cache cache(withVictims(2));
+    cache.read(0, 1, 0);
+    cache.read(64, 1, 0);
+    cache.read(0, 1, 0); // victim hit, still a read miss
+    EXPECT_EQ(cache.stats().readMisses, 3u);
+}
+
+TEST(VictimCache, SystemPaysSwapInsteadOfMemory)
+{
+    SystemConfig config = SystemConfig::paperDefault();
+    config.setL1SizeWordsEach(64);
+    config.dcache.victimEntries = 4;
+    Trace trace("t",
+                {
+                    {0, RefKind::Load, 0},  // miss: 11 cycles
+                    {64, RefKind::Load, 0}, // miss: memory busy
+                    {0, RefKind::Load, 0},  // victim swap: 2 cycles
+                });
+    SimResult r = System(config).run(trace);
+    SystemConfig no_vc = config;
+    no_vc.dcache.victimEntries = 0;
+    SimResult rn = System(no_vc).run(trace);
+    EXPECT_EQ(r.dcache.victimHits, 1u);
+    EXPECT_LT(r.cycles, rn.cycles);
+}
+
+TEST(VictimCache, RemovesConflictMissCostLikeAssociativity)
+{
+    // The thematic claim: on a conflict-heavy stream, a 4-entry
+    // victim cache recovers most of what 2-way associativity would,
+    // without touching the cycle time.
+    Trace trace("t", {}, 0);
+    for (int i = 0; i < 200; ++i) {
+        trace.push({0, RefKind::Load, 0});
+        trace.push({64, RefKind::Load, 0});
+    }
+    SystemConfig dm = SystemConfig::paperDefault();
+    dm.setL1SizeWordsEach(64);
+    SystemConfig vc = dm;
+    vc.dcache.victimEntries = 4;
+
+    SimResult r_dm = System(dm).run(trace);
+    SimResult r_vc = System(vc).run(trace);
+    EXPECT_GT(r_dm.cycles, 2 * r_vc.cycles);
+}
+
+} // namespace
+} // namespace cachetime

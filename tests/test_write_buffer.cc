@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Timing and hazard tests for the write buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/main_memory.hh"
+#include "memory/write_buffer.hh"
+
+namespace cachetime
+{
+namespace
+{
+
+struct Fixture
+{
+    MainMemory memory{MainMemoryConfig{}, 40.0};
+    WriteBufferConfig config;
+
+    WriteBuffer
+    make()
+    {
+        config.matchGranularityWords = 4;
+        return WriteBuffer(config, &memory);
+    }
+};
+
+TEST(WriteBuffer, PostedWriteReturnsImmediately)
+{
+    Fixture f;
+    WriteBuffer wbuf = f.make();
+    Tick release = wbuf.writeBlock(10, 0, 4, 0);
+    EXPECT_EQ(release, 10);
+    EXPECT_EQ(wbuf.occupancy(), 1u);
+}
+
+TEST(WriteBuffer, DisabledIsSynchronous)
+{
+    Fixture f;
+    f.config.enabled = false;
+    WriteBuffer wbuf = f.make();
+    Tick release = wbuf.writeBlock(10, 0, 4, 0);
+    // Synchronous: address + 4-word transfer = 5 cycles.
+    EXPECT_EQ(release, 15);
+    EXPECT_EQ(wbuf.occupancy(), 0u);
+}
+
+TEST(WriteBuffer, ReadWithNoMatchPassesStraightThrough)
+{
+    Fixture f;
+    WriteBuffer wbuf = f.make();
+    wbuf.writeBlock(0, 100, 4, 0);
+    ReadReply reply = wbuf.readBlock(0, 200, 4, 0, 0);
+    // The queued write has not started (readPriority), so the read
+    // sees an idle memory.
+    EXPECT_EQ(reply.complete, 10);
+    EXPECT_EQ(wbuf.stats().readMatches, 0u);
+}
+
+TEST(WriteBuffer, ReadMatchForcesDrain)
+{
+    Fixture f;
+    WriteBuffer wbuf = f.make();
+    wbuf.writeBlock(0, 100, 4, 1);
+    ReadReply reply = wbuf.readBlock(0, 100, 4, 0, 1);
+    // The matching write drains first (releases at 5), then the read
+    // waits for memory recovery and completes 10 cycles later.
+    EXPECT_EQ(wbuf.stats().readMatches, 1u);
+    EXPECT_GT(reply.complete, 10);
+    EXPECT_EQ(wbuf.occupancy(), 0u);
+}
+
+TEST(WriteBuffer, MatchIsPerPid)
+{
+    Fixture f;
+    WriteBuffer wbuf = f.make();
+    wbuf.writeBlock(0, 100, 4, 1);
+    wbuf.readBlock(0, 100, 4, 0, 2); // other process, other tag
+    EXPECT_EQ(wbuf.stats().readMatches, 0u);
+}
+
+TEST(WriteBuffer, MatchGranularityIsBlocks)
+{
+    Fixture f;
+    WriteBuffer wbuf = f.make();
+    wbuf.writeBlock(0, 100, 1, 0); // word write within block 25
+    ReadReply reply = wbuf.readBlock(0, 102, 1, 0, 0);
+    EXPECT_EQ(wbuf.stats().readMatches, 1u);
+    (void)reply;
+}
+
+TEST(WriteBuffer, FullBufferStallsEnqueuer)
+{
+    Fixture f;
+    f.config.depth = 2;
+    WriteBuffer wbuf = f.make();
+    // Fill the buffer with entries whose data is ready late so they
+    // cannot drain in the background.
+    wbuf.writeBlock(100, 0, 4, 0);
+    wbuf.writeBlock(100, 64, 4, 0);
+    Tick release = wbuf.writeBlock(100, 128, 4, 0);
+    EXPECT_GT(release, 100);
+    EXPECT_EQ(wbuf.stats().fullStalls, 1u);
+    EXPECT_EQ(wbuf.occupancy(), 2u);
+}
+
+TEST(WriteBuffer, DrainsInBackgroundBetweenRequests)
+{
+    Fixture f;
+    WriteBuffer wbuf = f.make();
+    wbuf.writeBlock(0, 0, 4, 0);
+    wbuf.writeBlock(0, 64, 4, 0);
+    EXPECT_EQ(wbuf.occupancy(), 2u);
+    // Plenty of idle time passes; a later write triggers catch-up.
+    wbuf.writeBlock(1000, 128, 4, 0);
+    EXPECT_EQ(wbuf.occupancy(), 1u);
+    EXPECT_EQ(wbuf.stats().retired, 2u);
+}
+
+TEST(WriteBuffer, CoalescesSameAddress)
+{
+    // Both writes arrive in the same cycle, before the background
+    // drain can retire the first.
+    Fixture f;
+    WriteBuffer wbuf = f.make();
+    wbuf.writeBlock(0, 100, 1, 0);
+    wbuf.writeBlock(0, 100, 1, 0);
+    EXPECT_EQ(wbuf.occupancy(), 1u);
+    EXPECT_EQ(wbuf.stats().coalesced, 1u);
+}
+
+TEST(WriteBuffer, CoalesceDisabled)
+{
+    Fixture f;
+    f.config.coalesce = false;
+    WriteBuffer wbuf = f.make();
+    wbuf.writeBlock(0, 100, 1, 0);
+    wbuf.writeBlock(0, 100, 1, 0);
+    EXPECT_EQ(wbuf.occupancy(), 2u);
+}
+
+TEST(WriteBuffer, NoReadPriorityDrainsEverythingFirst)
+{
+    Fixture f;
+    f.config.readPriority = false;
+    WriteBuffer wbuf = f.make();
+    wbuf.writeBlock(0, 100, 4, 0);
+    wbuf.writeBlock(0, 164, 4, 0);
+    ReadReply reply = wbuf.readBlock(0, 300, 4, 0, 0);
+    EXPECT_EQ(wbuf.occupancy(), 0u);
+    // Two writes serialize ahead of the read.
+    EXPECT_GT(reply.complete, 20);
+}
+
+TEST(WriteBuffer, DrainFlushesQueue)
+{
+    Fixture f;
+    WriteBuffer wbuf = f.make();
+    wbuf.writeBlock(0, 0, 4, 0);
+    wbuf.writeBlock(0, 64, 4, 0);
+    wbuf.drain(0);
+    EXPECT_EQ(wbuf.occupancy(), 0u);
+    EXPECT_EQ(wbuf.stats().retired, 2u);
+}
+
+TEST(WriteBuffer, MaxOccupancyTracked)
+{
+    Fixture f;
+    f.config.depth = 8;
+    WriteBuffer wbuf = f.make();
+    for (int i = 0; i < 3; ++i)
+        wbuf.writeBlock(0, 64 * i, 4, 0);
+    EXPECT_EQ(wbuf.stats().maxOccupancy, 3u);
+}
+
+TEST(WriteBuffer, HighWaterHoldsDrainUntilThreshold)
+{
+    Fixture f;
+    f.config.drainOnIdle = false;
+    f.config.highWater = 3;
+    WriteBuffer wbuf = f.make();
+    wbuf.writeBlock(0, 0, 4, 0);
+    wbuf.writeBlock(100, 64, 4, 0);
+    // Catch-up at a much later time would have drained with
+    // drainOnIdle, but occupancy (2) is below the high-water mark.
+    wbuf.writeBlock(1000, 128, 4, 0);
+    EXPECT_GE(wbuf.occupancy(), 3u);
+}
+
+} // namespace
+} // namespace cachetime

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * cachetime_sim: the full simulator as a command-line tool.
+ *
+ * Mirrors the paper's three-phase flow.  A *specification file*
+ * fixes the baseline machine; zero or more *variation files* are
+ * layered on top ("Each of the variation files changes one or more
+ * characteristics: for example, set size, number of sets, cycle
+ * time, or memory latency").  The resolved machine then runs either
+ * trace files or the built-in Table 1 workloads, and a statistics
+ * report is printed per trace plus the geometric-mean summary.
+ *
+ * Usage:
+ *   cachetime_sim [options]
+ *     --spec FILE         specification file (key=value lines)
+ *     --vary FILE         variation file (repeatable, ordered)
+ *     --set KEY=VALUE     inline variation (repeatable)
+ *     --trace FILE        trace file (repeatable)
+ *     --workloads SCALE   use the Table 1 workloads at SCALE
+ *     --csv               machine-readable per-trace output
+ *     --verbose           include distribution statistics
+ *
+ * With no --trace/--workloads, runs the Table 1 set at scale 0.1.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "sim/system.hh"
+#include "trace/trace_io.hh"
+#include "trace/workloads.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace cachetime;
+
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cachetime_sim: cannot open '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void
+printResult(const SimResult &r, bool csv, bool verbose)
+{
+    if (csv) {
+        std::cout << r.traceName << ',' << r.refs << ',' << r.cycles
+                  << ',' << TablePrinter::fmt(r.cyclesPerRef(), 6)
+                  << ',' << TablePrinter::fmt(r.execNsPerRef(), 4)
+                  << ',' << TablePrinter::fmt(r.readMissRatio(), 6)
+                  << '\n';
+        return;
+    }
+    TablePrinter table({"metric", r.traceName});
+    table.addRow({"references", std::to_string(r.refs)});
+    table.addRow({"cycles", std::to_string(r.cycles)});
+    table.addRow({"cycles/ref",
+                  TablePrinter::fmt(r.cyclesPerRef(), 3)});
+    table.addRow({"exec ns/ref",
+                  TablePrinter::fmt(r.execNsPerRef(), 2)});
+    table.addRow({"read miss ratio",
+                  TablePrinter::fmt(r.readMissRatio(), 4)});
+    table.addRow({"ifetch miss ratio",
+                  TablePrinter::fmt(r.ifetchMissRatio(), 4)});
+    table.addRow({"load miss ratio",
+                  TablePrinter::fmt(r.loadMissRatio(), 4)});
+    table.addRow({"write miss ratio",
+                  TablePrinter::fmt(r.dcache.writeMissRatio(), 4)});
+    table.addRow({"read traffic ratio",
+                  TablePrinter::fmt(r.readTrafficRatio(), 3)});
+    table.addRow({"wbuf full stalls",
+                  std::to_string(r.l1Buffer.fullStalls)});
+    table.addRow({"wbuf read matches",
+                  std::to_string(r.l1Buffer.readMatches)});
+    if (r.hasL2) {
+        table.addRow({"L2 read miss ratio",
+                      TablePrinter::fmt(r.l2.readMissRatio(), 4)});
+    }
+    if (r.physical) {
+        table.addRow({"tlb miss ratio",
+                      TablePrinter::fmt(r.tlb.missRatio(), 5)});
+    }
+    table.print(std::cout);
+    if (verbose) {
+        std::cout << "miss penalty (cycles): "
+                  << r.missPenaltyCycles.summary() << '\n'
+                  << "wbuf occupancy:        "
+                  << r.l1Buffer.occupancy.summary() << '\n';
+    }
+    std::cout << '\n';
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    SystemConfig config = SystemConfig::paperDefault();
+    std::vector<std::string> trace_files;
+    double workload_scale = 0.0;
+    bool csv = false, verbose = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto need = [&](const char *what) -> std::string {
+            if (i + 1 >= argc)
+                fatal("cachetime_sim: %s needs an argument", what);
+            return argv[++i];
+        };
+        if (arg == "--spec" || arg == "--vary") {
+            applyKeyValues(config, slurp(need(arg.c_str())));
+        } else if (arg == "--set") {
+            applyKeyValues(config, need("--set"));
+        } else if (arg == "--trace") {
+            trace_files.push_back(need("--trace"));
+        } else if (arg == "--workloads") {
+            workload_scale = std::stod(need("--workloads"));
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--verbose") {
+            verbose = true;
+            setQuiet(false);
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "see the file comment in tools/"
+                         "cachetime_sim.cc for usage\n";
+            return 0;
+        } else {
+            fatal("cachetime_sim: unknown option '%s'", arg.c_str());
+        }
+    }
+
+    config.validate();
+    std::cout << "machine: " << config.describe() << "\n\n";
+    if (csv)
+        std::cout << "trace,refs,cycles,cycles_per_ref,"
+                     "exec_ns_per_ref,read_miss_ratio\n";
+
+    std::vector<Trace> traces;
+    for (const std::string &path : trace_files)
+        traces.push_back(loadFile(path));
+    if (traces.empty()) {
+        double scale = workload_scale > 0 ? workload_scale : 0.1;
+        traces = generateTable1(scale);
+    }
+
+    std::vector<double> exec_ns;
+    for (const Trace &trace : traces) {
+        System system(config);
+        SimResult r = system.run(trace);
+        printResult(r, csv, verbose);
+        exec_ns.push_back(r.execNsPerRef());
+    }
+
+    if (traces.size() > 1 && !csv) {
+        AggregateMetrics m = runGeoMean(config, traces);
+        std::cout << "geometric mean over " << traces.size()
+                  << " traces: "
+                  << TablePrinter::fmt(m.cyclesPerRef, 3)
+                  << " cycles/ref, "
+                  << TablePrinter::fmt(m.execNsPerRef, 2)
+                  << " ns/ref, read miss "
+                  << TablePrinter::fmt(m.readMissRatio, 4) << '\n';
+    }
+    return 0;
+}
