@@ -17,14 +17,20 @@
 #include <string>
 #include <vector>
 
+#include "core/experiment.hh"
 #include "trace/workloads.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 #include "util/table.hh"
 
 namespace cachetime::bench
 {
 
-/** Generate the Table 1 traces at the environment-selected scale. */
+/**
+ * Generate the Table 1 traces at the environment-selected scale.
+ * Generation runs through the thread pool (each workload is seeded
+ * independently, so the result is order-independent).
+ */
 inline std::vector<Trace>
 standardTraces(double fallback_scale = 0.20)
 {
@@ -42,14 +48,65 @@ sizeAxisWordsEach(unsigned log2_min_kb = 1, unsigned log2_max_kb = 11)
     return sizes;
 }
 
-/** Cycle-time axis 20..80ns (the paper's sweep), step 4ns. */
+/**
+ * Cycle-time axis 20..80ns (the paper's sweep), step 4ns.  Each
+ * point is computed as lo + k*step from an integer index: the
+ * accumulated `t += step` form drifts in floating point and can
+ * drop the final 80ns point.
+ */
 inline std::vector<double>
 cycleAxisNs(double lo = 20.0, double hi = 80.0, double step = 4.0)
 {
     std::vector<double> cycles;
-    for (double t = lo; t <= hi + 1e-9; t += step)
-        cycles.push_back(t);
+    std::size_t steps =
+        static_cast<std::size_t>((hi - lo) / step + 1e-9);
+    for (std::size_t k = 0; k <= steps; ++k)
+        cycles.push_back(lo + static_cast<double>(k) * step);
     return cycles;
+}
+
+/**
+ * Sweep a whole axis of configurations in one parallel batch:
+ * element i of the result is the geometric-mean metrics of
+ * make(axis[i]).  All (config, trace) pairs go through the pool at
+ * once, so this is the bench-side porting target for loops that
+ * called runGeoMean() per point.
+ */
+template <typename Axis, typename Make>
+inline std::vector<AggregateMetrics>
+sweepAxis(const std::vector<Axis> &axis,
+          const std::vector<Trace> &traces, Make &&make)
+{
+    std::vector<SystemConfig> configs;
+    configs.reserve(axis.size());
+    for (const Axis &a : axis)
+        configs.push_back(make(a));
+    return runGeoMeanMany(configs, traces);
+}
+
+/**
+ * Two-axis form: result[i][j] is the metrics of make(rows[i],
+ * cols[j]), computed as a single flattened parallel batch.
+ */
+template <typename Row, typename Col, typename Make>
+inline std::vector<std::vector<AggregateMetrics>>
+sweepGrid(const std::vector<Row> &rows, const std::vector<Col> &cols,
+          const std::vector<Trace> &traces, Make &&make)
+{
+    std::vector<SystemConfig> configs;
+    configs.reserve(rows.size() * cols.size());
+    for (const Row &r : rows)
+        for (const Col &c : cols)
+            configs.push_back(make(r, c));
+    std::vector<AggregateMetrics> flat =
+        runGeoMeanMany(configs, traces);
+    std::vector<std::vector<AggregateMetrics>> out(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        out[i].assign(
+            flat.begin() + static_cast<std::ptrdiff_t>(i * cols.size()),
+            flat.begin() +
+                static_cast<std::ptrdiff_t>((i + 1) * cols.size()));
+    return out;
 }
 
 /** Print @p table as text, or CSV when CACHETIME_CSV=1. */

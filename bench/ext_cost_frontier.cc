@@ -35,8 +35,15 @@ main()
     };
     std::vector<Point> points;
 
-    TablePrinter table({"build (per cache)", "chips", "cycle",
-                        "rel cost", "ns/ref"});
+    // Gather the buildable machines first, then simulate them all
+    // in one parallel batch.
+    struct Build
+    {
+        std::string name;
+        CacheImplementation impl;
+    };
+    std::vector<Build> builds;
+    std::vector<SystemConfig> configs;
     for (const RamPart &part : defaultCatalog()) {
         for (std::uint64_t kb : {8u, 32u, 128u, 512u}) {
             CacheConfig org = base.dcache;
@@ -50,18 +57,26 @@ main()
             SystemConfig config = base;
             config.setL1SizeWordsEach(org.sizeWords);
             config.cycleNs = impl.cycleNs;
-            AggregateMetrics m = runGeoMean(config, traces);
-
-            std::string build = std::to_string(kb) + "KB from " +
-                                part.name;
-            table.addRow({build,
-                          std::to_string(2 * impl.totalChips()),
-                          TablePrinter::fmt(impl.cycleNs, 0) + "ns",
-                          TablePrinter::fmt(2 * impl.cost, 1),
-                          TablePrinter::fmt(m.execNsPerRef, 2)});
-            points.push_back({build, 2 * impl.cost,
-                              m.execNsPerRef});
+            builds.push_back(
+                {std::to_string(kb) + "KB from " + part.name, impl});
+            configs.push_back(config);
         }
+    }
+    std::vector<AggregateMetrics> metrics =
+        runGeoMeanMany(configs, traces);
+
+    TablePrinter table({"build (per cache)", "chips", "cycle",
+                        "rel cost", "ns/ref"});
+    for (std::size_t k = 0; k < builds.size(); ++k) {
+        const Build &build = builds[k];
+        const AggregateMetrics &m = metrics[k];
+        table.addRow({build.name,
+                      std::to_string(2 * build.impl.totalChips()),
+                      TablePrinter::fmt(build.impl.cycleNs, 0) + "ns",
+                      TablePrinter::fmt(2 * build.impl.cost, 1),
+                      TablePrinter::fmt(m.execNsPerRef, 2)});
+        points.push_back({build.name, 2 * build.impl.cost,
+                          m.execNsPerRef});
     }
     emit(table, "Extension: cost-performance frontier over the SRAM "
                 "catalog (both caches)");

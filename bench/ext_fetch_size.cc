@@ -38,15 +38,16 @@ main()
             config.l1Buffer.matchGranularityWords = 32;
             AggregateMetrics m = runGeoMean(config, traces);
 
-            // Sub-block-miss share needs raw counters.
+            // Sub-block-miss share needs raw counters; these are
+            // SimCache hits from the runGeoMean above.
             double sub = 0, misses = 0;
             for (const Trace &trace : traces) {
-                SimResult r = simulateOne(config, trace);
+                auto r = simulateOneCached(config, trace);
                 sub += static_cast<double>(
-                    r.icache.subBlockMisses +
-                    r.dcache.subBlockMisses);
-                misses += static_cast<double>(r.icache.readMisses +
-                                              r.dcache.readMisses);
+                    r->icache.subBlockMisses +
+                    r->dcache.subBlockMisses);
+                misses += static_cast<double>(r->icache.readMisses +
+                                              r->dcache.readMisses);
             }
             table.addRow(
                 {"32W block / " + std::to_string(fetch) + "W fetch",

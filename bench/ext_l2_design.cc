@@ -43,9 +43,10 @@ main()
     for (auto kb : l2_kb)
         headers.push_back(std::to_string(kb) + "KB L2");
     TablePrinter table(headers);
-    for (unsigned hit : hit_cycles) {
-        std::vector<std::string> row{std::to_string(hit)};
-        for (auto kb : l2_kb) {
+    // One parallel batch over the (hit time, L2 size) grid.
+    auto metrics = sweepGrid(
+        hit_cycles, l2_kb, traces,
+        [&](unsigned hit, std::uint64_t kb) {
             SystemConfig config = base;
             config.hasL2 = true;
             config.l2cache.sizeWords = kb * 1024 / 4;
@@ -53,9 +54,13 @@ main()
             config.l2cache.allocPolicy = AllocPolicy::WriteAllocate;
             config.l2Timing.hitCycles = hit;
             config.l2Buffer.matchGranularityWords = 16;
-            AggregateMetrics m = runGeoMean(config, traces);
-            row.push_back(TablePrinter::fmt(m.cyclesPerRef, 3));
-        }
+            return config;
+        });
+    for (std::size_t h = 0; h < hit_cycles.size(); ++h) {
+        std::vector<std::string> row{std::to_string(hit_cycles[h])};
+        for (std::size_t k = 0; k < l2_kb.size(); ++k)
+            row.push_back(
+                TablePrinter::fmt(metrics[h][k].cyclesPerRef, 3));
         table.addRow(row);
     }
     emit(table, "Extension: cycles/ref vs L2 hit time and size "

@@ -45,10 +45,10 @@ main()
         std::uint64_t issued = 0, used = 0;
         double miss4 = 0.0;
         for (const Trace &trace : traces) {
-            SimResult r = simulateOne(at4, trace);
-            issued += r.icache.prefetches + r.dcache.prefetches;
-            used += r.icache.prefetchHits + r.dcache.prefetchHits;
-            miss4 += r.readMissRatio();
+            auto r = simulateOneCached(at4, trace);
+            issued += r->icache.prefetches + r->dcache.prefetches;
+            used += r->icache.prefetchHits + r->dcache.prefetchHits;
+            miss4 += r->readMissRatio();
         }
         miss4 /= static_cast<double>(traces.size());
 

@@ -25,25 +25,32 @@ main()
     auto traces = standardTraces();
     SystemConfig base = SystemConfig::paperDefault();
 
+    const std::vector<std::uint64_t> sizes{1024, 4096, 16384, 65536};
+    const std::vector<unsigned> variants{0, 1, 2}; // DM, DM+VC, 2-way
+    // One parallel batch over all (size, variant) machines.
+    auto metrics = sweepGrid(
+        sizes, variants, traces,
+        [&](std::uint64_t words_each, unsigned variant) {
+            SystemConfig config = base;
+            config.setL1SizeWordsEach(words_each);
+            if (variant == 1) {
+                config.icache.victimEntries = 4;
+                config.dcache.victimEntries = 4;
+            } else if (variant == 2) {
+                config.setL1Assoc(2);
+                config.cycleNs = base.cycleNs + asMuxDataInToOutNs;
+            }
+            return config;
+        });
+
     TablePrinter table({"total L1", "DM miss", "DM+VC miss",
                         "2-way miss", "DM ns/ref", "DM+VC ns/ref",
                         "2-way+6ns ns/ref"});
-    for (std::uint64_t words_each :
-         {1024u, 4096u, 16384u, 65536u}) {
-        SystemConfig dm = base;
-        dm.setL1SizeWordsEach(words_each);
-
-        SystemConfig vc = dm;
-        vc.icache.victimEntries = 4;
-        vc.dcache.victimEntries = 4;
-
-        SystemConfig sa = dm;
-        sa.setL1Assoc(2);
-        sa.cycleNs = base.cycleNs + asMuxDataInToOutNs;
-
-        AggregateMetrics m_dm = runGeoMean(dm, traces);
-        AggregateMetrics m_vc = runGeoMean(vc, traces);
-        AggregateMetrics m_sa = runGeoMean(sa, traces);
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+        std::uint64_t words_each = sizes[s];
+        const AggregateMetrics &m_dm = metrics[s][0];
+        const AggregateMetrics &m_vc = metrics[s][1];
+        const AggregateMetrics &m_sa = metrics[s][2];
         table.addRow({TablePrinter::fmtSizeWords(2 * words_each),
                       TablePrinter::fmt(m_dm.readMissRatio, 4),
                       TablePrinter::fmt(m_vc.readMissRatio, 4),

@@ -43,9 +43,11 @@ main()
         AggregateMetrics mv = runGeoMean(v, traces);
         AggregateMetrics mp = runGeoMean(p, traces);
 
+        // TLB counters come from the SimCache entries the
+        // runGeoMean above just populated.
         double tlb_miss = 0;
         for (const Trace &trace : traces)
-            tlb_miss += simulateOne(p, trace).tlb.missRatio();
+            tlb_miss += simulateOneCached(p, trace)->tlb.missRatio();
         tlb_miss /= static_cast<double>(traces.size());
 
         table.addRow({TablePrinter::fmtSizeWords(2 * words_each),

@@ -33,14 +33,16 @@ main()
             config.l1Buffer.depth = depth;
             AggregateMetrics m = runGeoMean(config, traces);
 
+            // Raw counters come from the SimCache entries the
+            // runGeoMean above just populated.
             std::uint64_t stalls = 0, matches = 0;
             unsigned occupancy = 0;
             for (const Trace &trace : traces) {
-                SimResult r = simulateOne(config, trace);
-                stalls += r.l1Buffer.fullStalls;
-                matches += r.l1Buffer.readMatches;
+                auto r = simulateOneCached(config, trace);
+                stalls += r->l1Buffer.fullStalls;
+                matches += r->l1Buffer.readMatches;
                 occupancy = std::max(occupancy,
-                                     r.l1Buffer.maxOccupancy);
+                                     r->l1Buffer.maxOccupancy);
             }
             table.addRow({writePolicyName(policy),
                           std::to_string(depth),

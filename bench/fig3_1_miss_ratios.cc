@@ -29,13 +29,20 @@ main()
     Series traffic_blocks{"write traffic (blocks)", {}, {}};
     Series traffic_words{"write traffic (dirty words)", {}, {}};
 
+    // One parallel batch over the whole size axis.
+    std::vector<AggregateMetrics> metrics =
+        sweepAxis(sizes, traces, [&](std::uint64_t words_each) {
+            SystemConfig config = base;
+            config.setL1SizeWordsEach(words_each);
+            return config;
+        });
+
     TablePrinter table({"total L1", "read miss", "ifetch miss",
                         "load miss", "read traffic", "write traffic",
                         "dirty-word traffic"});
-    for (auto words_each : sizes) {
-        SystemConfig config = base;
-        config.setL1SizeWordsEach(words_each);
-        AggregateMetrics m = runGeoMean(config, traces);
+    for (std::size_t k = 0; k < sizes.size(); ++k) {
+        std::uint64_t words_each = sizes[k];
+        const AggregateMetrics &m = metrics[k];
         table.addRow({TablePrinter::fmtSizeWords(2 * words_each),
                       TablePrinter::fmt(m.readMissRatio, 4),
                       TablePrinter::fmt(m.ifetchMissRatio, 4),

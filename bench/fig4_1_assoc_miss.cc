@@ -36,16 +36,24 @@ main()
     for (unsigned a : assocs)
         curves.push_back({std::to_string(a) + "-way", {}, {}});
 
-    for (auto words_each : sizes) {
+    // One parallel batch over the whole (size, assoc) grid.
+    auto metrics = sweepGrid(
+        sizes, assocs, traces,
+        [&](std::uint64_t words_each, unsigned a) {
+            SystemConfig config = base;
+            config.setL1SizeWordsEach(words_each);
+            config.setL1Assoc(a);
+            return config;
+        });
+
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+        std::uint64_t words_each = sizes[s];
         std::vector<std::string> row{
             TablePrinter::fmtSizeWords(2 * words_each)};
         double dm = 0.0, two = 0.0;
         for (std::size_t k = 0; k < assocs.size(); ++k) {
             unsigned a = assocs[k];
-            SystemConfig config = base;
-            config.setL1SizeWordsEach(words_each);
-            config.setL1Assoc(a);
-            AggregateMetrics m = runGeoMean(config, traces);
+            const AggregateMetrics &m = metrics[s][k];
             row.push_back(TablePrinter::fmt(m.readMissRatio, 4));
             curves[k].xs.push_back(
                 static_cast<double>(2 * words_each) * 4 / 1024);

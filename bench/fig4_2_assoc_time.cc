@@ -29,16 +29,24 @@ main()
             headers.push_back(std::to_string(a) + "-way (ns/ref)");
         headers.push_back("1->2 gain");
         TablePrinter table(headers);
-        for (auto words_each : sizes) {
-            std::vector<std::string> row{
-                TablePrinter::fmtSizeWords(2 * words_each)};
-            double dm = 0.0, two = 0.0;
-            for (unsigned a : assocs) {
+        // One parallel batch per cycle time over (size, assoc).
+        auto metrics = sweepGrid(
+            sizes, assocs, traces,
+            [&](std::uint64_t words_each, unsigned a) {
                 SystemConfig config = base;
                 config.cycleNs = t;
                 config.setL1SizeWordsEach(words_each);
                 config.setL1Assoc(a);
-                AggregateMetrics m = runGeoMean(config, traces);
+                return config;
+            });
+        for (std::size_t s = 0; s < sizes.size(); ++s) {
+            std::uint64_t words_each = sizes[s];
+            std::vector<std::string> row{
+                TablePrinter::fmtSizeWords(2 * words_each)};
+            double dm = 0.0, two = 0.0;
+            for (std::size_t k = 0; k < assocs.size(); ++k) {
+                unsigned a = assocs[k];
+                const AggregateMetrics &m = metrics[s][k];
                 row.push_back(TablePrinter::fmt(m.execNsPerRef, 2));
                 if (a == 1)
                     dm = m.execNsPerRef;

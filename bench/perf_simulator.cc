@@ -7,16 +7,22 @@
  * benchmarks report what the cachetime pipeline does per reference
  * on one modern core (trace generation, organizational cache
  * access, and full timing simulation in single- and two-level
- * configurations).
+ * configurations), plus what the parallel sweep engine does with
+ * all of them: BM_SweepGrid runs a Fig 3/4-shaped grid at a given
+ * thread count (compare Arg(1) vs higher Args for the speedup) and
+ * BM_SweepGridMemoized reruns it against a warm SimCache,
+ * reporting the hit rate as a counter.
  */
 
 #include <benchmark/benchmark.h>
 
 #include "cache/cache.hh"
 #include "core/experiment.hh"
+#include "core/sim_cache.hh"
 #include "sim/system.hh"
 #include "trace/workloads.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 
 using namespace cachetime;
 
@@ -100,9 +106,101 @@ BM_SystemRunTwoLevel(benchmark::State &state)
     state.SetItemsProcessed(static_cast<std::int64_t>(refs));
 }
 
+/// A small Fig 3/4-shaped sweep: size x cycle-time grid over two
+/// short traces, flattened through runGeoMeanMany like the real
+/// figure benches.
+std::vector<AggregateMetrics>
+runSweepGrid(const std::vector<Trace> &traces)
+{
+    std::vector<SystemConfig> configs;
+    for (std::uint64_t words_each : {1024u, 4096u, 16384u, 65536u}) {
+        for (double cycle : {40.0, 50.0, 60.0, 70.0}) {
+            SystemConfig config = SystemConfig::paperDefault();
+            config.setL1SizeWordsEach(words_each);
+            config.cycleNs = cycle;
+            configs.push_back(config);
+        }
+    }
+    return runGeoMeanMany(configs, traces);
+}
+
+const std::vector<Trace> &
+sweepTraces()
+{
+    static const std::vector<Trace> traces = [] {
+        setQuiet(true);
+        std::vector<Trace> out;
+        auto specs = table1Workloads();
+        for (std::size_t i = 0; i < 2 && i < specs.size(); ++i)
+            out.push_back(generate(specs[i], 0.1));
+        return out;
+    }();
+    return traces;
+}
+
+/// Cold-cache sweep at state.range(0) threads.  Run with Arg(1)
+/// and Arg(N) and divide the times for the serial-vs-parallel
+/// speedup; the report prints each iteration's thread count.
+void
+BM_SweepGrid(benchmark::State &state)
+{
+    const std::vector<Trace> &traces = sweepTraces();
+    setParallelThreads(static_cast<unsigned>(state.range(0)));
+    std::size_t points = 0;
+    for (auto _ : state) {
+        // Clear between iterations so every simulation is a miss
+        // and the timing measures raw parallel throughput.
+        SimCache::global().clear();
+        auto metrics = runSweepGrid(traces);
+        benchmark::DoNotOptimize(metrics);
+        points += metrics.size();
+    }
+    setParallelThreads(0);
+    SimCache::global().clear();
+    state.SetItemsProcessed(static_cast<std::int64_t>(points));
+    state.counters["threads"] =
+        static_cast<double>(state.range(0));
+}
+
+/// Same sweep against a warm SimCache: every (config, trace) pair
+/// was memoized by the warm-up run, so this measures the memoized
+/// path and reports the observed hit rate.
+void
+BM_SweepGridMemoized(benchmark::State &state)
+{
+    const std::vector<Trace> &traces = sweepTraces();
+    SimCache::global().clear();
+    benchmark::DoNotOptimize(runSweepGrid(traces)); // warm up
+    std::uint64_t hits0 = SimCache::global().hits();
+    std::uint64_t misses0 = SimCache::global().misses();
+    std::size_t points = 0;
+    for (auto _ : state) {
+        auto metrics = runSweepGrid(traces);
+        benchmark::DoNotOptimize(metrics);
+        points += metrics.size();
+    }
+    double hits = static_cast<double>(SimCache::global().hits() -
+                                      hits0);
+    double misses = static_cast<double>(SimCache::global().misses() -
+                                        misses0);
+    state.counters["hit_rate"] =
+        hits + misses > 0 ? hits / (hits + misses) : 0.0;
+    SimCache::global().clear();
+    state.SetItemsProcessed(static_cast<std::int64_t>(points));
+}
+
 } // namespace
 
 BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CacheAccess)->Arg(1)->Arg(2)->Arg(8);
 BENCHMARK(BM_SystemRun)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SystemRunTwoLevel)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SweepGrid)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0) // 0 = all hardware threads
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+BENCHMARK(BM_SweepGridMemoized)->Unit(benchmark::kMillisecond);

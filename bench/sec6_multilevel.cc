@@ -55,16 +55,25 @@ main()
             headers.push_back(TablePrinter::fmt(t, 0) + "ns");
         TablePrinter table(headers);
 
-        double best = std::numeric_limits<double>::infinity();
-        std::string best_at;
-        for (auto words_each : sizes) {
-            std::vector<std::string> row{
-                TablePrinter::fmtSizeWords(2 * words_each)};
-            for (double t : cycles) {
+        // One parallel batch per hierarchy over (size, cycle time).
+        auto metrics = sweepGrid(
+            sizes, cycles, traces,
+            [&](std::uint64_t words_each, double t) {
                 SystemConfig config = l2 ? withL2(base) : base;
                 config.setL1SizeWordsEach(words_each);
                 config.cycleNs = t;
-                AggregateMetrics m = runGeoMean(config, traces);
+                return config;
+            });
+
+        double best = std::numeric_limits<double>::infinity();
+        std::string best_at;
+        for (std::size_t s = 0; s < sizes.size(); ++s) {
+            std::uint64_t words_each = sizes[s];
+            std::vector<std::string> row{
+                TablePrinter::fmtSizeWords(2 * words_each)};
+            for (std::size_t j = 0; j < cycles.size(); ++j) {
+                double t = cycles[j];
+                const AggregateMetrics &m = metrics[s][j];
                 row.push_back(TablePrinter::fmt(m.execNsPerRef, 2));
                 if (m.execNsPerRef < best) {
                     best = m.execNsPerRef;

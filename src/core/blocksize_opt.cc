@@ -18,15 +18,18 @@ sweepBlockSize(const SystemConfig &base,
 
     BlockSizeCurve curve;
     curve.blockWords = block_words;
+    std::vector<SystemConfig> configs;
+    configs.reserve(block_words.size());
     for (unsigned bw : block_words) {
         SystemConfig config = base;
         config.setL1BlockWords(bw);
-        AggregateMetrics m = runGeoMean(config, traces);
+        configs.push_back(config);
+    }
+    for (const AggregateMetrics &m : runGeoMeanMany(configs, traces)) {
         curve.execNsPerRef.push_back(m.execNsPerRef);
         curve.readMissRatio.push_back(m.readMissRatio);
         curve.ifetchMissRatio.push_back(m.ifetchMissRatio);
         curve.loadMissRatio.push_back(m.loadMissRatio);
-        inform("block sweep: %uW done", bw);
     }
     return curve;
 }

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "core/sim_cache.hh"
 #include "util/logging.hh"
 #include "util/mathutil.hh"
+#include "util/parallel.hh"
 
 namespace cachetime
 {
@@ -21,36 +23,56 @@ geoMeanFloored(std::vector<double> values)
     return geometricMean(values);
 }
 
-} // namespace
+using SimResultPtr = std::shared_ptr<const SimResult>;
 
-SimResult
-simulateOne(const SystemConfig &config, const Trace &trace)
+SimResultPtr
+simulateKeyed(const SystemConfig &config, const Trace &trace,
+              std::uint64_t trace_hash)
 {
-    System system(config);
-    return system.run(trace);
+    SimCache &cache = SimCache::global();
+    if (!cache.enabled())
+        return std::make_shared<SimResult>(
+            simulateOne(config, trace));
+    SimKey key = simKey(config, trace_hash);
+    if (SimResultPtr hit = cache.find(key))
+        return hit;
+    auto result =
+        std::make_shared<const SimResult>(simulateOne(config, trace));
+    cache.insert(key, result);
+    return result;
 }
 
-AggregateMetrics
-runGeoMean(const SystemConfig &config, const std::vector<Trace> &traces)
+/** Hash each trace once; reused for every config in the batch. */
+std::vector<std::uint64_t>
+traceHashes(const std::vector<Trace> &traces)
 {
-    if (traces.empty())
-        fatal("runGeoMean: no traces supplied");
+    std::vector<std::uint64_t> hashes(traces.size());
+    if (SimCache::global().enabled()) {
+        for (std::size_t i = 0; i < traces.size(); ++i)
+            hashes[i] = traceIdentityHash(traces[i]);
+    }
+    return hashes;
+}
 
+/** Geometric-mean the per-trace results, in trace order. */
+AggregateMetrics
+aggregate(const SystemConfig &config,
+          const std::vector<SimResultPtr> &results)
+{
     std::vector<double> cpr, exec, rmiss, imiss, lmiss, wmiss;
     std::vector<double> rtraf, wtraf_b, wtraf_w;
-    cpr.reserve(traces.size());
-    for (const Trace &trace : traces) {
-        SimResult r = simulateOne(config, trace);
-        cpr.push_back(r.cyclesPerRef());
-        exec.push_back(r.execNsPerRef());
-        rmiss.push_back(r.readMissRatio());
-        imiss.push_back(r.ifetchMissRatio());
-        lmiss.push_back(r.loadMissRatio());
-        wmiss.push_back(r.dcache.writeMissRatio());
-        rtraf.push_back(r.readTrafficRatio());
+    cpr.reserve(results.size());
+    for (const SimResultPtr &r : results) {
+        cpr.push_back(r->cyclesPerRef());
+        exec.push_back(r->execNsPerRef());
+        rmiss.push_back(r->readMissRatio());
+        imiss.push_back(r->ifetchMissRatio());
+        lmiss.push_back(r->loadMissRatio());
+        wmiss.push_back(r->dcache.writeMissRatio());
+        rtraf.push_back(r->readTrafficRatio());
         wtraf_b.push_back(
-            r.writeTrafficBlockRatio(config.dcache.blockWords));
-        wtraf_w.push_back(r.writeTrafficWordRatio());
+            r->writeTrafficBlockRatio(config.dcache.blockWords));
+        wtraf_w.push_back(r->writeTrafficWordRatio());
     }
 
     AggregateMetrics m;
@@ -64,6 +86,64 @@ runGeoMean(const SystemConfig &config, const std::vector<Trace> &traces)
     m.writeTrafficBlockRatio = geoMeanFloored(wtraf_b);
     m.writeTrafficWordRatio = geoMeanFloored(wtraf_w);
     return m;
+}
+
+} // namespace
+
+SimResult
+simulateOne(const SystemConfig &config, const Trace &trace)
+{
+    System system(config);
+    return system.run(trace);
+}
+
+SimResultPtr
+simulateOneCached(const SystemConfig &config, const Trace &trace)
+{
+    return simulateKeyed(config, trace, traceIdentityHash(trace));
+}
+
+AggregateMetrics
+runGeoMean(const SystemConfig &config, const std::vector<Trace> &traces)
+{
+    if (traces.empty())
+        fatal("runGeoMean: no traces supplied");
+
+    std::vector<std::uint64_t> hashes = traceHashes(traces);
+    auto results = parallelMap<SimResultPtr>(
+        traces.size(), [&](std::size_t i) {
+            return simulateKeyed(config, traces[i], hashes[i]);
+        });
+    return aggregate(config, results);
+}
+
+std::vector<AggregateMetrics>
+runGeoMeanMany(const std::vector<SystemConfig> &configs,
+               const std::vector<Trace> &traces)
+{
+    if (configs.empty())
+        return {};
+    if (traces.empty())
+        fatal("runGeoMeanMany: no traces supplied");
+
+    const std::size_t T = traces.size();
+    std::vector<std::uint64_t> hashes = traceHashes(traces);
+    auto results = parallelMap<SimResultPtr>(
+        configs.size() * T, [&](std::size_t task) {
+            std::size_t c = task / T;
+            std::size_t t = task % T;
+            return simulateKeyed(configs[c], traces[t], hashes[t]);
+        });
+
+    std::vector<AggregateMetrics> out;
+    out.reserve(configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        std::vector<SimResultPtr> slice(
+            results.begin() + static_cast<std::ptrdiff_t>(c * T),
+            results.begin() + static_cast<std::ptrdiff_t>((c + 1) * T));
+        out.push_back(aggregate(configs[c], slice));
+    }
+    return out;
 }
 
 } // namespace cachetime

@@ -4,11 +4,18 @@
  * configuration over the eight warm-start traces and aggregate with
  * the geometric mean ("Numerical results in this paper are the
  * geometric mean of warm start runs for all eight traces").
+ *
+ * Trace runs are independent, so every entry point dispatches its
+ * (config, trace) pairs through the process-wide thread pool
+ * (util/parallel.hh) and memoizes results in the global SimCache;
+ * results land in slots indexed by (config, trace), so the
+ * aggregated output is bit-identical at any thread count.
  */
 
 #ifndef CACHETIME_CORE_EXPERIMENT_HH
 #define CACHETIME_CORE_EXPERIMENT_HH
 
+#include <memory>
 #include <vector>
 
 #include "sim/system.hh"
@@ -30,8 +37,16 @@ struct AggregateMetrics
     double writeTrafficWordRatio = 0.0;
 };
 
-/** Simulate one trace on one configuration. */
+/** Simulate one trace on one configuration (always runs, no cache). */
 SimResult simulateOne(const SystemConfig &config, const Trace &trace);
+
+/**
+ * Simulate one trace on one configuration through the global
+ * SimCache: a sweep revisiting this (config, trace) pair returns
+ * the memoized result instead of re-simulating.
+ */
+std::shared_ptr<const SimResult>
+simulateOneCached(const SystemConfig &config, const Trace &trace);
 
 /**
  * Simulate every trace on @p config and geometric-mean the metrics.
@@ -42,6 +57,18 @@ SimResult simulateOne(const SystemConfig &config, const Trace &trace);
  */
 AggregateMetrics runGeoMean(const SystemConfig &config,
                             const std::vector<Trace> &traces);
+
+/**
+ * Batch form: aggregate metrics for every configuration in
+ * @p configs.  All (config, trace) pairs are flattened into one
+ * parallel dispatch, so a sweep of N points parallelizes across
+ * N x traces tasks rather than traces at a time.  Element i of the
+ * result corresponds to configs[i]; output is independent of the
+ * thread count.
+ */
+std::vector<AggregateMetrics>
+runGeoMeanMany(const std::vector<SystemConfig> &configs,
+               const std::vector<Trace> &traces);
 
 } // namespace cachetime
 

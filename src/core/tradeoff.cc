@@ -6,6 +6,7 @@
 
 #include "util/logging.hh"
 #include "util/mathutil.hh"
+#include "util/parallel.hh"
 
 namespace cachetime
 {
@@ -85,17 +86,30 @@ buildSpeedSizeGrid(const SystemConfig &base,
     grid.execNsPerRef.resize(sizes_words_each.size());
     grid.cyclesPerRef.resize(sizes_words_each.size());
 
-    for (std::size_t i = 0; i < sizes_words_each.size(); ++i) {
+    // One flat batch: every (size, cycle time, trace) run is an
+    // independent task for the pool.
+    std::vector<SystemConfig> configs;
+    configs.reserve(sizes_words_each.size() * cycle_times_ns.size());
+    for (std::uint64_t words_each : sizes_words_each) {
         SystemConfig config = base;
-        config.setL1SizeWordsEach(sizes_words_each[i]);
+        config.setL1SizeWordsEach(words_each);
         for (double t : cycle_times_ns) {
             config.cycleNs = t;
-            AggregateMetrics m = runGeoMean(config, traces);
-            grid.execNsPerRef[i].push_back(m.execNsPerRef);
-            grid.cyclesPerRef[i].push_back(m.cyclesPerRef);
+            configs.push_back(config);
         }
-        inform("speed-size grid: size %zu/%zu done", i + 1,
-               sizes_words_each.size());
+    }
+    inform("speed-size grid: %zu points x %zu traces on %u "
+           "thread(s)",
+           configs.size(), traces.size(), parallelThreads());
+    std::vector<AggregateMetrics> metrics =
+        runGeoMeanMany(configs, traces);
+
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < sizes_words_each.size(); ++i) {
+        for (std::size_t j = 0; j < cycle_times_ns.size(); ++j, ++k) {
+            grid.execNsPerRef[i].push_back(metrics[k].execNsPerRef);
+            grid.cyclesPerRef[i].push_back(metrics[k].cyclesPerRef);
+        }
     }
     return grid;
 }

@@ -11,6 +11,18 @@ System::System(const SystemConfig &config) : config_(config)
 {
     config_.validate();
 
+    if (config_.addressing == AddressMode::Physical) {
+        // Physical caches tag with the physical address alone.
+        config_.icache.virtualTags = false;
+        config_.dcache.virtualTags = false;
+        config_.l2cache.virtualTags = false;
+    }
+    buildHierarchy();
+}
+
+void
+System::buildHierarchy()
+{
     memory_ = std::make_unique<MainMemory>(config_.memory,
                                            config_.cycleNs);
     midLevels_.clear();
@@ -32,13 +44,8 @@ System::System(const SystemConfig &config) : config_(config)
                                               below, "L1.wbuf");
     l1Down_ = l1Buffer_.get();
 
-    if (config_.addressing == AddressMode::Physical) {
-        // Physical caches tag with the physical address alone.
-        config_.icache.virtualTags = false;
-        config_.dcache.virtualTags = false;
-        config_.l2cache.virtualTags = false;
+    if (config_.addressing == AddressMode::Physical)
         tlb_ = std::make_unique<Tlb>(config_.tlb);
-    }
     if (config_.split)
         icache_ = std::make_unique<Cache>(config_.icache, "L1I");
     dcache_ = std::make_unique<Cache>(
@@ -49,32 +56,7 @@ void
 System::reset()
 {
     // Rebuild stateful components; cheap relative to a trace run.
-    memory_ = std::make_unique<MainMemory>(config_.memory,
-                                           config_.cycleNs);
-    midLevels_.clear();
-    midBuffers_.clear();
-    MemLevel *below = memory_.get();
-    auto mids = config_.resolvedMidLevels();
-    // Build from the memory upward so each level drains into the
-    // one below through its own write buffer.
-    for (std::size_t i = mids.size(); i-- > 0;) {
-        std::string name = "L" + std::to_string(i + 2);
-        midBuffers_.push_back(std::make_unique<WriteBuffer>(
-            mids[i].buffer, below, name + ".wbuf"));
-        midLevels_.push_back(std::make_unique<CacheLevel>(
-            mids[i].cache, mids[i].timing, midBuffers_.back().get(),
-            name));
-        below = midLevels_.back().get();
-    }
-    l1Buffer_ = std::make_unique<WriteBuffer>(config_.l1Buffer,
-                                              below, "L1.wbuf");
-    l1Down_ = l1Buffer_.get();
-    if (config_.addressing == AddressMode::Physical)
-        tlb_ = std::make_unique<Tlb>(config_.tlb);
-    if (config_.split)
-        icache_ = std::make_unique<Cache>(config_.icache, "L1I");
-    dcache_ = std::make_unique<Cache>(
-        config_.dcache, config_.split ? "L1D" : "L1");
+    buildHierarchy();
     icacheBusy_ = 0;
     dcacheBusy_ = 0;
     missPenalty_.reset();

@@ -54,6 +54,14 @@ class System
     const SystemConfig &config() const { return config_; }
 
   private:
+    /**
+     * (Re)build every stateful component from config_: memory, the
+     * intermediate levels with their write buffers (memory-first so
+     * each level drains into the one below), the L1 write buffer,
+     * the TLB when addressing is physical, and the L1 cache(s).
+     */
+    void buildHierarchy();
+
     /** Reset caches, buffers, clock and statistics for a new run. */
     void reset();
 

@@ -6,6 +6,7 @@
 #include "trace/interleave.hh"
 #include "trace/synthetic.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 #include "util/rng.hh"
 
 namespace cachetime
@@ -92,13 +93,16 @@ generate(const WorkloadSpec &spec, double scale)
 std::vector<Trace>
 generateTable1(double scale)
 {
-    std::vector<Trace> traces;
-    for (const WorkloadSpec &spec : table1Workloads()) {
-        inform("generating workload %s (scale %.2f)...",
-               spec.name.c_str(), scale);
-        traces.push_back(generate(spec, scale));
-    }
-    return traces;
+    // Each workload derives every RNG stream from its own seed, so
+    // the traces are identical whichever order (or thread) builds
+    // them; slot i of the result is always workload i of Table 1.
+    std::vector<WorkloadSpec> specs = table1Workloads();
+    inform("generating %zu Table 1 workloads (scale %.2f) on %u "
+           "thread(s)...",
+           specs.size(), scale, parallelThreads());
+    return parallelMap<Trace>(specs.size(), [&](std::size_t i) {
+        return generate(specs[i], scale);
+    });
 }
 
 double

@@ -1,0 +1,219 @@
+#include "util/parallel.hh"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/logging.hh"
+
+namespace cachetime
+{
+
+namespace
+{
+
+/** Set while this thread is executing pool work: nested calls inline. */
+thread_local bool inPoolWork = false;
+
+/**
+ * One process-wide pool.  Only one parallelFor() is active at a time
+ * (submissions serialize on submitMutex_); nested calls never reach
+ * the pool, so workers need only track the current task generation.
+ */
+class ThreadPool
+{
+  public:
+    static ThreadPool &
+    instance()
+    {
+        static ThreadPool pool;
+        return pool;
+    }
+
+    unsigned threads() const { return threads_; }
+
+    /** @param threads total executors; 0 = hardware concurrency. */
+    void
+    resize(unsigned threads)
+    {
+        std::lock_guard<std::mutex> submit(submitMutex_);
+        if (threads == 0)
+            threads = defaultThreads();
+        if (threads == threads_)
+            return;
+        stopWorkers();
+        threads_ = threads;
+        startWorkers();
+    }
+
+    void
+    run(std::size_t n, const std::function<void(std::size_t)> &body)
+    {
+        std::lock_guard<std::mutex> submit(submitMutex_);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            taskSize_ = n;
+            body_ = &body;
+            cursor_.store(0, std::memory_order_relaxed);
+            // Chunks trade scheduling overhead against balance; with
+            // ~8 chunks per executor the slowest chunk is small
+            // relative to the whole task.
+            chunk_ = n / (std::size_t{threads_} * 8);
+            if (chunk_ == 0)
+                chunk_ = 1;
+            error_ = nullptr;
+            pending_ = workers_.size();
+            ++generation_;
+        }
+        wake_.notify_all();
+        work();
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [this] { return pending_ == 0; });
+        body_ = nullptr;
+        if (error_)
+            std::rethrow_exception(error_);
+    }
+
+  private:
+    ThreadPool()
+    {
+        threads_ = defaultThreads();
+        if (const char *env = std::getenv("CACHETIME_THREADS")) {
+            long v = std::atol(env);
+            if (v >= 1)
+                threads_ = static_cast<unsigned>(v);
+            else
+                warn("ignoring bad CACHETIME_THREADS='%s'", env);
+        }
+        startWorkers();
+    }
+
+    ~ThreadPool() { stopWorkers(); }
+
+    static unsigned
+    defaultThreads()
+    {
+        unsigned hw = std::thread::hardware_concurrency();
+        return hw == 0 ? 1 : hw;
+    }
+
+    void
+    startWorkers()
+    {
+        stop_ = false;
+        for (unsigned i = 1; i < threads_; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    void
+    stopWorkers()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        wake_.notify_all();
+        for (std::thread &worker : workers_)
+            worker.join();
+        workers_.clear();
+    }
+
+    void
+    workerLoop()
+    {
+        std::uint64_t seen = 0;
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            wake_.wait(lock, [this, seen] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            lock.unlock();
+            work();
+            lock.lock();
+            if (--pending_ == 0)
+                done_.notify_one();
+        }
+    }
+
+    /** Pull and execute chunks until the cursor passes the end. */
+    void
+    work()
+    {
+        bool saved = inPoolWork;
+        inPoolWork = true;
+        for (;;) {
+            std::size_t begin =
+                cursor_.fetch_add(chunk_, std::memory_order_relaxed);
+            if (begin >= taskSize_)
+                break;
+            std::size_t end = begin + chunk_;
+            if (end > taskSize_)
+                end = taskSize_;
+            try {
+                for (std::size_t i = begin; i < end; ++i)
+                    (*body_)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (!error_)
+                    error_ = std::current_exception();
+            }
+        }
+        inPoolWork = saved;
+    }
+
+    std::mutex submitMutex_; ///< serializes run() and resize()
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    std::vector<std::thread> workers_;
+    unsigned threads_ = 1;
+    bool stop_ = false;
+    std::uint64_t generation_ = 0;
+    std::size_t pending_ = 0;
+
+    // Current task (valid while generation_ is live).
+    std::size_t taskSize_ = 0;
+    std::size_t chunk_ = 1;
+    const std::function<void(std::size_t)> *body_ = nullptr;
+    std::atomic<std::size_t> cursor_{0};
+    std::exception_ptr error_;
+};
+
+} // namespace
+
+unsigned
+parallelThreads()
+{
+    return ThreadPool::instance().threads();
+}
+
+void
+setParallelThreads(unsigned threads)
+{
+    ThreadPool::instance().resize(threads);
+}
+
+void
+parallelFor(std::size_t n,
+            const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    // Serial path: nested call, single-threaded pool, or a task too
+    // small to amortize a wakeup.
+    if (inPoolWork || n == 1 || parallelThreads() == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+    ThreadPool::instance().run(n, body);
+}
+
+} // namespace cachetime
