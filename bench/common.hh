@@ -12,12 +12,14 @@
 #ifndef CACHETIME_BENCH_COMMON_HH
 #define CACHETIME_BENCH_COMMON_HH
 
+#include <cerrno> // program_invocation_short_name (glibc)
 #include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hh"
+#include "stats/telemetry.hh"
 #include "trace/workloads.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
@@ -30,11 +32,22 @@ namespace cachetime::bench
  * Generate the Table 1 traces at the environment-selected scale.
  * Generation runs through the thread pool (each workload is seeded
  * independently, so the result is order-independent).
+ *
+ * Every bench calls this, so run telemetry is armed here: with
+ * CACHETIME_MANIFEST=<path> set, a JSON run manifest (phase wall
+ * times, pool utilization, SimCache counters) is written to <path>
+ * at exit.
  */
 inline std::vector<Trace>
 standardTraces(double fallback_scale = 0.20)
 {
     setQuiet(std::getenv("CACHETIME_VERBOSE") == nullptr);
+#ifdef __GLIBC__
+    telemetry::enableManifestAtExit(program_invocation_short_name);
+#else
+    telemetry::enableManifestAtExit("bench");
+#endif
+    telemetry::PhaseTimer timer("trace-gen");
     return generateTable1(benchScale(fallback_scale));
 }
 

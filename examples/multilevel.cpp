@@ -87,11 +87,11 @@ main(int argc, char **argv)
     std::cout << "per-level detail (" << detail.traceName << "):\n";
     std::cout << "  L1 read misses: "
               << detail.icache.readMisses + detail.dcache.readMisses
-              << "\n  L2 read accesses: " << detail.l2.readAccesses
+              << "\n  L2 read accesses: " << detail.l2().readAccesses
               << "\n  L2 read misses (go to DRAM): "
-              << detail.l2.readMisses << "\n  L2 hit ratio: "
+              << detail.l2().readMisses << "\n  L2 hit ratio: "
               << TablePrinter::fmt(
-                     100.0 * (1.0 - detail.l2.readMissRatio()), 1)
+                     100.0 * (1.0 - detail.l2().readMissRatio()), 1)
               << "%\n";
     std::cout << "\nthe second level converts most main-memory "
                  "penalties into short L2 hits,\nwhich is the "

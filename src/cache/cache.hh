@@ -31,6 +31,11 @@
 namespace cachetime
 {
 
+namespace stats
+{
+class Registry;
+}
+
 /** Everything the timing layer needs to know about one access. */
 struct AccessOutcome
 {
@@ -72,6 +77,14 @@ struct CacheStats
 
     /** @return write misses / write accesses. */
     double writeMissRatio() const;
+
+    /**
+     * Register every counter plus the derived miss ratios under
+     * @p prefix (e.g. "system.l1d") in @p registry.  The registry
+     * reads through accessors, so *this must outlive every dump.
+     */
+    void regStats(stats::Registry &registry,
+                  const std::string &prefix) const;
 
     void reset() { *this = CacheStats(); }
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/sim_cache.hh"
+#include "stats/telemetry.hh"
 #include "util/logging.hh"
 #include "util/mathutil.hh"
 #include "util/parallel.hh"
@@ -109,6 +110,7 @@ runGeoMean(const SystemConfig &config, const std::vector<Trace> &traces)
     if (traces.empty())
         fatal("runGeoMean: no traces supplied");
 
+    telemetry::PhaseTimer timer("simulate");
     std::vector<std::uint64_t> hashes = traceHashes(traces);
     auto results = parallelMap<SimResultPtr>(
         traces.size(), [&](std::size_t i) {
@@ -126,6 +128,7 @@ runGeoMeanMany(const std::vector<SystemConfig> &configs,
     if (traces.empty())
         fatal("runGeoMeanMany: no traces supplied");
 
+    telemetry::PhaseTimer timer("simulate");
     const std::size_t T = traces.size();
     std::vector<std::uint64_t> hashes = traceHashes(traces);
     auto results = parallelMap<SimResultPtr>(

@@ -213,8 +213,10 @@ SimCache::insert(const SimKey &key,
 {
     Shard &s = shard(key);
     std::lock_guard<std::mutex> lock(s.mutex);
-    if (s.map.size() >= shardCapacity)
+    if (s.map.size() >= shardCapacity) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
         return;
+    }
     s.map.emplace(key, std::move(result));
 }
 
@@ -227,6 +229,7 @@ SimCache::clear()
     }
     hits_.store(0);
     misses_.store(0);
+    dropped_.store(0);
 }
 
 std::size_t

@@ -89,6 +89,9 @@ class SimCache
     std::uint64_t hits() const { return hits_.load(); }
     std::uint64_t misses() const { return misses_.load(); }
 
+    /** @return inserts dropped because a shard was at capacity. */
+    std::uint64_t dropped() const { return dropped_.load(); }
+
     /** @return number of cached results. */
     std::size_t size() const;
 
@@ -122,6 +125,7 @@ class SimCache
     std::atomic<bool> enabled_{true};
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> dropped_{0};
 };
 
 } // namespace cachetime

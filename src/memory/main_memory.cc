@@ -2,10 +2,32 @@
 
 #include <algorithm>
 
+#include "stats/stats.hh"
+#include "trace_debug/trace_debug.hh"
 #include "util/logging.hh"
 
 namespace cachetime
 {
+
+void
+MainMemoryStats::regStats(stats::Registry &registry,
+                          const std::string &prefix) const
+{
+    registry.addScalar(prefix + ".reads", "read operations",
+                       [this] { return reads; });
+    registry.addScalar(prefix + ".writes", "write operations",
+                       [this] { return writes; });
+    registry.addScalar(prefix + ".wordsRead", "words read",
+                       [this] { return wordsRead; });
+    registry.addScalar(prefix + ".wordsWritten", "words written",
+                       [this] { return wordsWritten; });
+    registry.addScalar(prefix + ".busyCycles",
+                       "cycles the unit was occupied",
+                       [this] { return busyCycles; });
+    registry.addScalar(prefix + ".readWaitCycles",
+                       "read start delays due to busy memory",
+                       [this] { return readWaitCycles; });
+}
 
 MainMemory::MainMemory(const MainMemoryConfig &config, double cycleNs)
     : config_(config), timing_(config, cycleNs)
@@ -84,6 +106,13 @@ MainMemory::readBlock(Tick when, Addr addr, unsigned words,
     ++stats_.reads;
     stats_.wordsRead += words;
     stats_.busyCycles += bank_until - start;
+    CACHETIME_TRACE_EVENT(
+        trace_debug::Memory,
+        "mem t=%llu read addr=%llx words=%u wait=%llu done=%llu",
+        static_cast<unsigned long long>(when),
+        static_cast<unsigned long long>(addr), words,
+        static_cast<unsigned long long>(start - when),
+        static_cast<unsigned long long>(complete));
     return {complete, critical};
 }
 
@@ -109,6 +138,12 @@ MainMemory::writeBlock(Tick when, Addr addr, unsigned words, Pid pid)
     ++stats_.writes;
     stats_.wordsWritten += words;
     stats_.busyCycles += bank_until - start;
+    CACHETIME_TRACE_EVENT(
+        trace_debug::Memory,
+        "mem t=%llu write addr=%llx words=%u done=%llu",
+        static_cast<unsigned long long>(when),
+        static_cast<unsigned long long>(addr), words,
+        static_cast<unsigned long long>(release));
     return release;
 }
 

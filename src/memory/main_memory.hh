@@ -14,6 +14,7 @@
 #define CACHETIME_MEMORY_MAIN_MEMORY_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "memory/mem_level.hh"
@@ -21,6 +22,11 @@
 
 namespace cachetime
 {
+
+namespace stats
+{
+class Registry;
+}
 
 /** Counters for main-memory activity (reset at warm start). */
 struct MainMemoryStats
@@ -31,6 +37,10 @@ struct MainMemoryStats
     std::uint64_t wordsWritten = 0;
     Tick busyCycles = 0;     ///< cycles the unit was occupied
     Tick readWaitCycles = 0; ///< read start delays due to busy memory
+
+    /** Register every counter under @p prefix in @p registry. */
+    void regStats(stats::Registry &registry,
+                  const std::string &prefix) const;
 
     void reset() { *this = MainMemoryStats(); }
 };

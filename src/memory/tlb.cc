@@ -1,10 +1,25 @@
 #include "memory/tlb.hh"
 
+#include "stats/stats.hh"
+#include "trace_debug/trace_debug.hh"
 #include "util/logging.hh"
 #include "util/mathutil.hh"
 
 namespace cachetime
 {
+
+void
+TlbStats::regStats(stats::Registry &registry,
+                   const std::string &prefix) const
+{
+    registry.addScalar(prefix + ".accesses", "translations",
+                       [this] { return accesses; });
+    registry.addScalar(prefix + ".misses", "TLB misses",
+                       [this] { return misses; });
+    registry.addFormula(prefix + ".missRatio",
+                        "misses / translations",
+                        [this] { return missRatio(); });
+}
 
 void
 TlbConfig::validate() const
@@ -63,6 +78,10 @@ Tlb::translate(Addr vaddr, Pid pid)
 
     // Miss: refill, evicting the LRU way.
     ++stats_.misses;
+    CACHETIME_TRACE_EVENT(trace_debug::Tlb,
+                          "tlb miss vpage=%llx pid=%u",
+                          static_cast<unsigned long long>(vpage),
+                          static_cast<unsigned>(pid));
     Entry *victim = &ways[0];
     for (unsigned w = 0; w < config_.assoc; ++w) {
         if (!ways[w].valid) {

@@ -22,12 +22,18 @@
 #define CACHETIME_MEMORY_TLB_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/types.hh"
 
 namespace cachetime
 {
+
+namespace stats
+{
+class Registry;
+}
 
 /** Organizational and timing parameters of a TLB. */
 struct TlbConfig
@@ -56,6 +62,10 @@ struct TlbStats
                    ? 0.0
                    : static_cast<double>(misses) / accesses;
     }
+
+    /** Register counters and the miss ratio under @p prefix. */
+    void regStats(stats::Registry &registry,
+                  const std::string &prefix) const;
 
     void reset() { *this = TlbStats(); }
 };

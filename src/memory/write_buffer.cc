@@ -2,10 +2,43 @@
 
 #include <algorithm>
 
+#include "stats/stats.hh"
+#include "trace_debug/trace_debug.hh"
 #include "util/logging.hh"
 
 namespace cachetime
 {
+
+void
+WriteBufferStats::regStats(stats::Registry &registry,
+                           const std::string &prefix) const
+{
+    auto scalar = [&](const char *leaf, const char *desc,
+                      const std::uint64_t &counter) {
+        registry.addScalar(prefix + "." + leaf, desc,
+                           [&counter] { return counter; });
+    };
+    scalar("enqueued", "writes accepted", enqueued);
+    scalar("wordsEnqueued", "words accepted", wordsEnqueued);
+    scalar("coalesced", "writes merged into a queued entry",
+           coalesced);
+    scalar("retired", "entries drained downstream", retired);
+    scalar("readMatches", "reads stalled by an address match",
+           readMatches);
+    scalar("fullStalls", "enqueues that found the buffer full",
+           fullStalls);
+    registry.addScalar(prefix + ".readMatchStallCycles",
+                       "cycles reads waited on matches",
+                       [this] { return readMatchStallCycles; });
+    registry.addScalar(prefix + ".fullStallCycles",
+                       "cycles writers waited on a full buffer",
+                       [this] { return fullStallCycles; });
+    registry.addScalar(prefix + ".maxOccupancy",
+                       "deepest queue observed",
+                       [this] { return maxOccupancy; });
+    registry.addHistogram(prefix + ".occupancy",
+                          "queue depth at each enqueue", &occupancy);
+}
 
 WriteBuffer::WriteBuffer(const WriteBufferConfig &config,
                          MemLevel *downstream, std::string name)
@@ -92,6 +125,12 @@ WriteBuffer::readBlock(Tick when, Addr addr, unsigned words,
                 stats_.readMatchStallCycles += release - start;
                 start = release;
             }
+            CACHETIME_TRACE_EVENT(
+                trace_debug::WriteBuffer,
+                "%s t=%llu read match addr=%llx stall=%llu",
+                name_.c_str(), static_cast<unsigned long long>(when),
+                static_cast<unsigned long long>(addr),
+                static_cast<unsigned long long>(start - when));
         }
     }
     return down_->readBlock(start, addr, words, criticalOffset, pid);
@@ -132,7 +171,20 @@ WriteBuffer::writeBlock(Tick when, Addr addr, unsigned words, Pid pid)
         ++stats_.retired;
         if (stall_until > when)
             stats_.fullStallCycles += stall_until - when;
+        CACHETIME_TRACE_EVENT(
+            trace_debug::WriteBuffer,
+            "%s t=%llu full stall addr=%llx wait=%llu",
+            name_.c_str(), static_cast<unsigned long long>(when),
+            static_cast<unsigned long long>(addr),
+            static_cast<unsigned long long>(stall_until - when));
     }
+
+    CACHETIME_TRACE_EVENT(
+        trace_debug::WriteBuffer,
+        "%s t=%llu enqueue addr=%llx words=%u depth=%zu",
+        name_.c_str(), static_cast<unsigned long long>(when),
+        static_cast<unsigned long long>(addr), words,
+        queue_.size() + 1);
 
     queue_.push_back({addr, words, std::max(when, stall_until), pid});
     stats_.maxOccupancy = std::max<unsigned>(

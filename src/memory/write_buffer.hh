@@ -26,6 +26,11 @@
 namespace cachetime
 {
 
+namespace stats
+{
+class Registry;
+}
+
 /** The eight write-buffer knobs. */
 struct WriteBufferConfig
 {
@@ -69,6 +74,13 @@ struct WriteBufferStats
 
     /** Queue occupancy observed at each enqueue. */
     Histogram occupancy{17, 1};
+
+    /**
+     * Register every counter plus the occupancy histogram under
+     * @p prefix in @p registry; *this must outlive every dump.
+     */
+    void regStats(stats::Registry &registry,
+                  const std::string &prefix) const;
 
     void reset() { *this = WriteBufferStats(); }
 };

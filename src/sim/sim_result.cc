@@ -1,5 +1,7 @@
 #include "sim/sim_result.hh"
 
+#include "stats/stats.hh"
+
 namespace cachetime
 {
 
@@ -13,6 +15,20 @@ ratio(double num, double den)
 }
 
 } // namespace
+
+const CacheStats &
+SimResult::l2() const
+{
+    static const CacheStats empty;
+    return midLevels.empty() ? empty : midLevels.front();
+}
+
+const WriteBufferStats &
+SimResult::l2Buffer() const
+{
+    static const WriteBufferStats empty;
+    return midBuffers.empty() ? empty : midBuffers.front();
+}
 
 double
 SimResult::cyclesPerRef() const
@@ -86,6 +102,73 @@ SimResult::writeTrafficWordRatio() const
         static_cast<double>(icache.wordsWrittenThrough) +
         static_cast<double>(dcache.wordsWrittenThrough);
     return ratio(words + through, static_cast<double>(refs));
+}
+
+void
+SimResult::regStats(stats::Registry &registry,
+                    const std::string &root) const
+{
+    auto name = [&](const char *leaf) { return root + "." + leaf; };
+
+    registry.addValue(name("cycleNs"), "CPU cycle time in ns",
+                      [this] { return cycleNs; });
+    registry.addScalar(name("refs"), "references measured",
+                       [this] { return refs; });
+    registry.addScalar(name("readRefs"), "loads + ifetches measured",
+                       [this] { return readRefs; });
+    registry.addScalar(name("writeRefs"), "stores measured",
+                       [this] { return writeRefs; });
+    registry.addScalar(name("groups"),
+                       "issue groups (couplets count 1)",
+                       [this] { return groups; });
+    registry.addScalar(name("cycles"), "cycles consumed",
+                       [this] { return cycles; });
+
+    registry.addFormula(name("cyclesPerRef"),
+                        "total cycles / total references",
+                        [this] { return cyclesPerRef(); });
+    registry.addFormula(name("execNsPerRef"),
+                        "execution time per reference, ns",
+                        [this] { return execNsPerRef(); });
+    registry.addFormula(name("totalExecNs"),
+                        "total execution time, ns",
+                        [this] { return totalExecNs(); });
+    registry.addFormula(name("readMissRatio"),
+                        "combined L1 read miss ratio",
+                        [this] { return readMissRatio(); });
+    registry.addFormula(name("readTrafficRatio"),
+                        "words fetched below L1 per read",
+                        [this] { return readTrafficRatio(); });
+    registry.addFormula(name("writeTrafficWordRatio"),
+                        "dirty words + write-throughs per reference",
+                        [this] { return writeTrafficWordRatio(); });
+
+    registry.addScalar(name("stallReadCycles"),
+                       "cycles read misses held the CPU",
+                       [this] { return stallReadCycles; });
+    registry.addScalar(name("stallWriteCycles"),
+                       "cycles writes held the CPU",
+                       [this] { return stallWriteCycles; });
+    registry.addScalar(name("stallTlbCycles"),
+                       "cycles TLB walks held the CPU",
+                       [this] { return stallTlbCycles; });
+    registry.addHistogram(name("missPenaltyCycles"),
+                          "observed L1 read-miss service times",
+                          &missPenaltyCycles);
+
+    icache.regStats(registry, root + ".l1i");
+    dcache.regStats(registry, root + ".l1d");
+    l1Buffer.regStats(registry, root + ".l1wbuf");
+    for (std::size_t i = 0; i < midLevels.size(); ++i) {
+        std::string level = "l" + std::to_string(i + 2);
+        midLevels[i].regStats(registry, root + "." + level);
+        if (i < midBuffers.size())
+            midBuffers[i].regStats(registry,
+                                   root + "." + level + "wbuf");
+    }
+    memory.regStats(registry, root + ".mem");
+    if (physical)
+        tlb.regStats(registry, root + ".tlb");
 }
 
 } // namespace cachetime

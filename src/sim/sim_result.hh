@@ -24,6 +24,11 @@
 namespace cachetime
 {
 
+namespace stats
+{
+class Registry;
+}
+
 /** Results of simulating one trace on one machine. */
 struct SimResult
 {
@@ -40,16 +45,26 @@ struct SimResult
 
     CacheStats icache;
     CacheStats dcache;
-    CacheStats l2;          ///< first intermediate level, if any
-    bool hasL2 = false;
     /** All intermediate levels, nearest the CPU first (L2, L3...). */
     std::vector<CacheStats> midLevels;
     std::vector<WriteBufferStats> midBuffers;
     WriteBufferStats l1Buffer;
-    WriteBufferStats l2Buffer; ///< == midBuffers.front(), if any
     MainMemoryStats memory;
     TlbStats tlb;
     bool physical = false; ///< TLB stats valid only when physical
+
+    /** @return true when the machine had an intermediate level. */
+    bool hasL2() const { return !midLevels.empty(); }
+
+    /**
+     * @return the first intermediate level's stats (all-zero when
+     * there is none).  A view over midLevels.front() - the counters
+     * are stored once, so the two can never drift.
+     */
+    const CacheStats &l2() const;
+
+    /** @return the first intermediate level's write-buffer stats. */
+    const WriteBufferStats &l2Buffer() const;
 
     /** Observed L1 read-miss service times, in cycles. */
     Histogram missPenaltyCycles{32, 2};
@@ -100,6 +115,18 @@ struct SimResult
      * themselves, per reference (the smaller curve of Figure 3-1).
      */
     double writeTrafficWordRatio() const;
+
+    /**
+     * Register the whole result as a stats tree rooted at @p root
+     * (default "system"): top-line counters and derived metrics,
+     * then per-component groups - system.l1i, system.l1d,
+     * system.l1wbuf, system.l2 / l2wbuf (and l3... for deeper
+     * hierarchies), system.mem, and system.tlb when physical.  The
+     * registry reads through accessors, so *this must outlive every
+     * dump of @p registry.
+     */
+    void regStats(stats::Registry &registry,
+                  const std::string &root = "system") const;
 };
 
 } // namespace cachetime

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "trace_debug/trace_debug.hh"
 #include "util/logging.hh"
 
 namespace cachetime
@@ -133,6 +134,11 @@ System::accessRead(Cache &cache, const Ref &ref, Tick issue)
     AccessOutcome outcome = cache.read(addr, 1, pid);
     if (outcome.hit) {
         Tick done = start + config_.cpu.readHitCycles;
+        CACHETIME_TRACE_EVENT(
+            trace_debug::Cache, "%s t=%llu read hit addr=%llx",
+            cache.name().c_str(),
+            static_cast<unsigned long long>(start),
+            static_cast<unsigned long long>(addr));
         busy = std::max(busy, done);
         if (outcome.hitPrefetched &&
             cache.config().prefetchPolicy == PrefetchPolicy::Tagged) {
@@ -157,6 +163,13 @@ System::accessRead(Cache &cache, const Ref &ref, Tick issue)
         missPenalty_.sample(
             static_cast<std::uint64_t>(done - start));
         stallRead_ += done - start - config_.cpu.readHitCycles;
+        CACHETIME_TRACE_EVENT(
+            trace_debug::Cache,
+            "%s t=%llu read victim-hit addr=%llx latency=%llu",
+            cache.name().c_str(),
+            static_cast<unsigned long long>(start),
+            static_cast<unsigned long long>(addr),
+            static_cast<unsigned long long>(done - start));
         return done;
     }
 
@@ -196,6 +209,14 @@ System::accessRead(Cache &cache, const Ref &ref, Tick issue)
         done = std::min(resume, fill_done);
     }
     stallRead_ += done - start - config_.cpu.readHitCycles;
+    CACHETIME_TRACE_EVENT(
+        trace_debug::Cache,
+        "%s t=%llu read miss%s addr=%llx latency=%llu%s",
+        cache.name().c_str(), static_cast<unsigned long long>(start),
+        outcome.tagMatch ? " (sub-block)" : "",
+        static_cast<unsigned long long>(addr),
+        static_cast<unsigned long long>(done - start),
+        outcome.victimDirty ? " writeback" : "");
     if (cache.config().prefetchPolicy != PrefetchPolicy::None) {
         // One-block lookahead behind the demand fill.
         maybePrefetch(cache, busy, addr, pid, fill_done);
@@ -222,6 +243,13 @@ System::accessWrite(Cache &cache, const Ref &ref, Tick issue)
         }
         busy = std::max(busy, done);
         stallWrite_ += done - start - config_.cpu.writeHitCycles;
+        CACHETIME_TRACE_EVENT(
+            trace_debug::Cache,
+            "%s t=%llu write hit addr=%llx latency=%llu",
+            cache.name().c_str(),
+            static_cast<unsigned long long>(start),
+            static_cast<unsigned long long>(addr),
+            static_cast<unsigned long long>(done - start));
         return done;
     }
 
@@ -245,6 +273,14 @@ System::accessWrite(Cache &cache, const Ref &ref, Tick issue)
         done = std::max(done, stall);
         busy = std::max(busy, done);
         stallWrite_ += done - start - config_.cpu.writeHitCycles;
+        CACHETIME_TRACE_EVENT(
+            trace_debug::Cache,
+            "%s t=%llu write miss (no-allocate) addr=%llx "
+            "latency=%llu",
+            cache.name().c_str(),
+            static_cast<unsigned long long>(start),
+            static_cast<unsigned long long>(addr),
+            static_cast<unsigned long long>(done - start));
         return done;
     }
 
@@ -270,6 +306,13 @@ System::accessWrite(Cache &cache, const Ref &ref, Tick issue)
     }
     busy = std::max(busy, done);
     stallWrite_ += done - start - config_.cpu.writeHitCycles;
+    CACHETIME_TRACE_EVENT(
+        trace_debug::Cache,
+        "%s t=%llu write miss (allocate) addr=%llx latency=%llu%s",
+        cache.name().c_str(), static_cast<unsigned long long>(start),
+        static_cast<unsigned long long>(addr),
+        static_cast<unsigned long long>(done - start),
+        outcome.victimDirty ? " writeback" : "");
     return done;
 }
 
@@ -277,6 +320,10 @@ SimResult
 System::run(const Trace &trace)
 {
     reset();
+    CACHETIME_TRACE_EVENT(trace_debug::Sim,
+                          "run start trace=%s refs=%zu warm=%zu",
+                          trace.name().c_str(), trace.size(),
+                          trace.warmStart());
 
     Cache &iside = config_.split ? *icache_ : *dcache_;
     Cache &dside = *dcache_;
@@ -348,14 +395,9 @@ System::run(const Trace &trace)
         result.icache = icache_->stats();
     result.dcache = dcache_->stats();
     // midLevels_ is ordered memory-first; expose CPU-first.
-    result.hasL2 = !midLevels_.empty();
     for (std::size_t i = midLevels_.size(); i-- > 0;) {
         result.midLevels.push_back(midLevels_[i]->cache().stats());
         result.midBuffers.push_back(midBuffers_[i]->stats());
-    }
-    if (!result.midLevels.empty()) {
-        result.l2 = result.midLevels.front();
-        result.l2Buffer = result.midBuffers.front();
     }
     result.l1Buffer = l1Buffer_->stats();
     result.memory = memory_->stats();
@@ -367,6 +409,11 @@ System::run(const Trace &trace)
     result.stallReadCycles = stallRead_;
     result.stallWriteCycles = stallWrite_;
     result.stallTlbCycles = stallTlb_;
+    CACHETIME_TRACE_EVENT(
+        trace_debug::Sim, "run end trace=%s cycles=%llu refs=%llu",
+        trace.name().c_str(),
+        static_cast<unsigned long long>(result.cycles),
+        static_cast<unsigned long long>(result.refs));
     return result;
 }
 

@@ -1,0 +1,291 @@
+#include "stats/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/histogram.hh"
+#include "util/logging.hh"
+
+namespace cachetime
+{
+namespace stats
+{
+
+namespace
+{
+
+bool
+validName(const std::string &name)
+{
+    if (name.empty() || name.front() == '.' || name.back() == '.')
+        return false;
+    bool prev_dot = false;
+    for (char c : name) {
+        if (c == '.') {
+            if (prev_dot)
+                return false;
+            prev_dot = true;
+            continue;
+        }
+        prev_dot = false;
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+/** True if @p prefix names a group containing @p name. */
+bool
+isGroupPrefix(const std::string &prefix, const std::string &name)
+{
+    return name.size() > prefix.size() &&
+           name.compare(0, prefix.size(), prefix) == 0 &&
+           name[prefix.size()] == '.';
+}
+
+/** Render a double for JSON/CSV; non-finite becomes null. */
+std::string
+numberToString(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** Render a stat's scalar value (integers without a decimal point). */
+std::string
+scalarToString(const Stat &stat)
+{
+    double v = stat.value();
+    if (stat.kind == Kind::Scalar && std::isfinite(v)) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(v));
+        return buf;
+    }
+    return numberToString(v);
+}
+
+void
+jsonHistogram(std::ostream &os, const Histogram &h)
+{
+    os << "{\"count\":" << h.count()
+       << ",\"mean\":" << numberToString(h.mean())
+       << ",\"max\":" << h.max() << ",\"overflow\":" << h.overflow()
+       << ",\"binWidth\":" << (h.bins() ? h.binStart(1) : 1)
+       << ",\"bins\":[";
+    for (std::size_t i = 0; i < h.bins(); ++i) {
+        if (i)
+            os << ',';
+        os << h.bin(i);
+    }
+    os << "]}";
+}
+
+struct Node
+{
+    const Stat *stat; ///< non-null for leaves
+    std::string segment;
+    std::vector<Node> children;
+};
+
+/** Group sorted [begin, end) stats into a tree below @p node. */
+void
+buildTree(Node &node, std::vector<const Stat *>::const_iterator begin,
+          std::vector<const Stat *>::const_iterator end,
+          std::size_t depth)
+{
+    while (begin != end) {
+        const std::string &name = (*begin)->name;
+        std::size_t next_dot = name.find('.', depth);
+        std::string segment =
+            name.substr(depth, next_dot == std::string::npos
+                                   ? std::string::npos
+                                   : next_dot - depth);
+        if (next_dot == std::string::npos) {
+            node.children.push_back({*begin, segment, {}});
+            ++begin;
+            continue;
+        }
+        // Collect the contiguous run sharing this group segment.
+        auto run_end = begin;
+        std::string prefix = name.substr(0, next_dot);
+        while (run_end != end && isGroupPrefix(prefix, (*run_end)->name))
+            ++run_end;
+        Node child{nullptr, segment, {}};
+        buildTree(child, begin, run_end, next_dot + 1);
+        node.children.push_back(std::move(child));
+        begin = run_end;
+    }
+}
+
+void
+jsonNode(std::ostream &os, const Node &node)
+{
+    if (node.stat) {
+        const Stat &s = *node.stat;
+        if (s.kind == Kind::Histogram)
+            jsonHistogram(os, *s.hist);
+        else
+            os << scalarToString(s);
+        return;
+    }
+    os << '{';
+    for (std::size_t i = 0; i < node.children.size(); ++i) {
+        if (i)
+            os << ',';
+        os << '"' << jsonEscape(node.children[i].segment) << "\":";
+        jsonNode(os, node.children[i]);
+    }
+    os << '}';
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+Registry::add(Stat stat)
+{
+    if (!validName(stat.name))
+        panic("stats: invalid stat name '%s'", stat.name.c_str());
+    for (const Stat &existing : stats_) {
+        if (existing.name == stat.name)
+            panic("stats: duplicate stat name '%s'",
+                  stat.name.c_str());
+        // A name may not be both a value and a group.
+        if (isGroupPrefix(existing.name, stat.name) ||
+            isGroupPrefix(stat.name, existing.name))
+            panic("stats: name '%s' collides with group '%s'",
+                  stat.name.c_str(), existing.name.c_str());
+    }
+    stats_.push_back(std::move(stat));
+}
+
+void
+Registry::addScalar(const std::string &name, const std::string &desc,
+                    std::function<std::uint64_t()> value)
+{
+    add({name, desc, Kind::Scalar,
+         [value = std::move(value)] {
+             return static_cast<double>(value());
+         },
+         nullptr});
+}
+
+void
+Registry::addValue(const std::string &name, const std::string &desc,
+                   std::function<double()> value)
+{
+    add({name, desc, Kind::Value, std::move(value), nullptr});
+}
+
+void
+Registry::addFormula(const std::string &name, const std::string &desc,
+                     std::function<double()> value)
+{
+    add({name, desc, Kind::Formula, std::move(value), nullptr});
+}
+
+void
+Registry::addHistogram(const std::string &name,
+                       const std::string &desc,
+                       const cachetime::Histogram *hist)
+{
+    if (!hist)
+        panic("stats: null histogram for '%s'", name.c_str());
+    add({name, desc, Kind::Histogram, nullptr, hist});
+}
+
+const Stat *
+Registry::find(const std::string &name) const
+{
+    for (const Stat &stat : stats_)
+        if (stat.name == name)
+            return &stat;
+    return nullptr;
+}
+
+void
+Registry::dumpText(std::ostream &os) const
+{
+    std::size_t width = 0;
+    for (const Stat &stat : stats_)
+        width = std::max(width, stat.name.size());
+    for (const Stat &stat : stats_) {
+        std::string value = stat.kind == Kind::Histogram
+                                ? stat.hist->summary()
+                                : scalarToString(stat);
+        os << stat.name
+           << std::string(width - stat.name.size() + 2, ' ') << value;
+        if (!stat.desc.empty())
+            os << "  # " << stat.desc;
+        os << '\n';
+    }
+}
+
+void
+Registry::dumpJson(std::ostream &os) const
+{
+    std::vector<const Stat *> sorted;
+    sorted.reserve(stats_.size());
+    for (const Stat &stat : stats_)
+        sorted.push_back(&stat);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Stat *a, const Stat *b) {
+                  return a->name < b->name;
+              });
+    Node root{nullptr, "", {}};
+    buildTree(root, sorted.begin(), sorted.end(), 0);
+    jsonNode(os, root);
+}
+
+void
+Registry::dumpCsv(std::ostream &os) const
+{
+    os << "stat,value\n";
+    for (const Stat &stat : stats_) {
+        if (stat.kind == Kind::Histogram) {
+            const Histogram &h = *stat.hist;
+            os << stat.name << ".count," << h.count() << '\n'
+               << stat.name << ".mean," << numberToString(h.mean())
+               << '\n'
+               << stat.name << ".max," << h.max() << '\n'
+               << stat.name << ".overflow," << h.overflow() << '\n';
+            continue;
+        }
+        os << stat.name << ',' << scalarToString(stat) << '\n';
+    }
+}
+
+} // namespace stats
+} // namespace cachetime

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Machine-readable run telemetry.
+ *
+ * Every bench and tool run can leave a JSON *run manifest* next to
+ * its output: what was run (tool, config hash, trace identities),
+ * how long each phase took (PhaseTimer), how well the worker pool
+ * was used, and how the SimCache behaved.  The manifest makes a run
+ * auditable after the fact - the paper's argument lives and dies on
+ * which counters were measured and under what machine description,
+ * so the measurement conditions are recorded in the same directory
+ * as the numbers.
+ *
+ * PhaseTimer is a scoped wall-clock timer aggregating by name into a
+ * process-wide table (mutex-protected; the cost is two clock reads
+ * and one lock per scope, negligible next to a trace run).
+ *
+ * CACHETIME_MANIFEST=<path> makes any bench using bench/common.hh
+ * write its manifest to <path> at exit; tools/cachetime_sim writes
+ * one explicitly via --stats-json.
+ */
+
+#ifndef CACHETIME_STATS_TELEMETRY_HH
+#define CACHETIME_STATS_TELEMETRY_HH
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cachetime
+{
+
+struct SystemConfig;
+
+namespace telemetry
+{
+
+/** Accumulated wall time of one named phase. */
+struct PhaseRecord
+{
+    std::string name;
+    double seconds = 0.0;
+    std::uint64_t count = 0; ///< number of completed scopes
+};
+
+/**
+ * Scoped phase timer: construction starts the clock, destruction
+ * adds the elapsed wall time to the process-wide record for @p name.
+ * Nested and concurrent scopes are fine; times simply accumulate.
+ */
+class PhaseTimer
+{
+  public:
+    explicit PhaseTimer(std::string name);
+    ~PhaseTimer();
+
+    PhaseTimer(const PhaseTimer &) = delete;
+    PhaseTimer &operator=(const PhaseTimer &) = delete;
+
+  private:
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** @return all phase records, in first-seen order. */
+std::vector<PhaseRecord> phases();
+
+/** Drop all phase records (tests). */
+void resetPhases();
+
+/** @return wall seconds since process start (static init). */
+double processWallSeconds();
+
+/** @return the 32-hex-digit canonical hash of @p config. */
+std::string configHash(const SystemConfig &config);
+
+/** Everything a manifest records beyond the ambient counters. */
+struct RunManifest
+{
+    std::string tool;           ///< e.g. "cachetime_sim"
+    std::string configHash;     ///< from configHash(); may be empty
+    std::string configSummary;  ///< SystemConfig::describe()
+    std::vector<std::string> traces; ///< trace names, run order
+    unsigned traceFlags = 0;    ///< trace_debug flag word in effect
+
+    /**
+     * Extra top-level entries: key -> pre-serialized JSON value
+     * (caller guarantees validity).  Lets tools attach per-trace
+     * stats registries without telemetry knowing their shape.
+     */
+    std::vector<std::pair<std::string, std::string>> extra;
+};
+
+/**
+ * Write the manifest as one JSON object: the RunManifest fields plus
+ * the ambient phase table, pool utilization and SimCache counters
+ * sampled now.
+ */
+void writeManifest(std::ostream &os, const RunManifest &manifest);
+
+/** writeManifest() to @p path; @return false on I/O failure. */
+bool writeManifestFile(const std::string &path,
+                       const RunManifest &manifest);
+
+/**
+ * If CACHETIME_MANIFEST is set, arrange for a manifest named
+ * @p tool to be written there at normal process exit (idempotent).
+ */
+void enableManifestAtExit(const std::string &tool);
+
+} // namespace telemetry
+} // namespace cachetime
+
+#endif // CACHETIME_STATS_TELEMETRY_HH

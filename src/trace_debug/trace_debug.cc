@@ -1,0 +1,191 @@
+#include "trace_debug/trace_debug.hh"
+
+#include <cstdarg>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+
+#include "util/logging.hh"
+
+namespace cachetime
+{
+namespace trace_debug
+{
+
+std::atomic<unsigned> flagWord{0};
+
+namespace
+{
+
+struct FlagName
+{
+    const char *name;
+    unsigned bit;
+};
+
+constexpr FlagName flagNames[] = {
+    {"cache", Cache}, {"wb", WriteBuffer}, {"tlb", Tlb},
+    {"mem", Memory},  {"sim", Sim},        {"all", All},
+};
+
+const char *
+flagTag(Flag flag)
+{
+    for (const FlagName &f : flagNames)
+        if (f.bit == static_cast<unsigned>(flag))
+            return f.name;
+    return "?";
+}
+
+std::mutex sinkMutex;
+std::deque<std::string> ring;
+std::size_t ringCapacity = 0; ///< 0 = stream mode
+std::FILE *stream = nullptr;  ///< nullptr = stderr
+
+/** Parse CACHETIME_TRACE once, before main() runs. */
+struct EnvInit
+{
+    EnvInit()
+    {
+        const char *env = std::getenv("CACHETIME_TRACE");
+        if (!env || !*env)
+            return;
+        std::string error;
+        unsigned parsed = parseFlags(env, &error);
+        if (!error.empty()) {
+            warn("CACHETIME_TRACE: %s", error.c_str());
+            return;
+        }
+        flagWord.store(parsed, std::memory_order_relaxed);
+    }
+} envInit;
+
+} // namespace
+
+unsigned
+parseFlags(const std::string &spec, std::string *error)
+{
+    unsigned out = 0;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string token = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        // Tolerate whitespace around tokens (env-var friendliness).
+        std::size_t b = token.find_first_not_of(" \t");
+        std::size_t e = token.find_last_not_of(" \t");
+        token = b == std::string::npos
+                    ? std::string{}
+                    : token.substr(b, e - b + 1);
+        if (token.empty())
+            continue;
+        bool known = false;
+        for (const FlagName &f : flagNames) {
+            if (token == f.name) {
+                out |= f.bit;
+                known = true;
+                break;
+            }
+        }
+        if (!known) {
+            if (error)
+                *error = "unknown trace flag '" + token +
+                         "' (know: cache, wb, tlb, mem, sim, all)";
+            return 0;
+        }
+    }
+    return out;
+}
+
+std::string
+flagsToString(unsigned flags)
+{
+    if ((flags & All) == All)
+        return "all";
+    std::string out;
+    for (const FlagName &f : flagNames) {
+        if (f.bit == All || !(flags & f.bit))
+            continue;
+        if (!out.empty())
+            out += ',';
+        out += f.name;
+    }
+    return out;
+}
+
+void
+setFlags(unsigned flags)
+{
+    flagWord.store(flags, std::memory_order_relaxed);
+}
+
+unsigned
+flags()
+{
+    return flagWord.load(std::memory_order_relaxed);
+}
+
+void
+emit(Flag flag, const char *fmt, ...)
+{
+    if (!enabled(flag))
+        return;
+
+    char buf[512];
+    int prefix = std::snprintf(buf, sizeof(buf), "%s: ",
+                               flagTag(flag));
+    va_list args;
+    va_start(args, fmt);
+    int n = std::vsnprintf(buf + prefix, sizeof(buf) - prefix, fmt,
+                           args);
+    va_end(args);
+    if (n < 0)
+        return;
+    std::size_t len = static_cast<std::size_t>(prefix) +
+                      std::min(static_cast<std::size_t>(n),
+                               sizeof(buf) - prefix - 2);
+
+    std::lock_guard<std::mutex> lock(sinkMutex);
+    if (ringCapacity > 0) {
+        ring.emplace_back(buf, len);
+        if (ring.size() > ringCapacity)
+            ring.pop_front();
+        return;
+    }
+    buf[len] = '\n';
+    std::fwrite(buf, 1, len + 1, stream ? stream : stderr);
+}
+
+void
+setRingCapacity(std::size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex);
+    ringCapacity = capacity;
+    if (capacity == 0) {
+        ring.clear();
+    } else {
+        while (ring.size() > capacity)
+            ring.pop_front();
+    }
+}
+
+std::vector<std::string>
+drainRing()
+{
+    std::lock_guard<std::mutex> lock(sinkMutex);
+    std::vector<std::string> out(ring.begin(), ring.end());
+    ring.clear();
+    return out;
+}
+
+void
+setStream(std::FILE *s)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex);
+    stream = s;
+}
+
+} // namespace trace_debug
+} // namespace cachetime

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Runtime-flag-gated debug event tracing.
+ *
+ * Simulation components emit per-reference events (miss class,
+ * service latency, writebacks, buffer stalls, TLB walks) through
+ * TRACE_EVENT().  Emission is gated on a process-wide atomic flag
+ * word, so a disabled trace point costs one relaxed load and a
+ * predictable branch - cheap enough to leave in the hot path.
+ *
+ * Flags are set from the CACHETIME_TRACE environment variable (a
+ * comma list: "cache,wb,tlb,mem,sim" or "all"), from the tool's
+ * --trace-flags option, or programmatically via setFlags().
+ *
+ * Events go to one of two sinks:
+ *  - a FILE stream (default stderr; setStream() redirects), where
+ *    each event is one complete line written with a single locked
+ *    fwrite, so lines never interleave across the worker pool; or
+ *  - a bounded in-memory ring (setRingCapacity(n)), which keeps the
+ *    most recent n events for post-mortem inspection and tests.
+ * Both sinks are thread-safe.
+ */
+
+#ifndef CACHETIME_TRACE_DEBUG_TRACE_DEBUG_HH
+#define CACHETIME_TRACE_DEBUG_TRACE_DEBUG_HH
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cachetime
+{
+namespace trace_debug
+{
+
+/** One bit per traceable component. */
+enum Flag : unsigned
+{
+    None = 0u,
+    Cache = 1u << 0,       ///< L1/L2 per-reference events ("cache")
+    WriteBuffer = 1u << 1, ///< write-buffer activity ("wb")
+    Tlb = 1u << 2,         ///< TLB misses ("tlb")
+    Memory = 1u << 3,      ///< main-memory operations ("mem")
+    Sim = 1u << 4,         ///< run lifecycle events ("sim")
+    All = Cache | WriteBuffer | Tlb | Memory | Sim,
+};
+
+/** The live flag word; read inline by enabled(). */
+extern std::atomic<unsigned> flagWord;
+
+/** @return true if events tagged @p flag are being collected. */
+inline bool
+enabled(Flag flag)
+{
+    return (flagWord.load(std::memory_order_relaxed) & flag) != 0;
+}
+
+/**
+ * Parse a comma-separated flag list ("cache,wb", "all", "").
+ * @param spec  the list; empty means no flags
+ * @param error receives a message for an unknown name, if non-null
+ * @return the flag word, or 0 with *error set on a bad name
+ */
+unsigned parseFlags(const std::string &spec,
+                    std::string *error = nullptr);
+
+/** @return the canonical "cache,wb,..." spelling of @p flags. */
+std::string flagsToString(unsigned flags);
+
+/** Replace the flag word. */
+void setFlags(unsigned flags);
+
+/** @return the current flag word (env-initialized on first use). */
+unsigned flags();
+
+/**
+ * Emit one event if @p flag is enabled.  printf-style; the line is
+ * prefixed with the flag name and terminated for the caller.
+ */
+void emit(Flag flag, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/**
+ * Keep the last @p capacity events in memory instead of writing to
+ * the stream; 0 restores stream output.
+ */
+void setRingCapacity(std::size_t capacity);
+
+/** @return and clear the ring contents, oldest first. */
+std::vector<std::string> drainRing();
+
+/** Redirect stream output (nullptr restores stderr).  The caller
+ * owns @p stream and must keep it open while tracing. */
+void setStream(std::FILE *stream);
+
+} // namespace trace_debug
+} // namespace cachetime
+
+/**
+ * Guarded emission: the argument expressions are not evaluated
+ * unless the flag is live, so trace points are free when disabled.
+ */
+#define CACHETIME_TRACE_EVENT(flag, ...)                              \
+    do {                                                              \
+        if (::cachetime::trace_debug::enabled(flag))                  \
+            ::cachetime::trace_debug::emit(flag, __VA_ARGS__);        \
+    } while (0)
+
+#endif // CACHETIME_TRACE_DEBUG_TRACE_DEBUG_HH

@@ -1,5 +1,7 @@
 #include "util/logging.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -9,14 +11,26 @@ namespace cachetime
 namespace
 {
 
-bool quietFlag = false;
+std::atomic<bool> quietFlag{false};
 
+/**
+ * Format the whole "tag: message\n" line into one buffer and write
+ * it with a single fwrite: stdio locks the stream per call, so
+ * messages from pool workers never interleave mid-line.
+ */
 void
 vreport(const char *tag, const char *fmt, va_list args)
 {
-    std::fprintf(stderr, "%s: ", tag);
-    std::vfprintf(stderr, fmt, args);
-    std::fprintf(stderr, "\n");
+    char buf[1024];
+    int prefix = std::snprintf(buf, sizeof(buf), "%s: ", tag);
+    int n = std::vsnprintf(buf + prefix, sizeof(buf) - prefix - 1,
+                           fmt, args);
+    std::size_t len = static_cast<std::size_t>(prefix);
+    if (n > 0)
+        len += std::min(static_cast<std::size_t>(n),
+                        sizeof(buf) - prefix - 2);
+    buf[len++] = '\n';
+    std::fwrite(buf, 1, len, stderr);
 }
 
 } // namespace
@@ -53,7 +67,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (quietFlag)
+    if (quietFlag.load(std::memory_order_relaxed))
         return;
     va_list args;
     va_start(args, fmt);
@@ -64,13 +78,13 @@ inform(const char *fmt, ...)
 void
 setQuiet(bool q)
 {
-    quietFlag = q;
+    quietFlag.store(q, std::memory_order_relaxed);
 }
 
 bool
 quiet()
 {
-    return quietFlag;
+    return quietFlag.load(std::memory_order_relaxed);
 }
 
 } // namespace cachetime

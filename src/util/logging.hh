@@ -8,6 +8,10 @@
  *            with a normal error status.
  * warn()   - something is suspicious but simulation can continue.
  * inform() - purely informational progress output.
+ *
+ * All four are thread-safe: each message is composed into a single
+ * buffer and written with one stdio call, so concurrent messages
+ * from the worker pool never interleave mid-line.
  */
 
 #ifndef CACHETIME_UTIL_LOGGING_HH

@@ -18,6 +18,15 @@ namespace
 /** Set while this thread is executing pool work: nested calls inline. */
 thread_local bool inPoolWork = false;
 
+/** Set for the lifetime of a pool worker thread (telemetry). */
+thread_local bool isPoolWorker = false;
+
+// Process-wide activity counters behind poolStats().
+std::atomic<std::uint64_t> statDispatches{0};
+std::atomic<std::uint64_t> statSerialRuns{0};
+std::atomic<std::uint64_t> statTasks{0};
+std::atomic<std::uint64_t> statWorkerTasks{0};
+
 /**
  * One process-wide pool.  Only one parallelFor() is active at a time
  * (submissions serialize on submitMutex_); nested calls never reach
@@ -124,6 +133,7 @@ class ThreadPool
     void
     workerLoop()
     {
+        isPoolWorker = true;
         std::uint64_t seen = 0;
         std::unique_lock<std::mutex> lock(mutex_);
         for (;;) {
@@ -147,6 +157,7 @@ class ThreadPool
     {
         bool saved = inPoolWork;
         inPoolWork = true;
+        std::uint64_t executed = 0;
         for (;;) {
             std::size_t begin =
                 cursor_.fetch_add(chunk_, std::memory_order_relaxed);
@@ -155,6 +166,7 @@ class ThreadPool
             std::size_t end = begin + chunk_;
             if (end > taskSize_)
                 end = taskSize_;
+            executed += end - begin;
             try {
                 for (std::size_t i = begin; i < end; ++i)
                     (*body_)(i);
@@ -165,6 +177,12 @@ class ThreadPool
             }
         }
         inPoolWork = saved;
+        if (executed) {
+            statTasks.fetch_add(executed, std::memory_order_relaxed);
+            if (isPoolWorker)
+                statWorkerTasks.fetch_add(executed,
+                                          std::memory_order_relaxed);
+        }
     }
 
     std::mutex submitMutex_; ///< serializes run() and resize()
@@ -209,11 +227,38 @@ parallelFor(std::size_t n,
     // Serial path: nested call, single-threaded pool, or a task too
     // small to amortize a wakeup.
     if (inPoolWork || n == 1 || parallelThreads() == 1) {
+        statSerialRuns.fetch_add(1, std::memory_order_relaxed);
+        statTasks.fetch_add(n, std::memory_order_relaxed);
+        if (isPoolWorker)
+            statWorkerTasks.fetch_add(n, std::memory_order_relaxed);
         for (std::size_t i = 0; i < n; ++i)
             body(i);
         return;
     }
+    statDispatches.fetch_add(1, std::memory_order_relaxed);
     ThreadPool::instance().run(n, body);
+}
+
+double
+PoolStats::workerShare() const
+{
+    return tasks == 0
+               ? 0.0
+               : static_cast<double>(workerTasks) /
+                     static_cast<double>(tasks);
+}
+
+PoolStats
+poolStats()
+{
+    PoolStats stats;
+    stats.dispatches = statDispatches.load(std::memory_order_relaxed);
+    stats.serialRuns = statSerialRuns.load(std::memory_order_relaxed);
+    stats.tasks = statTasks.load(std::memory_order_relaxed);
+    stats.workerTasks =
+        statWorkerTasks.load(std::memory_order_relaxed);
+    stats.threads = parallelThreads();
+    return stats;
 }
 
 } // namespace cachetime

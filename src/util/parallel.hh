@@ -22,6 +22,7 @@
 #define CACHETIME_UTIL_PARALLEL_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -34,6 +35,31 @@ namespace cachetime
  * CACHETIME_THREADS or the hardware concurrency.
  */
 unsigned parallelThreads();
+
+/**
+ * Cumulative pool activity counters, for run telemetry.  Cheap to
+ * maintain (one relaxed add per chunk) and monotonic for the life of
+ * the process.
+ */
+struct PoolStats
+{
+    std::uint64_t dispatches = 0;  ///< parallelFor calls using the pool
+    std::uint64_t serialRuns = 0;  ///< calls that took the serial path
+    std::uint64_t tasks = 0;       ///< iterations executed in the pool
+    std::uint64_t workerTasks = 0; ///< of those, run by pool workers
+    unsigned threads = 1;          ///< current pool concurrency
+
+    /**
+     * @return the fraction of pooled iterations executed by worker
+     * threads (the calling thread runs the rest); 0 when nothing has
+     * been dispatched.  With T executors, perfect balance gives
+     * (T-1)/T.
+     */
+    double workerShare() const;
+};
+
+/** @return a snapshot of the process-wide pool counters. */
+PoolStats poolStats();
 
 /**
  * Resize the pool to @p threads executors (0 = hardware

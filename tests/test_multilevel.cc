@@ -61,7 +61,7 @@ TEST(MultiLevel, ThreeLevelHierarchyRuns)
     // cold fill count.
     EXPECT_EQ(r.midLevels[1].readMisses, 8192u / 32);
     // Sugar field mirrors the first level.
-    EXPECT_EQ(r.l2.readAccesses, r.midLevels[0].readAccesses);
+    EXPECT_EQ(r.l2().readAccesses, r.midLevels[0].readAccesses);
 }
 
 TEST(MultiLevel, ThirdLevelImprovesOverTwo)

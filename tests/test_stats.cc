@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Tests for the stats registry (src/stats/stats.hh) and run
+ * telemetry (src/stats/telemetry.hh).  Suites start with "Stats" so
+ * `ctest -R Stats` runs exactly the observability smoke set.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/system.hh"
+#include "stats/stats.hh"
+#include "stats/telemetry.hh"
+#include "trace/workloads.hh"
+#include "util/histogram.hh"
+#include "util/parallel.hh"
+
+using namespace cachetime;
+
+namespace
+{
+
+/** A short deterministic workload for end-to-end registry tests. */
+Trace
+smallTrace(std::size_t refs)
+{
+    WorkloadSpec spec;
+    spec.name = "stats_test";
+    spec.lengthRefs = refs;
+    spec.seed = 99;
+    return generate(spec);
+}
+
+/** Pull "\"key\":value-ish" out of single-line JSON, crudely. */
+bool
+jsonHasKey(const std::string &json, const std::string &key)
+{
+    return json.find('"' + key + '"') != std::string::npos;
+}
+
+} // namespace
+
+TEST(StatsRegistry, RegistersAndReadsLiveCounters)
+{
+    stats::Registry registry;
+    std::uint64_t hits = 0;
+    registry.addScalar("sys.cache.hits", "hit count",
+                       [&] { return hits; });
+    registry.addFormula("sys.cache.hitRate", "hits per access",
+                        [&] { return hits / 10.0; });
+
+    // The registry stores accessors: a dump reflects the *current*
+    // counter value, not the value at registration time.
+    hits = 7;
+    const stats::Stat *stat = registry.find("sys.cache.hits");
+    ASSERT_NE(stat, nullptr);
+    EXPECT_EQ(stat->kind, stats::Kind::Scalar);
+    EXPECT_DOUBLE_EQ(stat->value(), 7.0);
+    EXPECT_DOUBLE_EQ(registry.find("sys.cache.hitRate")->value(), 0.7);
+    EXPECT_EQ(registry.find("sys.cache.misses"), nullptr);
+    EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(StatsRegistryDeathTest, DuplicateNamePanics)
+{
+    stats::Registry registry;
+    registry.addScalar("a.b", "first", [] { return 1ull; });
+    EXPECT_DEATH(
+        registry.addScalar("a.b", "again", [] { return 2ull; }),
+        "duplicate");
+}
+
+TEST(StatsRegistryDeathTest, InvalidNamePanics)
+{
+    stats::Registry registry;
+    EXPECT_DEATH(
+        registry.addScalar("bad name!", "spaces", [] { return 0ull; }),
+        "name");
+}
+
+TEST(StatsRegistryDeathTest, LeafGroupCollisionPanics)
+{
+    stats::Registry registry;
+    registry.addScalar("sys.l1", "leaf", [] { return 0ull; });
+    // "sys.l1" is already a leaf; making it a group is a wiring bug.
+    EXPECT_DEATH(
+        registry.addScalar("sys.l1.hits", "child", [] { return 0ull; }),
+        "l1");
+}
+
+TEST(StatsDump, JsonNestsAlongDottedNames)
+{
+    stats::Registry registry;
+    registry.addScalar("sys.l1d.hits", "", [] { return 3ull; });
+    registry.addScalar("sys.l1d.misses", "", [] { return 1ull; });
+    registry.addValue("sys.cycleNs", "", [] { return 40.0; });
+
+    std::ostringstream ss;
+    registry.dumpJson(ss);
+    const std::string json = ss.str();
+    EXPECT_TRUE(jsonHasKey(json, "sys"));
+    EXPECT_TRUE(jsonHasKey(json, "l1d"));
+    EXPECT_TRUE(jsonHasKey(json, "hits"));
+    EXPECT_NE(json.find("\"hits\":3"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"cycleNs\":40"), std::string::npos) << json;
+    // Valid nesting: braces balance and the object is non-trivial.
+    long depth = 0;
+    for (char c : json) {
+        if (c == '{')
+            ++depth;
+        if (c == '}')
+            --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(StatsDump, CsvIsFlatAndComplete)
+{
+    stats::Registry registry;
+    registry.addScalar("a.x", "", [] { return 5ull; });
+    Histogram hist(4, 10);
+    hist.sample(15);
+    registry.addHistogram("a.h", "dist", &hist);
+
+    std::ostringstream ss;
+    registry.dumpCsv(ss);
+    std::string csv = ss.str();
+    EXPECT_NE(csv.find("stat,value"), std::string::npos);
+    EXPECT_NE(csv.find("a.x,5"), std::string::npos);
+    EXPECT_NE(csv.find("a.h.count,1"), std::string::npos);
+    EXPECT_NE(csv.find("a.h.mean,15"), std::string::npos);
+}
+
+TEST(StatsDump, TextListsEveryStat)
+{
+    stats::Registry registry;
+    registry.addScalar("m.reads", "read ops", [] { return 2ull; });
+    registry.addFormula("m.ratio", "derived", [] { return 0.5; });
+    std::ostringstream ss;
+    registry.dumpText(ss);
+    EXPECT_NE(ss.str().find("m.reads"), std::string::npos);
+    EXPECT_NE(ss.str().find("read ops"), std::string::npos);
+    EXPECT_NE(ss.str().find("m.ratio"), std::string::npos);
+}
+
+TEST(StatsSimResult, RegStatsCoversTheSystemTree)
+{
+    SystemConfig config = SystemConfig::paperDefault();
+    config.hasL2 = true;
+    Trace trace = smallTrace(2000);
+    SimResult r = System(config).run(trace);
+
+    stats::Registry registry;
+    r.regStats(registry);
+
+    // Top-line, per-level, buffer, and memory stats all present.
+    ASSERT_NE(registry.find("system.refs"), nullptr);
+    EXPECT_DOUBLE_EQ(registry.find("system.refs")->value(),
+                     static_cast<double>(r.refs));
+    EXPECT_NE(registry.find("system.l1d.readMisses"), nullptr);
+    EXPECT_NE(registry.find("system.l1i.readAccesses"), nullptr);
+    EXPECT_NE(registry.find("system.l1wbuf.enqueued"), nullptr);
+    EXPECT_NE(registry.find("system.l2.readAccesses"), nullptr);
+    EXPECT_NE(registry.find("system.mem.reads"), nullptr);
+    const stats::Stat *ratio =
+        registry.find("system.readMissRatio");
+    ASSERT_NE(ratio, nullptr);
+    EXPECT_DOUBLE_EQ(ratio->value(), r.readMissRatio());
+
+    // The registry is a *view*: it must agree with the struct.
+    EXPECT_DOUBLE_EQ(
+        registry.find("system.l1d.readMisses")->value(),
+        static_cast<double>(r.dcache.readMisses));
+
+    // JSON round trip: the dump carries the same miss count.
+    std::ostringstream ss;
+    registry.dumpJson(ss);
+    char expect[64];
+    std::snprintf(expect, sizeof(expect), "\"readMisses\":%llu",
+                  static_cast<unsigned long long>(r.dcache.readMisses));
+    EXPECT_NE(ss.str().find(expect), std::string::npos);
+}
+
+TEST(StatsSimResult, L2AccessorsTrackMidLevels)
+{
+    SystemConfig config = SystemConfig::paperDefault();
+    Trace trace = smallTrace(500);
+
+    SimResult no_l2 = System(config).run(trace);
+    EXPECT_FALSE(no_l2.hasL2());
+    EXPECT_EQ(no_l2.l2().readAccesses, 0u);
+    EXPECT_EQ(no_l2.l2Buffer().enqueued, 0u);
+
+    config.hasL2 = true;
+    SimResult with_l2 = System(config).run(trace);
+    ASSERT_TRUE(with_l2.hasL2());
+    EXPECT_EQ(&with_l2.l2(), &with_l2.midLevels.front());
+    EXPECT_EQ(&with_l2.l2Buffer(), &with_l2.midBuffers.front());
+}
+
+TEST(StatsTelemetry, PhaseTimerAccumulates)
+{
+    telemetry::resetPhases();
+    {
+        telemetry::PhaseTimer t("unit-test-phase");
+    }
+    {
+        telemetry::PhaseTimer t("unit-test-phase");
+    }
+    bool found = false;
+    for (const telemetry::PhaseRecord &p : telemetry::phases()) {
+        if (p.name == "unit-test-phase") {
+            found = true;
+            EXPECT_EQ(p.count, 2u);
+            EXPECT_GE(p.seconds, 0.0);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(StatsTelemetry, ConfigHashIsStableAndSensitive)
+{
+    SystemConfig a = SystemConfig::paperDefault();
+    SystemConfig b = SystemConfig::paperDefault();
+    EXPECT_EQ(telemetry::configHash(a), telemetry::configHash(b));
+    EXPECT_EQ(telemetry::configHash(a).size(), 32u);
+    b.cycleNs += 1.0;
+    EXPECT_NE(telemetry::configHash(a), telemetry::configHash(b));
+}
+
+TEST(StatsTelemetry, ManifestFileIsWellFormed)
+{
+    telemetry::RunManifest manifest;
+    manifest.tool = "unit-test";
+    manifest.configHash = telemetry::configHash(
+        SystemConfig::paperDefault());
+    manifest.configSummary = "tiny \"quoted\" summary";
+    manifest.traces.push_back("t1");
+    manifest.traces.push_back("t2");
+    manifest.extra.emplace_back("custom", "{\"k\":1}");
+
+    std::string path = testing::TempDir() + "manifest.json";
+    ASSERT_TRUE(telemetry::writeManifestFile(path, manifest));
+
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string json = ss.str();
+    EXPECT_TRUE(jsonHasKey(json, "tool"));
+    EXPECT_NE(json.find("\"unit-test\""), std::string::npos);
+    EXPECT_TRUE(jsonHasKey(json, "config"));
+    EXPECT_TRUE(jsonHasKey(json, "hash"));
+    EXPECT_TRUE(jsonHasKey(json, "phases"));
+    EXPECT_TRUE(jsonHasKey(json, "pool"));
+    EXPECT_TRUE(jsonHasKey(json, "sim_cache"));
+    EXPECT_TRUE(jsonHasKey(json, "wall_seconds"));
+    EXPECT_TRUE(jsonHasKey(json, "custom"));
+    // The quote in the summary must have been escaped.
+    EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(StatsTelemetry, PoolCountersAdvance)
+{
+    PoolStats before = poolStats();
+    parallelFor(64, [](std::size_t) {});
+    PoolStats after = poolStats();
+    EXPECT_GE(after.tasks, before.tasks + 64);
+    EXPECT_GE(after.dispatches + after.serialRuns,
+              before.dispatches + before.serialRuns + 1);
+    EXPECT_GE(after.workerShare(), 0.0);
+    EXPECT_LE(after.workerShare(), 1.0);
+}

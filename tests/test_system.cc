@@ -180,8 +180,8 @@ TEST(System, TwoLevelHierarchyReducesSecondMissCost)
     SystemConfig no_l2 = tinyConfig();
     SimResult r1 = System(no_l2).run(trace);
 
-    EXPECT_EQ(r2.l2.readMisses, 2u);
-    EXPECT_EQ(r2.l2.readAccesses, 40u);
+    EXPECT_EQ(r2.l2().readMisses, 2u);
+    EXPECT_EQ(r2.l2().readAccesses, 40u);
     EXPECT_LT(r2.cycles, r1.cycles);
 }
 

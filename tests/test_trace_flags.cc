@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the debug-trace flag machinery
+ * (src/trace_debug/trace_debug.hh).  Suite name starts with
+ * "TraceFlags" so the observability smoke set (`ctest -R
+ * 'Stats|TraceFlags'`) picks it up.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "trace_debug/trace_debug.hh"
+#include "util/parallel.hh"
+
+using namespace cachetime;
+using namespace cachetime::trace_debug;
+
+namespace
+{
+
+/** Restore global trace state on scope exit. */
+struct FlagGuard
+{
+    unsigned saved = flags();
+    ~FlagGuard()
+    {
+        setFlags(saved);
+        setRingCapacity(0);
+    }
+};
+
+} // namespace
+
+TEST(TraceFlags, ParsesSingleAndCombinedNames)
+{
+    EXPECT_EQ(parseFlags("cache"), unsigned{Cache});
+    EXPECT_EQ(parseFlags("wb"), unsigned{WriteBuffer});
+    EXPECT_EQ(parseFlags("tlb"), unsigned{Tlb});
+    EXPECT_EQ(parseFlags("mem"), unsigned{Memory});
+    EXPECT_EQ(parseFlags("sim"), unsigned{Sim});
+    EXPECT_EQ(parseFlags("cache,wb,tlb"),
+              unsigned{Cache | WriteBuffer | Tlb});
+    EXPECT_EQ(parseFlags("all"), unsigned{All});
+    EXPECT_EQ(parseFlags(""), 0u);
+    // Whitespace and repeats are tolerated.
+    EXPECT_EQ(parseFlags(" cache , cache "), unsigned{Cache});
+}
+
+TEST(TraceFlags, RejectsUnknownNames)
+{
+    std::string error;
+    EXPECT_EQ(parseFlags("cache,bogus", &error), 0u);
+    EXPECT_NE(error.find("bogus"), std::string::npos);
+    // The message lists the valid spellings.
+    EXPECT_NE(error.find("cache"), std::string::npos);
+}
+
+TEST(TraceFlags, RoundTripsThroughString)
+{
+    EXPECT_EQ(flagsToString(Cache | Tlb), "cache,tlb");
+    EXPECT_EQ(flagsToString(All), "all");
+    EXPECT_EQ(flagsToString(0), "");
+    EXPECT_EQ(parseFlags(flagsToString(All)), unsigned{All});
+    EXPECT_EQ(parseFlags(flagsToString(Cache | Memory)),
+              unsigned{Cache | Memory});
+}
+
+TEST(TraceFlags, EnabledGatesOnTheFlagWord)
+{
+    FlagGuard guard;
+    setFlags(0);
+    EXPECT_FALSE(enabled(Cache));
+    setFlags(Cache | Sim);
+    EXPECT_TRUE(enabled(Cache));
+    EXPECT_TRUE(enabled(Sim));
+    EXPECT_FALSE(enabled(Tlb));
+}
+
+TEST(TraceFlags, DisabledEventDoesNotEvaluateArguments)
+{
+    FlagGuard guard;
+    setFlags(0);
+    int evaluated = 0;
+    CACHETIME_TRACE_EVENT(Cache, "side effect %d", ++evaluated);
+    EXPECT_EQ(evaluated, 0);
+    setFlags(Cache);
+    setRingCapacity(8);
+    CACHETIME_TRACE_EVENT(Cache, "side effect %d", ++evaluated);
+    EXPECT_EQ(evaluated, 1);
+}
+
+TEST(TraceFlags, RingKeepsTheMostRecentEvents)
+{
+    FlagGuard guard;
+    setFlags(Cache);
+    setRingCapacity(3);
+    for (int i = 0; i < 10; ++i)
+        emit(Cache, "event %d", i);
+    std::vector<std::string> events = drainRing();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_NE(events[0].find("event 7"), std::string::npos);
+    EXPECT_NE(events[2].find("event 9"), std::string::npos);
+    // Events carry their flag-name prefix.
+    EXPECT_EQ(events[0].rfind("cache:", 0), 0u) << events[0];
+    // Drain empties the ring.
+    EXPECT_TRUE(drainRing().empty());
+}
+
+TEST(TraceFlags, RingIsThreadSafeUnderThePool)
+{
+    FlagGuard guard;
+    setFlags(WriteBuffer);
+    setRingCapacity(4096);
+    parallelFor(256, [](std::size_t i) {
+        CACHETIME_TRACE_EVENT(trace_debug::WriteBuffer,
+                              "concurrent %zu", i);
+    });
+    std::vector<std::string> events = drainRing();
+    EXPECT_EQ(events.size(), 256u);
+    for (const std::string &e : events)
+        EXPECT_EQ(e.rfind("wb:", 0), 0u) << e;
+}

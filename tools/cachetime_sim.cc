@@ -18,7 +18,13 @@
  *     --trace FILE        trace file (repeatable)
  *     --workloads SCALE   use the Table 1 workloads at SCALE
  *     --csv               machine-readable per-trace output
- *     --verbose           include distribution statistics
+ *     --stats-json FILE   write a JSON run manifest with the full
+ *                         per-trace stats registry to FILE
+ *     --stats             dump the full stats registry per trace
+ *     --trace-flags LIST  enable event tracing (cache,wb,tlb,mem,
+ *                         sim or all; same syntax as CACHETIME_TRACE)
+ *     --quiet             suppress informational output (default)
+ *     --verbose           informational output + distributions
  *
  * With no --trace/--workloads, runs the Table 1 set at scale 0.1.
  */
@@ -32,6 +38,9 @@
 
 #include "core/experiment.hh"
 #include "sim/system.hh"
+#include "stats/stats.hh"
+#include "stats/telemetry.hh"
+#include "trace_debug/trace_debug.hh"
 #include "trace/trace_io.hh"
 #include "trace/workloads.hh"
 #include "util/logging.hh"
@@ -85,9 +94,9 @@ printResult(const SimResult &r, bool csv, bool verbose)
                   std::to_string(r.l1Buffer.fullStalls)});
     table.addRow({"wbuf read matches",
                   std::to_string(r.l1Buffer.readMatches)});
-    if (r.hasL2) {
+    if (r.hasL2()) {
         table.addRow({"L2 read miss ratio",
-                      TablePrinter::fmt(r.l2.readMissRatio(), 4)});
+                      TablePrinter::fmt(r.l2().readMissRatio(), 4)});
     }
     if (r.physical) {
         table.addRow({"tlb miss ratio",
@@ -103,6 +112,20 @@ printResult(const SimResult &r, bool csv, bool verbose)
     std::cout << '\n';
 }
 
+/** One element of the manifest's "traces" array. */
+std::string
+traceStatsJson(const SimResult &r)
+{
+    stats::Registry registry;
+    r.regStats(registry);
+    std::ostringstream ss;
+    ss << "{\"name\":\"" << stats::jsonEscape(r.traceName)
+       << "\",\"stats\":";
+    registry.dumpJson(ss);
+    ss << '}';
+    return ss.str();
+}
+
 } // namespace
 
 int
@@ -112,7 +135,8 @@ main(int argc, char **argv)
     SystemConfig config = SystemConfig::paperDefault();
     std::vector<std::string> trace_files;
     double workload_scale = 0.0;
-    bool csv = false, verbose = false;
+    bool csv = false, verbose = false, dump_stats = false;
+    std::string stats_json_path;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -131,6 +155,20 @@ main(int argc, char **argv)
             workload_scale = std::stod(need("--workloads"));
         } else if (arg == "--csv") {
             csv = true;
+        } else if (arg == "--stats-json") {
+            stats_json_path = need("--stats-json");
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else if (arg == "--trace-flags") {
+            std::string spec = need("--trace-flags");
+            std::string error;
+            unsigned flags = trace_debug::parseFlags(spec, &error);
+            if (!error.empty())
+                fatal("cachetime_sim: %s", error.c_str());
+            trace_debug::setFlags(flags);
+        } else if (arg == "--quiet") {
+            setQuiet(true);
+            verbose = false;
         } else if (arg == "--verbose") {
             verbose = true;
             setQuiet(false);
@@ -150,22 +188,49 @@ main(int argc, char **argv)
                      "exec_ns_per_ref,read_miss_ratio\n";
 
     std::vector<Trace> traces;
-    for (const std::string &path : trace_files)
-        traces.push_back(loadFile(path));
-    if (traces.empty()) {
-        double scale = workload_scale > 0 ? workload_scale : 0.1;
-        traces = generateTable1(scale);
+    {
+        telemetry::PhaseTimer timer("traces");
+        for (const std::string &path : trace_files)
+            traces.push_back(loadFile(path));
+        if (traces.empty()) {
+            double scale =
+                workload_scale > 0 ? workload_scale : 0.1;
+            traces = generateTable1(scale);
+        }
     }
+
+    telemetry::RunManifest manifest;
+    manifest.tool = "cachetime_sim";
+    manifest.configHash = telemetry::configHash(config);
+    manifest.configSummary = config.describe();
 
     std::vector<double> exec_ns;
-    for (const Trace &trace : traces) {
-        System system(config);
-        SimResult r = system.run(trace);
-        printResult(r, csv, verbose);
-        exec_ns.push_back(r.execNsPerRef());
+    std::string trace_stats_json = "[";
+    {
+        telemetry::PhaseTimer timer("simulate");
+        for (const Trace &trace : traces) {
+            System system(config);
+            SimResult r = system.run(trace);
+            printResult(r, csv, verbose);
+            if (dump_stats) {
+                stats::Registry registry;
+                r.regStats(registry);
+                registry.dumpText(std::cout);
+                std::cout << '\n';
+            }
+            if (!stats_json_path.empty()) {
+                if (manifest.traces.size())
+                    trace_stats_json += ',';
+                trace_stats_json += traceStatsJson(r);
+            }
+            manifest.traces.push_back(trace.name());
+            exec_ns.push_back(r.execNsPerRef());
+        }
     }
+    trace_stats_json += ']';
 
     if (traces.size() > 1 && !csv) {
+        telemetry::PhaseTimer timer("report");
         AggregateMetrics m = runGeoMean(config, traces);
         std::cout << "geometric mean over " << traces.size()
                   << " traces: "
@@ -174,6 +239,15 @@ main(int argc, char **argv)
                   << TablePrinter::fmt(m.execNsPerRef, 2)
                   << " ns/ref, read miss "
                   << TablePrinter::fmt(m.readMissRatio, 4) << '\n';
+    }
+
+    if (!stats_json_path.empty()) {
+        manifest.traceFlags = trace_debug::flags();
+        manifest.extra.emplace_back("trace_stats", trace_stats_json);
+        if (!telemetry::writeManifestFile(stats_json_path, manifest))
+            fatal("cachetime_sim: cannot write '%s'",
+                  stats_json_path.c_str());
+        inform("wrote run manifest to %s", stats_json_path.c_str());
     }
     return 0;
 }
