@@ -96,6 +96,11 @@ System::resetStats()
     if (tlb_)
         tlb_->resetStats();
     missPenalty_.reset();
+    // Stall attribution must cover the same window as the cycle
+    // count, so the warm-start boundary clears it too.
+    stallRead_ = 0;
+    stallWrite_ = 0;
+    stallTlb_ = 0;
 }
 
 void

@@ -299,6 +299,8 @@ applyKeyValues(SystemConfig &config, const std::string &text)
         } else if (key == "tlb.miss_penalty_cycles") {
             config.tlb.missPenaltyCycles =
                 static_cast<unsigned>(std::stoul(value));
+        } else if (key == "tlb.phys_frames") {
+            config.tlb.physFrames = std::stoull(value);
         } else if (key == "split") {
             config.split = parseBool(value, key);
         } else if (key == "has_l2") {
@@ -337,6 +339,18 @@ applyKeyValues(SystemConfig &config, const std::string &text)
             config.memory.streaming = parseBool(value, key);
         } else if (key == "l2.hit_cycles") {
             config.l2Timing.hitCycles =
+                static_cast<unsigned>(std::stoul(value));
+        } else if (key == "l2.upstream_rate_words") {
+            config.l2Timing.upstreamRate.words =
+                static_cast<unsigned>(std::stoul(value));
+        } else if (key == "l2.upstream_rate_cycles") {
+            config.l2Timing.upstreamRate.cycles =
+                static_cast<unsigned>(std::stoul(value));
+        } else if (key == "l2.victim_rate_words") {
+            config.l2Timing.victimRate.words =
+                static_cast<unsigned>(std::stoul(value));
+        } else if (key == "l2.victim_rate_cycles") {
+            config.l2Timing.victimRate.cycles =
                 static_cast<unsigned>(std::stoul(value));
         } else if (key.rfind("icache.", 0) == 0) {
             applyCacheKey(config.icache, key.substr(7), value, key);

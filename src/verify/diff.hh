@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Field-by-field comparison of two SimResults.
+ *
+ * The differential harness asserts *exact* agreement between the
+ * fast path and the oracle - every counter, every histogram bin.
+ * diffResults() walks the whole SimResult and reports each
+ * disagreeing field by name with both values, so a fuzz failure
+ * message pinpoints which component diverged (the first mismatching
+ * counter usually names the guilty timing rule directly).
+ */
+
+#ifndef CACHETIME_VERIFY_DIFF_HH
+#define CACHETIME_VERIFY_DIFF_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/sim_result.hh"
+
+namespace cachetime
+{
+namespace verify
+{
+
+/** One field the two results disagree on. */
+struct FieldDiff
+{
+    std::string field; ///< dotted path, e.g. "dcache.readMisses"
+    std::string lhs;   ///< value in the first result
+    std::string rhs;   ///< value in the second result
+};
+
+/**
+ * Compare every counter of @p a and @p b (identity fields like the
+ * config summary are skipped).
+ *
+ * @return the list of disagreeing fields; empty means the results
+ * are bit-identical where it matters.
+ */
+std::vector<FieldDiff> diffResults(const SimResult &a,
+                                   const SimResult &b);
+
+/** @return a one-line-per-field rendering of @p diffs. */
+std::string formatDiffs(const std::vector<FieldDiff> &diffs);
+
+} // namespace verify
+} // namespace cachetime
+
+#endif // CACHETIME_VERIFY_DIFF_HH

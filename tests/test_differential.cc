@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Property-based differential tests: fast path vs. oracle over the
+ * randomized machine space, thread-count bit-identity, structural
+ * invariants, and the repro/minimizer machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/sim_cache.hh"
+#include "sim/system.hh"
+#include "util/parallel.hh"
+#include "verify/fuzz.hh"
+#include "verify/oracle.hh"
+
+namespace cachetime
+{
+namespace
+{
+
+TEST(Differential, FuzzBatchAgrees)
+{
+    verify::FuzzOptions options;
+    options.seed = 20001; // disjoint from the smoke target's range
+    options.cases = 2500;
+    options.reproDir = ::testing::TempDir();
+    verify::FuzzReport report = verify::runFuzz(options);
+    EXPECT_EQ(report.mismatches, 0u)
+        << "seed " << report.firstBadSeed << "\n"
+        << report.firstDiff << "repro: " << report.reproPath;
+    EXPECT_EQ(report.casesRun, options.cases);
+}
+
+/** Serialize the fields diffResults() compares, for batch equality. */
+std::string
+fingerprint(const SimResult &result)
+{
+    SimResult zero;
+    std::string print;
+    for (const verify::FieldDiff &diff :
+         verify::diffResults(result, zero)) {
+        print += diff.field + "=" + diff.lhs + ";";
+    }
+    return print;
+}
+
+TEST(Differential, BitIdenticalAcrossThreadCounts)
+{
+    const std::size_t cases = 64;
+    const std::uint64_t base_seed = 40001;
+    bool cache_was_enabled = SimCache::global().enabled();
+    SimCache::global().setEnabled(false);
+
+    auto run_batch = [&](unsigned threads) {
+        setParallelThreads(threads);
+        return parallelMap<std::string>(cases, [&](std::size_t i) {
+            verify::FuzzCase fuzz_case =
+                verify::generateCase(base_seed + i);
+            System fast(fuzz_case.config);
+            return fingerprint(fast.run(fuzz_case.trace));
+        });
+    };
+
+    std::vector<std::string> one = run_batch(1);
+    std::vector<std::string> eight = run_batch(8);
+
+    setParallelThreads(0); // back to the environment default
+    SimCache::global().setEnabled(cache_was_enabled);
+
+    ASSERT_EQ(one.size(), eight.size());
+    for (std::size_t i = 0; i < one.size(); ++i)
+        EXPECT_EQ(one[i], eight[i]) << "seed " << base_seed + i;
+}
+
+TEST(Differential, CycleConservation)
+{
+    for (std::uint64_t seed = 50001; seed < 50101; ++seed) {
+        verify::FuzzCase fuzz_case = verify::generateCase(seed);
+        if (fuzz_case.trace.warmStart() != 0)
+            continue;
+        SimResult result =
+            verify::oracleRun(fuzz_case.config, fuzz_case.trace);
+        // Every reference is measured and every group advances the
+        // clock by at least one cycle.
+        EXPECT_EQ(result.refs, fuzz_case.trace.size())
+            << "seed " << seed;
+        EXPECT_GE(result.cycles,
+                  static_cast<Tick>(result.groups))
+            << "seed " << seed;
+        EXPECT_GE(result.stallReadCycles, 0) << "seed " << seed;
+        EXPECT_GE(result.stallWriteCycles, 0) << "seed " << seed;
+        EXPECT_GE(result.stallTlbCycles, 0) << "seed " << seed;
+        // I and D service can overlap inside a couplet, so each
+        // stall class alone is bounded by the wall clock it could
+        // have occupied.
+        EXPECT_LE(result.stallTlbCycles, 2 * result.cycles)
+            << "seed " << seed;
+    }
+}
+
+TEST(Differential, MissClassInclusion)
+{
+    for (std::uint64_t seed = 60001; seed < 60101; ++seed) {
+        verify::FuzzCase fuzz_case = verify::generateCase(seed);
+        SimResult result =
+            verify::oracleRun(fuzz_case.config, fuzz_case.trace);
+        std::vector<CacheStats> caches{result.icache, result.dcache};
+        for (const CacheStats &stats : result.midLevels)
+            caches.push_back(stats);
+        for (const CacheStats &stats : caches) {
+            EXPECT_LE(stats.readMisses, stats.readAccesses);
+            EXPECT_LE(stats.writeMisses, stats.writeAccesses);
+            EXPECT_LE(stats.subBlockMisses, stats.readMisses);
+            EXPECT_LE(stats.dirtyBlocksReplaced,
+                      stats.blocksReplaced);
+        }
+        std::vector<WriteBufferStats> buffers{result.l1Buffer};
+        for (const WriteBufferStats &stats : result.midBuffers)
+            buffers.push_back(stats);
+        for (const WriteBufferStats &stats : buffers) {
+            EXPECT_LE(stats.coalesced, stats.enqueued);
+            // Entries still queued at the end of the run account
+            // for retired falling short of enqueued; entries that
+            // straddle the warm-start stats reset can push it the
+            // other way, so only cold runs pin the inequality.
+            if (fuzz_case.trace.warmStart() == 0)
+                EXPECT_LE(stats.retired,
+                          stats.enqueued - stats.coalesced);
+        }
+    }
+}
+
+/**
+ * The LRU stack property: with full associativity and whole-block
+ * fetches, a larger cache's contents always include a smaller
+ * one's, so misses are monotone in capacity.
+ */
+TEST(Differential, MonotoneMissesUnderGrowingSize)
+{
+    for (std::uint64_t seed = 70001; seed < 70021; ++seed) {
+        Trace trace = verify::generateCase(seed).trace;
+        std::uint64_t prev_misses = ~0ull;
+        for (std::uint64_t words : {64u, 128u, 256u, 512u, 1024u}) {
+            SystemConfig config = SystemConfig::paperDefault();
+            config.split = false;
+            config.dcache.sizeWords = words;
+            config.dcache.blockWords = 4;
+            config.dcache.fetchWords = 0;
+            config.dcache.assoc =
+                static_cast<unsigned>(words / 4); // fully assoc
+            config.dcache.replPolicy = ReplPolicy::LRU;
+            config.dcache.allocPolicy = AllocPolicy::WriteAllocate;
+            SimResult result =
+                verify::oracleRun(config, trace);
+            std::uint64_t misses = result.dcache.readMisses +
+                                   result.dcache.writeMisses;
+            EXPECT_LE(misses, prev_misses)
+                << "seed " << seed << " size " << words;
+            prev_misses = misses;
+        }
+    }
+}
+
+TEST(Differential, ReproRoundTrip)
+{
+    verify::FuzzCase original = verify::generateCase(424242);
+    std::string path =
+        ::testing::TempDir() + "/roundtrip_repro.txt";
+    verify::writeRepro(path, original, "round-trip test");
+    verify::FuzzCase loaded = verify::loadRepro(path);
+
+    EXPECT_EQ(loaded.seed, original.seed);
+    EXPECT_EQ(loaded.trace.refs(), original.trace.refs());
+    EXPECT_EQ(loaded.trace.warmStart(), original.trace.warmStart());
+
+    // The loaded config must drive both simulators to the exact
+    // run the original produced.
+    System fast_original(original.config);
+    System fast_loaded(loaded.config);
+    SimResult a = fast_original.run(original.trace);
+    SimResult b = fast_loaded.run(loaded.trace);
+    EXPECT_TRUE(verify::diffResults(a, b).empty())
+        << verify::formatDiffs(verify::diffResults(a, b));
+    EXPECT_TRUE(
+        verify::diffResults(
+                   b, verify::oracleRun(loaded.config, loaded.trace))
+            .empty());
+    std::remove(path.c_str());
+}
+
+TEST(Differential, MinimizerKeepsPassingCaseIntact)
+{
+    verify::FuzzCase agreeing = verify::generateCase(777);
+    ASSERT_FALSE(verify::checkCase(agreeing).mismatch);
+    verify::FuzzCase shrunk = verify::minimizeCase(agreeing);
+    // Nothing to shrink when there is no failure to preserve.
+    EXPECT_EQ(shrunk.trace.refs().size(),
+              agreeing.trace.refs().size());
+}
+
+} // namespace
+} // namespace cachetime

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * The reference oracle against the fast path on directed machines.
+ *
+ * The fuzzer (test_differential.cc) covers the random space; these
+ * tests pin exact agreement on the configurations the paper's
+ * figures are built from, plus the oracleSupports() feature gate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/system.hh"
+#include "trace/synthetic.hh"
+#include "trace/workloads.hh"
+#include "verify/diff.hh"
+#include "verify/oracle.hh"
+
+namespace cachetime
+{
+namespace
+{
+
+/** A small Table 1 workload, generated once for the suite. */
+const Trace &
+workload()
+{
+    static const Trace trace = generateTable1(0.002).front();
+    return trace;
+}
+
+void
+expectAgreement(const SystemConfig &config, const Trace &trace)
+{
+    System fast(config);
+    SimResult fast_result = fast.run(trace);
+    SimResult oracle_result = verify::oracleRun(config, trace);
+    std::vector<verify::FieldDiff> diffs =
+        verify::diffResults(fast_result, oracle_result);
+    EXPECT_TRUE(diffs.empty()) << verify::formatDiffs(diffs);
+}
+
+TEST(Oracle, SupportsTheBaselineMachine)
+{
+    EXPECT_TRUE(verify::oracleSupports(SystemConfig::paperDefault()));
+}
+
+TEST(Oracle, RejectsPrefetch)
+{
+    SystemConfig config = SystemConfig::paperDefault();
+    config.dcache.prefetchPolicy = PrefetchPolicy::OnMiss;
+    std::string why;
+    EXPECT_FALSE(verify::oracleSupports(config, &why));
+    EXPECT_NE(why.find("prefetch"), std::string::npos) << why;
+}
+
+TEST(Oracle, RejectsVictimCache)
+{
+    SystemConfig config = SystemConfig::paperDefault();
+    config.icache.victimEntries = 4;
+    std::string why;
+    EXPECT_FALSE(verify::oracleSupports(config, &why));
+    EXPECT_NE(why.find("victim"), std::string::npos) << why;
+}
+
+TEST(Oracle, RejectsPrefetchOnMidLevel)
+{
+    SystemConfig config = SystemConfig::paperDefault();
+    config.hasL2 = true;
+    config.l2cache.sizeWords = 64 * 1024;
+    config.l2cache.blockWords = 8;
+    config.l2cache.prefetchPolicy = PrefetchPolicy::Tagged;
+    std::string why;
+    EXPECT_FALSE(verify::oracleSupports(config, &why));
+    EXPECT_NE(why.find("L2"), std::string::npos) << why;
+}
+
+TEST(Oracle, MatchesBaselineOnWorkload)
+{
+    expectAgreement(SystemConfig::paperDefault(), workload());
+}
+
+TEST(Oracle, MatchesWriteThroughWriteAllocate)
+{
+    SystemConfig config = SystemConfig::paperDefault();
+    config.dcache.writePolicy = WritePolicy::WriteThrough;
+    config.dcache.allocPolicy = AllocPolicy::WriteAllocate;
+    expectAgreement(config, workload());
+}
+
+TEST(Oracle, MatchesSubBlockFetch)
+{
+    SystemConfig config = SystemConfig::paperDefault();
+    config.icache.blockWords = 16;
+    config.icache.fetchWords = 4;
+    config.dcache.blockWords = 16;
+    config.dcache.fetchWords = 2;
+    expectAgreement(config, workload());
+}
+
+TEST(Oracle, MatchesUnifiedCache)
+{
+    SystemConfig config = SystemConfig::paperDefault();
+    config.split = false;
+    expectAgreement(config, workload());
+}
+
+TEST(Oracle, MatchesEarlyContinuationWithForwarding)
+{
+    SystemConfig config = SystemConfig::paperDefault();
+    config.cpu.earlyContinuation = true;
+    config.memory.loadForwarding = true;
+    config.memory.banks = 4;
+    expectAgreement(config, workload());
+}
+
+TEST(Oracle, MatchesPhysicalAddressing)
+{
+    SystemConfig config = SystemConfig::paperDefault();
+    config.addressing = AddressMode::Physical;
+    config.tlb.entries = 8;
+    config.tlb.assoc = 2;
+    config.tlb.pageWords = 64;
+    config.tlb.physFrames = 1 << 10;
+    expectAgreement(config, workload());
+}
+
+TEST(Oracle, MatchesTwoLevelHierarchy)
+{
+    SystemConfig config = SystemConfig::paperDefault();
+    config.setL1SizeWordsEach(1024);
+    config.hasL2 = true;
+    config.l2cache.sizeWords = 16 * 1024;
+    config.l2cache.blockWords = 16;
+    config.l2cache.assoc = 2;
+    config.l2cache.replPolicy = ReplPolicy::LRU;
+    expectAgreement(config, workload());
+}
+
+TEST(Oracle, MatchesSetAssociativeReplacementPolicies)
+{
+    for (ReplPolicy policy :
+         {ReplPolicy::Random, ReplPolicy::LRU, ReplPolicy::FIFO}) {
+        SystemConfig config = SystemConfig::paperDefault();
+        config.setL1SizeWordsEach(512);
+        config.setL1Assoc(4);
+        config.icache.replPolicy = policy;
+        config.dcache.replPolicy = policy;
+        expectAgreement(config, workload());
+    }
+}
+
+TEST(Oracle, DeterministicAcrossRuns)
+{
+    SystemConfig config = SystemConfig::paperDefault();
+    SimResult first = verify::oracleRun(config, workload());
+    SimResult second = verify::oracleRun(config, workload());
+    EXPECT_TRUE(verify::diffResults(first, second).empty());
+}
+
+TEST(Oracle, WarmStartBoundaryMeasuresTailOnly)
+{
+    SystemConfig config = SystemConfig::paperDefault();
+    config.setL1SizeWordsEach(512);
+    const Trace &base = workload();
+    Trace warm(base.name(), base.refs(), base.size() / 2);
+
+    expectAgreement(config, warm);
+
+    SimResult result = verify::oracleRun(config, warm);
+    EXPECT_LT(result.refs, base.size());
+    EXPECT_GT(result.refs, 0u);
+    // Stall attribution covers the measured window only, so it
+    // cannot exceed what even a fully serialized machine could
+    // stall in it.
+    EXPECT_LE(result.stallWriteCycles, result.cycles);
+}
+
+} // namespace
+} // namespace cachetime

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Edge cases around main-memory recovery time as seen through the
+ * write buffer, and the TLB miss path - both cross-checked against
+ * the gated event-trace stream (trace_debug ring sink).
+ *
+ * All timing expectations below are computed from the 40ns column
+ * of Table 2 with the default memory (180/100/120ns, one address
+ * cycle, one word per cycle): read latency 6 cycles including the
+ * address cycle, write operation 3, recovery 3.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "memory/main_memory.hh"
+#include "memory/write_buffer.hh"
+#include "sim/system.hh"
+#include "trace_debug/trace_debug.hh"
+
+namespace cachetime
+{
+namespace
+{
+
+/** Count ring lines containing @p needle. */
+std::size_t
+countEvents(const std::vector<std::string> &lines,
+            const std::string &needle)
+{
+    std::size_t n = 0;
+    for (const std::string &line : lines)
+        if (line.find(needle) != std::string::npos)
+            ++n;
+    return n;
+}
+
+/** Scoped ring capture for one trace_debug flag set. */
+struct RingCapture
+{
+    explicit RingCapture(unsigned flags)
+    {
+        trace_debug::setRingCapacity(4096);
+        trace_debug::setFlags(flags);
+    }
+
+    std::vector<std::string>
+    finish()
+    {
+        trace_debug::setFlags(trace_debug::None);
+        std::vector<std::string> lines = trace_debug::drainRing();
+        trace_debug::setRingCapacity(0);
+        return lines;
+    }
+};
+
+struct Fixture
+{
+    MainMemoryConfig memoryConfig;
+    WriteBufferConfig bufferConfig;
+
+    Fixture() { bufferConfig.matchGranularityWords = 4; }
+};
+
+TEST(WriteBufferRecovery, RecoverySerializesBackToBackDrains)
+{
+    Fixture f;
+    MainMemory memory(f.memoryConfig, 40.0);
+    WriteBuffer wbuf(f.bufferConfig, &memory);
+
+    wbuf.writeBlock(0, 0, 4, 0);
+    wbuf.writeBlock(0, 64, 4, 0);
+    wbuf.drain(0);
+    EXPECT_EQ(memory.stats().writes, 2u);
+
+    // First write releases the bus at 5 but holds its bank through
+    // write (3) + recovery (3) = cycle 11; the second then occupies
+    // it to 22.  A read right after the drain eats the remaining
+    // recovery shadow: start 22, latency 6, transfer 4.
+    ReadReply reply = memory.readBlock(16, 300, 4, 0, 0);
+    EXPECT_EQ(memory.stats().readWaitCycles, 6u);
+    EXPECT_EQ(reply.complete, 32);
+}
+
+TEST(WriteBufferRecovery, ZeroRecoveryShrinksTheShadow)
+{
+    Fixture f;
+    f.memoryConfig.recoveryNs = 0.0;
+    MainMemory memory(f.memoryConfig, 40.0);
+    WriteBuffer wbuf(f.bufferConfig, &memory);
+
+    wbuf.writeBlock(0, 0, 4, 0);
+    wbuf.writeBlock(0, 64, 4, 0);
+    wbuf.drain(0);
+
+    // Without recovery the banks free at release + write = 8 and 16;
+    // the read at 13 only waits out the write operation (3 cycles).
+    ReadReply reply = memory.readBlock(13, 300, 4, 0, 0);
+    EXPECT_EQ(memory.stats().readWaitCycles, 3u);
+    EXPECT_EQ(reply.complete, 26);
+}
+
+TEST(WriteBufferRecovery, BankInterleavingHidesRecovery)
+{
+    // Two single-word writes to adjacent addresses: with one bank
+    // the second waits out the first's write + recovery; with four
+    // word-interleaved banks it only waits for the shared bus.
+    for (unsigned banks : {1u, 4u}) {
+        Fixture f;
+        f.memoryConfig.banks = banks;
+        MainMemory memory(f.memoryConfig, 40.0);
+        WriteBuffer wbuf(f.bufferConfig, &memory);
+
+        wbuf.writeBlock(0, 100, 1, 0);
+        wbuf.writeBlock(0, 101, 1, 0);
+        Tick release = wbuf.drain(0);
+        EXPECT_EQ(release, banks == 1 ? 10 : 4) << banks << " banks";
+    }
+}
+
+TEST(WriteBufferRecovery, FullStallPaysTheHiddenBankTime)
+{
+    // A depth-1 buffer turns the previous write's invisible bank
+    // occupancy (write + recovery behind a released bus) into a
+    // visible full-buffer stall on the *next* write.
+    Fixture f;
+    f.bufferConfig.depth = 1;
+    MainMemory memory(f.memoryConfig, 40.0);
+    WriteBuffer wbuf(f.bufferConfig, &memory);
+
+    RingCapture capture(trace_debug::WriteBuffer);
+
+    wbuf.writeBlock(0, 0, 4, 0);
+    // Full: the head drains on an idle memory (address + transfer =
+    // 5 cycles of stall), banks busy through 11.
+    Tick second = wbuf.writeBlock(0, 64, 4, 0);
+    EXPECT_EQ(second, 5);
+    // Full again: this head's drain cannot start until the bank
+    // recovers at 11, releasing at 16 - an 11-cycle stall of which
+    // 6 cycles are the previous write's hidden write + recovery.
+    Tick third = wbuf.writeBlock(5, 128, 4, 0);
+    EXPECT_EQ(third, 16);
+    EXPECT_EQ(wbuf.stats().fullStalls, 2u);
+    EXPECT_EQ(wbuf.stats().fullStallCycles, 5u + 11u);
+
+    std::vector<std::string> lines = capture.finish();
+    EXPECT_EQ(countEvents(lines, "full stall"), 2u);
+    EXPECT_EQ(countEvents(lines, "wait=11"), 1u);
+}
+
+TEST(WriteBufferRecovery, ZeroRecoveryShortensTheFullStall)
+{
+    Fixture f;
+    f.bufferConfig.depth = 1;
+    f.memoryConfig.recoveryNs = 0.0;
+    MainMemory memory(f.memoryConfig, 40.0);
+    WriteBuffer wbuf(f.bufferConfig, &memory);
+
+    wbuf.writeBlock(0, 0, 4, 0);
+    wbuf.writeBlock(0, 64, 4, 0);
+    // Bank frees at 8 instead of 11, so the stall shrinks in step.
+    Tick third = wbuf.writeBlock(5, 128, 4, 0);
+    EXPECT_EQ(third, 13);
+}
+
+TEST(TlbMissPath, StallsMatchMissCountAndTraceEvents)
+{
+    SystemConfig config = SystemConfig::paperDefault();
+    config.addressing = AddressMode::Physical;
+    config.tlb.entries = 4;
+    config.tlb.assoc = 2;
+    config.tlb.pageWords = 64;
+    config.tlb.physFrames = 1 << 10;
+
+    // Walk enough pages to overflow a 4-entry TLB from two
+    // processes; warm start at 0 so the counters cover every miss.
+    std::vector<Ref> refs;
+    for (int pass = 0; pass < 3; ++pass)
+        for (Addr page = 0; page < 8; ++page)
+            for (Pid pid = 0; pid < 2; ++pid) {
+                refs.push_back({page * 64, RefKind::IFetch, pid});
+                refs.push_back(
+                    {4096 + page * 64, RefKind::Load, pid});
+            }
+    Trace trace("tlb-walk", refs, 0);
+
+    RingCapture capture(trace_debug::Tlb);
+    System system(config);
+    SimResult result = system.run(trace);
+    std::vector<std::string> lines = capture.finish();
+
+    EXPECT_TRUE(result.physical);
+    EXPECT_GT(result.tlb.misses, 0u);
+    EXPECT_LE(result.tlb.misses, result.tlb.accesses);
+    // Every miss charges exactly the configured penalty to the TLB
+    // stall account, and emits exactly one trace event.
+    EXPECT_EQ(result.stallTlbCycles,
+              static_cast<Tick>(result.tlb.misses *
+                                config.tlb.missPenaltyCycles));
+    EXPECT_EQ(countEvents(lines, "tlb miss"), result.tlb.misses);
+}
+
+TEST(TlbMissPath, WarmStartCountsTailMissesOnly)
+{
+    SystemConfig config = SystemConfig::paperDefault();
+    config.addressing = AddressMode::Physical;
+    config.tlb.entries = 2;
+    config.tlb.assoc = 1;
+    config.tlb.pageWords = 64;
+    config.tlb.physFrames = 1 << 10;
+
+    std::vector<Ref> refs;
+    for (int pass = 0; pass < 4; ++pass)
+        for (Addr page = 0; page < 6; ++page)
+            refs.push_back({page * 64, RefKind::Load, 0});
+
+    Trace cold("tlb-cold", refs, 0);
+    Trace warm("tlb-warm", refs, refs.size() / 2);
+
+    System cold_system(config);
+    SimResult cold_result = cold_system.run(cold);
+    System warm_system(config);
+    SimResult warm_result = warm_system.run(warm);
+
+    // The measured window shrank, so both the miss count and the
+    // stall account shrink together - and stay mutually consistent.
+    EXPECT_LT(warm_result.tlb.misses, cold_result.tlb.misses);
+    EXPECT_EQ(warm_result.stallTlbCycles,
+              static_cast<Tick>(warm_result.tlb.misses *
+                                config.tlb.missPenaltyCycles));
+}
+
+} // namespace
+} // namespace cachetime

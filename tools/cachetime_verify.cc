@@ -1,0 +1,121 @@
+/**
+ * @file
+ * cachetime_verify: the differential verification harness CLI.
+ *
+ * Runs the property fuzzer (random machines + random traces,
+ * fast path vs. reference oracle, exact counter agreement) or
+ * replays a repro file dumped by a previous failure.
+ *
+ * Usage:
+ *   cachetime_verify [options]
+ *     --fuzz N        run N consecutive seeds (default 1000)
+ *     --seed S        first seed (default 1)
+ *     --repro FILE    replay one repro file and print the diff
+ *     --case SEED     run one generated case verbosely
+ *     --repro-dir DIR where failure repros are written (default .)
+ *     --progress N    progress line every N cases (default 0: quiet)
+ *     --no-minimize   dump the raw failing case without shrinking
+ *
+ * Exit status is 0 when every case agreed, 1 on any mismatch.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "util/logging.hh"
+#include "verify/diff.hh"
+#include "verify/fuzz.hh"
+
+using namespace cachetime;
+
+namespace
+{
+
+/** Run one case and report; @return true when the sims agreed. */
+bool
+reportCase(const verify::FuzzCase &fuzz_case, const char *what)
+{
+    verify::CaseOutcome outcome = verify::checkCase(fuzz_case);
+    if (!outcome.mismatch) {
+        std::printf("%s: ok (%zu refs, %lld cycles, %s)\n", what,
+                    fuzz_case.trace.size(),
+                    static_cast<long long>(outcome.fast.cycles),
+                    outcome.fast.configSummary.c_str());
+        return true;
+    }
+    std::printf("%s: MISMATCH (%zu refs, %s)\n%s", what,
+                fuzz_case.trace.size(),
+                outcome.fast.configSummary.c_str(),
+                verify::formatDiffs(outcome.diffs).c_str());
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    verify::FuzzOptions options;
+    options.cases = 1000;
+    std::string repro_path;
+    bool single_case = false;
+    std::uint64_t single_seed = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("cachetime_verify: %s needs a value",
+                      arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--fuzz")
+            options.cases = std::strtoull(value(), nullptr, 0);
+        else if (arg == "--seed")
+            options.seed = std::strtoull(value(), nullptr, 0);
+        else if (arg == "--repro")
+            repro_path = value();
+        else if (arg == "--case") {
+            single_case = true;
+            single_seed = std::strtoull(value(), nullptr, 0);
+        } else if (arg == "--repro-dir")
+            options.reproDir = value();
+        else if (arg == "--progress")
+            options.progressEvery =
+                std::strtoull(value(), nullptr, 0);
+        else if (arg == "--no-minimize")
+            options.minimize = false;
+        else
+            fatal("cachetime_verify: unknown option '%s'",
+                  arg.c_str());
+    }
+
+    if (!repro_path.empty()) {
+        verify::FuzzCase fuzz_case = verify::loadRepro(repro_path);
+        return reportCase(fuzz_case, repro_path.c_str()) ? 0 : 1;
+    }
+    if (single_case) {
+        verify::FuzzCase fuzz_case =
+            verify::generateCase(single_seed);
+        std::string label = "seed " + std::to_string(single_seed);
+        return reportCase(fuzz_case, label.c_str()) ? 0 : 1;
+    }
+
+    verify::FuzzReport report = verify::runFuzz(options);
+    if (report.mismatches == 0) {
+        std::printf("fuzz: %llu cases, all agreed (seeds %llu..%llu)\n",
+                    static_cast<unsigned long long>(report.casesRun),
+                    static_cast<unsigned long long>(options.seed),
+                    static_cast<unsigned long long>(
+                        options.seed + options.cases - 1));
+        return 0;
+    }
+    std::printf("fuzz: MISMATCH at seed %llu after %llu cases\n%s",
+                static_cast<unsigned long long>(report.firstBadSeed),
+                static_cast<unsigned long long>(report.casesRun),
+                report.firstDiff.c_str());
+    std::printf("repro written to %s\n", report.reproPath.c_str());
+    return 1;
+}
