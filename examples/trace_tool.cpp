@@ -1,21 +1,31 @@
 /**
  * @file
  * Workload/trace utility: generate the Table 1 workloads to disk,
- * inspect a trace file, or convert between the text and binary
- * formats.  Demonstrates the trace I/O half of the public API and
- * gives downstream users files they can feed to other simulators.
+ * inspect a trace file, or convert between the text, binary and
+ * streaming-v2 formats.  Demonstrates the trace I/O half of the
+ * public API and gives downstream users files they can feed to
+ * other simulators.
  *
  * Usage:
- *   trace_tool gen <workload|all> <dir> [scale]    generate traces
- *   trace_tool info <file>                         print statistics
- *   trace_tool convert <in> <out.txt|out.bin>      convert formats
+ *   trace_tool gen <workload|all> <dir> [scale] [fmt]   generate
+ *   trace_tool info <file>                              statistics
+ *   trace_tool convert <in> <out>                       convert
+ *
+ * fmt is bin (default), txt, or v2; convert picks the output
+ * format from the suffix (.txt, .din, .v2, else binary).  v2
+ * generation streams from the workload source through V2Writer, so
+ * it can produce files far larger than memory.
  */
 
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "trace/interleave.hh"
+#include "trace/ref_source.hh"
 #include "trace/trace_io.hh"
+#include "trace/trace_v2.hh"
 #include "trace/workloads.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
@@ -29,9 +39,11 @@ int
 usage()
 {
     std::cerr << "usage:\n"
-              << "  trace_tool gen <workload|all> <dir> [scale]\n"
+              << "  trace_tool gen <workload|all> <dir> [scale] "
+                 "[bin|txt|v2]\n"
               << "  trace_tool info <file>\n"
-              << "  trace_tool convert <in> <out>  (.txt => text)\n";
+              << "  trace_tool convert <in> <out>  "
+                 "(.txt/.din/.v2 by suffix)\n";
     return 2;
 }
 
@@ -43,12 +55,33 @@ cmdGen(int argc, char **argv)
     std::string which = argv[2];
     std::string dir = argv[3];
     double scale = argc > 4 ? std::atof(argv[4]) : 0.1;
+    std::string fmt = argc > 5 ? argv[5] : "bin";
+    if (fmt != "bin" && fmt != "txt" && fmt != "v2")
+        return usage();
     for (const WorkloadSpec &spec : table1Workloads()) {
         if (which != "all" && which != spec.name)
             continue;
+        if (fmt == "v2") {
+            // Stream straight from the generator: no materialized
+            // trace, so arbitrarily large scales fit in memory.
+            auto source = makeWorkloadSource(spec, scale);
+            std::string path = dir + "/" + spec.name + ".v2";
+            V2Writer writer(path, source->warmStart());
+            std::vector<Ref> buf(refChunkSize);
+            std::size_t n;
+            while ((n = source->fill(buf.data(), buf.size())) > 0)
+                for (std::size_t i = 0; i < n; ++i)
+                    writer.push(buf[i]);
+            writer.close();
+            std::cout << "wrote " << path << " (" << writer.count()
+                      << " refs, streamed)\n";
+            continue;
+        }
         Trace trace = generate(spec, scale);
         std::string path = dir + "/" + spec.name + ".trace";
-        saveFile(trace, path, true);
+        if (fmt == "txt")
+            path = dir + "/" + spec.name + ".txt";
+        saveFile(trace, path, fmt != "txt");
         std::cout << "wrote " << path << " (" << trace.size()
                   << " refs)\n";
     }
@@ -91,10 +124,15 @@ cmdConvert(int argc, char **argv)
                out.compare(out.size() - s.size(), s.size(), s) == 0;
     };
     bool text = ends_with(".txt");
-    saveFile(trace, out, !text);
+    if (ends_with(".v2"))
+        writeV2(trace, out);
+    else
+        saveFile(trace, out, !text);
     std::cout << "wrote " << out << " ("
-              << (ends_with(".din") ? "dinero"
-                                    : text ? "text" : "binary")
+              << (ends_with(".v2")    ? "v2"
+                  : ends_with(".din") ? "dinero"
+                  : text              ? "text"
+                                      : "binary")
               << ")\n";
     return 0;
 }

@@ -87,6 +87,26 @@ struct CacheStats
                   const std::string &prefix) const;
 
     void reset() { *this = CacheStats(); }
+
+    /** Accumulate @p other (warm-segment measured-stats gathering). */
+    void
+    merge(const CacheStats &other)
+    {
+        readAccesses += other.readAccesses;
+        readMisses += other.readMisses;
+        writeAccesses += other.writeAccesses;
+        writeMisses += other.writeMisses;
+        subBlockMisses += other.subBlockMisses;
+        fills += other.fills;
+        wordsFetched += other.wordsFetched;
+        blocksReplaced += other.blocksReplaced;
+        dirtyBlocksReplaced += other.dirtyBlocksReplaced;
+        dirtyWordsReplaced += other.dirtyWordsReplaced;
+        wordsWrittenThrough += other.wordsWrittenThrough;
+        prefetches += other.prefetches;
+        prefetchHits += other.prefetchHits;
+        victimHits += other.victimHits;
+    }
 };
 
 /**

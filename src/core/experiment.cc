@@ -55,10 +55,12 @@ traceHashes(const std::vector<Trace> &traces)
     return hashes;
 }
 
+} // namespace
+
 /** Geometric-mean the per-trace results, in trace order. */
 AggregateMetrics
-aggregate(const SystemConfig &config,
-          const std::vector<SimResultPtr> &results)
+aggregateResults(const SystemConfig &config,
+                 const std::vector<SimResultPtr> &results)
 {
     std::vector<double> cpr, exec, rmiss, imiss, lmiss, wmiss;
     std::vector<double> rtraf, wtraf_b, wtraf_w;
@@ -89,8 +91,6 @@ aggregate(const SystemConfig &config,
     return m;
 }
 
-} // namespace
-
 SimResult
 simulateOne(const SystemConfig &config, const Trace &trace)
 {
@@ -102,6 +102,24 @@ SimResultPtr
 simulateOneCached(const SystemConfig &config, const Trace &trace)
 {
     return simulateKeyed(config, trace, traceIdentityHash(trace));
+}
+
+SimResultPtr
+simulateSourceCached(const SystemConfig &config, RefSource &source)
+{
+    auto simulate = [&]() {
+        System system(config);
+        return std::make_shared<const SimResult>(system.run(source));
+    };
+    SimCache &cache = SimCache::global();
+    if (!cache.enabled())
+        return simulate();
+    SimKey key = simKey(config, source.contentHash());
+    if (SimResultPtr hit = cache.find(key))
+        return hit;
+    SimResultPtr result = simulate();
+    cache.insert(key, result);
+    return result;
 }
 
 AggregateMetrics
@@ -116,7 +134,7 @@ runGeoMean(const SystemConfig &config, const std::vector<Trace> &traces)
         traces.size(), [&](std::size_t i) {
             return simulateKeyed(config, traces[i], hashes[i]);
         });
-    return aggregate(config, results);
+    return aggregateResults(config, results);
 }
 
 std::vector<AggregateMetrics>
@@ -144,7 +162,7 @@ runGeoMeanMany(const std::vector<SystemConfig> &configs,
         std::vector<SimResultPtr> slice(
             results.begin() + static_cast<std::ptrdiff_t>(c * T),
             results.begin() + static_cast<std::ptrdiff_t>((c + 1) * T));
-        out.push_back(aggregate(configs[c], slice));
+        out.push_back(aggregateResults(configs[c], slice));
     }
     return out;
 }

@@ -49,6 +49,27 @@ std::shared_ptr<const SimResult>
 simulateOneCached(const SystemConfig &config, const Trace &trace);
 
 /**
+ * Streamed counterpart of simulateOneCached: keys the SimCache with
+ * the source's content hash, which equals the materialized trace's
+ * identity hash by construction, so streamed and eager runs of the
+ * same stream share cache entries.  The hash is memoized inside the
+ * source - one hashing replay however many configs revisit it.
+ */
+std::shared_ptr<const SimResult>
+simulateSourceCached(const SystemConfig &config, RefSource &source);
+
+/**
+ * Geometric-mean the per-result metrics (same flooring as
+ * runGeoMean).  For callers that already hold results - e.g. from
+ * streamed sources, which runGeoMean's Trace interface cannot
+ * express without materializing.
+ */
+AggregateMetrics
+aggregateResults(const SystemConfig &config,
+                 const std::vector<std::shared_ptr<const SimResult>>
+                     &results);
+
+/**
  * Simulate every trace on @p config and geometric-mean the metrics.
  *
  * Ratios that are zero for some trace are floored at a tiny epsilon

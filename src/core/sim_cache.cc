@@ -4,21 +4,13 @@
 #include <cstdlib>
 #include <string>
 
+#include "trace/ref_source.hh" // mix64, traceIdentityHash
+
 namespace cachetime
 {
 
 namespace
 {
-
-/** splitmix64 finalizer: full-avalanche 64-bit mix. */
-std::uint64_t
-mix64(std::uint64_t x)
-{
-    x += 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    return x ^ (x >> 31);
-}
 
 /**
  * Accumulates typed fields into two independently-seeded lanes.
@@ -98,26 +90,6 @@ appendLevelTiming(KeyBuilder &kb, const CacheLevelTiming &timing)
 }
 
 } // namespace
-
-std::uint64_t
-traceIdentityHash(const Trace &trace)
-{
-    std::uint64_t h = mix64(trace.size() ^ 0x7472616365ULL);
-    h = mix64(h ^ trace.warmStart());
-    for (char c : trace.name())
-        h = mix64(h ^ static_cast<unsigned char>(c));
-    for (const Ref &ref : trace.refs()) {
-        std::uint64_t word =
-            ref.addr ^
-            (static_cast<std::uint64_t>(ref.kind) << 56) ^
-            (static_cast<std::uint64_t>(ref.pid) << 40);
-        // One multiply-xor round per ref keeps the pass cheap; the
-        // running state still diffuses every record.
-        h = (h ^ word) * 0x9e3779b97f4a7c15ULL;
-        h ^= h >> 29;
-    }
-    return mix64(h);
-}
 
 SimKey
 simKey(const SystemConfig &config, std::uint64_t trace_hash)

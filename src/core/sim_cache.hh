@@ -45,9 +45,12 @@ struct SimKey
 };
 
 /**
- * @return a hash of the trace's identity: name, warm-start boundary
- * and the complete reference stream.  One pass over the trace;
- * sweeps hash each trace once and reuse the value for every config.
+ * @return a hash of the trace's identity: name, warm-start boundary,
+ * warm segments and the complete reference stream.  The value is
+ * memoized inside the Trace, so the stream is hashed once per trace
+ * however many configs revisit it (defined in trace/ref_source.cc;
+ * RefSource::contentHash() computes the identical digest chunk by
+ * chunk for streamed inputs).
  */
 std::uint64_t traceIdentityHash(const Trace &trace);
 

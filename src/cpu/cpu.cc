@@ -1,5 +1,7 @@
 #include "cpu/cpu.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace cachetime
@@ -30,6 +32,77 @@ RefPairer::next()
     } else {
         group.data = &first;
         ++index_;
+    }
+    return group;
+}
+
+StreamPairer::StreamPairer(RefSource &source, bool pair)
+    : source_(&source), pair_(pair)
+{
+    buffer_.resize(refChunkSize);
+    source_->reset();
+}
+
+void
+StreamPairer::refill(std::size_t want)
+{
+    if (exhausted_)
+        return;
+    if (head_ > 0) {
+        std::copy(buffer_.begin() + static_cast<std::ptrdiff_t>(head_),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(count_),
+                  buffer_.begin());
+        count_ -= head_;
+        head_ = 0;
+    }
+    while (count_ < want) {
+        std::size_t n = source_->fill(buffer_.data() + count_,
+                                      buffer_.size() - count_);
+        if (n == 0) {
+            exhausted_ = true;
+            break;
+        }
+        count_ += n;
+    }
+}
+
+bool
+StreamPairer::hasNext()
+{
+    if (available() > 0)
+        return true;
+    refill(1);
+    return available() > 0;
+}
+
+StreamGroup
+StreamPairer::next()
+{
+    // Pairing needs one reference of lookahead, so keep two buffered
+    // whenever the stream can still provide them.
+    if (available() < (pair_ ? 2u : 1u))
+        refill(pair_ ? 2 : 1);
+    if (available() == 0)
+        panic("StreamPairer::next past the end of the stream");
+
+    StreamGroup group;
+    const Ref &first = buffer_[head_];
+    if (first.kind == RefKind::IFetch) {
+        group.ifetch = first;
+        group.hasIfetch = true;
+        ++head_;
+        ++consumed_;
+        if (pair_ && available() > 0 && isData(buffer_[head_].kind)) {
+            group.data = buffer_[head_];
+            group.hasData = true;
+            ++head_;
+            ++consumed_;
+        }
+    } else {
+        group.data = first;
+        group.hasData = true;
+        ++head_;
+        ++consumed_;
     }
     return group;
 }

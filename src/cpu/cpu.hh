@@ -19,7 +19,9 @@
 #define CACHETIME_CPU_CPU_HH
 
 #include <cstddef>
+#include <vector>
 
+#include "trace/ref_source.hh"
 #include "trace/trace.hh"
 
 namespace cachetime
@@ -88,6 +90,64 @@ class RefPairer
     const Trace *trace_;
     bool pair_;
     std::size_t index_ = 0;
+};
+
+/**
+ * One issue group by value: the streaming counterpart of RefGroup.
+ * StreamPairer cannot hand out pointers into its chunk buffer (a
+ * refill would invalidate them across a couplet boundary), so the
+ * one or two references are copied out.
+ */
+struct StreamGroup
+{
+    Ref ifetch{};
+    Ref data{};
+    bool hasIfetch = false;
+    bool hasData = false;
+
+    /** @return number of references in the group (1 or 2). */
+    unsigned size() const { return (hasIfetch ? 1 : 0) + (hasData ? 1 : 0); }
+};
+
+/**
+ * Splits a RefSource into issue groups without reordering: the
+ * streaming counterpart of RefPairer, with identical pairing rules.
+ * Keeps a bounded chunk buffer plus one reference of lookahead so
+ * couplets form correctly across chunk boundaries.  Construction
+ * rewinds the source; the pairer is then the source's sole consumer.
+ */
+class StreamPairer
+{
+  public:
+    /**
+     * @param source the stream to walk (reset() on construction)
+     * @param pair   enable couplet formation
+     */
+    StreamPairer(RefSource &source, bool pair);
+
+    /** @return true if at least one more group remains. */
+    bool hasNext();
+
+    /** @return the index of the first reference of the next group. */
+    std::size_t position() const { return consumed_; }
+
+    /** Consume and return the next issue group. */
+    StreamGroup next();
+
+  private:
+    /** @return references buffered and not yet consumed. */
+    std::size_t available() const { return count_ - head_; }
+
+    /** Compact and pull chunks until @p want refs are buffered. */
+    void refill(std::size_t want);
+
+    RefSource *source_;
+    bool pair_;
+    std::vector<Ref> buffer_;
+    std::size_t head_ = 0;     ///< next unconsumed buffer index
+    std::size_t count_ = 0;    ///< valid refs in the buffer
+    std::size_t consumed_ = 0; ///< total refs consumed so far
+    bool exhausted_ = false;   ///< the source returned 0
 };
 
 } // namespace cachetime

@@ -43,6 +43,18 @@ struct MainMemoryStats
                   const std::string &prefix) const;
 
     void reset() { *this = MainMemoryStats(); }
+
+    /** Accumulate @p other (warm-segment measured-stats gathering). */
+    void
+    merge(const MainMemoryStats &other)
+    {
+        reads += other.reads;
+        writes += other.writes;
+        wordsRead += other.wordsRead;
+        wordsWritten += other.wordsWritten;
+        busyCycles += other.busyCycles;
+        readWaitCycles += other.readWaitCycles;
+    }
 };
 
 /** The bottom of the hierarchy. */

@@ -68,6 +68,14 @@ struct TlbStats
                   const std::string &prefix) const;
 
     void reset() { *this = TlbStats(); }
+
+    /** Accumulate @p other (warm-segment measured-stats gathering). */
+    void
+    merge(const TlbStats &other)
+    {
+        accesses += other.accesses;
+        misses += other.misses;
+    }
 };
 
 /**

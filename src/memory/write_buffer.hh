@@ -83,6 +83,24 @@ struct WriteBufferStats
                   const std::string &prefix) const;
 
     void reset() { *this = WriteBufferStats(); }
+
+    /** Accumulate @p other (warm-segment measured-stats gathering). */
+    void
+    merge(const WriteBufferStats &other)
+    {
+        enqueued += other.enqueued;
+        wordsEnqueued += other.wordsEnqueued;
+        coalesced += other.coalesced;
+        retired += other.retired;
+        readMatches += other.readMatches;
+        readMatchStallCycles += other.readMatchStallCycles;
+        fullStalls += other.fullStalls;
+        fullStallCycles += other.fullStallCycles;
+        maxOccupancy = maxOccupancy > other.maxOccupancy
+                           ? maxOccupancy
+                           : other.maxOccupancy;
+        occupancy.merge(other.occupancy);
+    }
 };
 
 /**

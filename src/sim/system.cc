@@ -324,46 +324,97 @@ System::accessWrite(Cache &cache, const Ref &ref, Tick issue)
 SimResult
 System::run(const Trace &trace)
 {
+    TraceRefSource source(trace);
+    return run(source);
+}
+
+SimResult
+System::run(RefSource &source)
+{
     reset();
-    CACHETIME_TRACE_EVENT(trace_debug::Sim,
-                          "run start trace=%s refs=%zu warm=%zu",
-                          trace.name().c_str(), trace.size(),
-                          trace.warmStart());
+    CACHETIME_TRACE_EVENT(
+        trace_debug::Sim, "run start trace=%s refs=%llu warm=%zu",
+        source.name().c_str(),
+        static_cast<unsigned long long>(source.size()),
+        source.warmStart());
 
     Cache &iside = config_.split ? *icache_ : *dcache_;
     Cache &dside = *dcache_;
 
-    RefPairer pairer(trace, config_.split && config_.cpu.pairIssue);
+    const std::vector<WarmSegment> &segments = source.warmSegments();
+    const std::size_t warm_start = source.warmStart();
+
+    StreamPairer pairer(source, config_.split && config_.cpu.pairIssue);
+
+    SimResult result;
+    result.traceName = source.name();
+    result.configSummary = config_.describe();
+    result.cycleNs = config_.cycleNs;
+    result.midLevels.resize(midLevels_.size());
+    result.midBuffers.resize(midBuffers_.size());
+    result.physical = tlb_ != nullptr;
 
     Tick now = 0;
-    Tick warm_time = 0;
-    bool warmed = trace.warmStart() == 0;
-    std::uint64_t measured_refs = 0;
-    std::uint64_t measured_reads = 0;
-    std::uint64_t measured_writes = 0;
-    std::uint64_t measured_groups = 0;
+    Tick seg_start = 0;
+    bool measuring = false;
+    std::size_t seg_idx = 0;
 
-    if (warmed)
-        resetStats();
+    // Fold the current measured span's component counters into the
+    // accumulated result (a single fold over the whole post-warm
+    // span when there are no warm segments, so the unsegmented path
+    // is bit-identical to reading the stats directly).
+    auto fold = [&]() {
+        result.cycles += now - seg_start;
+        if (config_.split)
+            result.icache.merge(icache_->stats());
+        result.dcache.merge(dcache_->stats());
+        // midLevels_ is ordered memory-first; expose CPU-first.
+        for (std::size_t i = midLevels_.size(); i-- > 0;) {
+            std::size_t out = midLevels_.size() - 1 - i;
+            result.midLevels[out].merge(midLevels_[i]->cache().stats());
+            result.midBuffers[out].merge(midBuffers_[i]->stats());
+        }
+        result.l1Buffer.merge(l1Buffer_->stats());
+        result.memory.merge(memory_->stats());
+        if (tlb_)
+            result.tlb.merge(tlb_->stats());
+        result.missPenaltyCycles.merge(missPenalty_);
+        result.stallReadCycles += stallRead_;
+        result.stallWriteCycles += stallWrite_;
+        result.stallTlbCycles += stallTlb_;
+    };
 
     while (pairer.hasNext()) {
-        if (!warmed && pairer.position() >= trace.warmStart()) {
-            warmed = true;
-            warm_time = now;
-            resetStats();
+        // Measurement state is decided at issue-group granularity:
+        // the state at the group's first reference governs the whole
+        // group (the warm-start boundary has always worked this way).
+        std::size_t p = pairer.position();
+        while (seg_idx < segments.size() && p >= segments[seg_idx].end)
+            ++seg_idx;
+        bool want = p >= warm_start &&
+                    (seg_idx >= segments.size() ||
+                     p < segments[seg_idx].begin);
+        if (want != measuring) {
+            if (want) {
+                resetStats();
+                seg_start = now;
+            } else {
+                fold();
+            }
+            measuring = want;
         }
-        RefGroup group = pairer.next();
+        StreamGroup group = pairer.next();
 
         Tick done = now;
-        if (group.ifetch) {
+        if (group.hasIfetch) {
             done = std::max(done,
-                            accessRead(iside, *group.ifetch, now));
+                            accessRead(iside, group.ifetch, now));
         }
-        if (group.data) {
+        if (group.hasData) {
             Cache &cache = config_.split ? dside : *dcache_;
-            Tick d = group.data->kind == RefKind::Store
-                         ? accessWrite(cache, *group.data, now)
-                         : accessRead(cache, *group.data, now);
+            Tick d = group.data.kind == RefKind::Store
+                         ? accessWrite(cache, group.data, now)
+                         : accessRead(cache, group.data, now);
             done = std::max(done, d);
         }
         if (done <= now)
@@ -371,52 +422,27 @@ System::run(const Trace &trace)
                   pairer.position());
         now = done;
 
-        if (warmed) {
-            ++measured_groups;
-            if (group.ifetch) {
-                ++measured_refs;
-                ++measured_reads;
+        if (measuring) {
+            ++result.groups;
+            if (group.hasIfetch) {
+                ++result.refs;
+                ++result.readRefs;
             }
-            if (group.data) {
-                ++measured_refs;
-                if (group.data->kind == RefKind::Store)
-                    ++measured_writes;
+            if (group.hasData) {
+                ++result.refs;
+                if (group.data.kind == RefKind::Store)
+                    ++result.writeRefs;
                 else
-                    ++measured_reads;
+                    ++result.readRefs;
             }
         }
     }
+    if (measuring)
+        fold();
 
-    SimResult result;
-    result.traceName = trace.name();
-    result.configSummary = config_.describe();
-    result.cycleNs = config_.cycleNs;
-    result.refs = measured_refs;
-    result.readRefs = measured_reads;
-    result.writeRefs = measured_writes;
-    result.groups = measured_groups;
-    result.cycles = now - warm_time;
-    if (config_.split)
-        result.icache = icache_->stats();
-    result.dcache = dcache_->stats();
-    // midLevels_ is ordered memory-first; expose CPU-first.
-    for (std::size_t i = midLevels_.size(); i-- > 0;) {
-        result.midLevels.push_back(midLevels_[i]->cache().stats());
-        result.midBuffers.push_back(midBuffers_[i]->stats());
-    }
-    result.l1Buffer = l1Buffer_->stats();
-    result.memory = memory_->stats();
-    if (tlb_) {
-        result.tlb = tlb_->stats();
-        result.physical = true;
-    }
-    result.missPenaltyCycles = missPenalty_;
-    result.stallReadCycles = stallRead_;
-    result.stallWriteCycles = stallWrite_;
-    result.stallTlbCycles = stallTlb_;
     CACHETIME_TRACE_EVENT(
         trace_debug::Sim, "run end trace=%s cycles=%llu refs=%llu",
-        trace.name().c_str(),
+        source.name().c_str(),
         static_cast<unsigned long long>(result.cycles),
         static_cast<unsigned long long>(result.refs));
     return result;

@@ -47,8 +47,19 @@ class System
      * Run @p trace to completion and return measurements taken
      * after its warm-start boundary.  A System may run several
      * traces; state (cache contents, clock) is reset between runs.
+     * Adapts the trace and delegates to the streaming overload, so
+     * eager and streamed runs share one simulation loop.
      */
     SimResult run(const Trace &trace);
+
+    /**
+     * Run @p source to completion, pulling bounded chunks, so peak
+     * memory is independent of stream length.  References inside the
+     * source's warm segments are issued (state and clock advance)
+     * but excluded from every measured counter.  The source is
+     * reset() at the start of the run.
+     */
+    SimResult run(RefSource &source);
 
     /** @return the configuration this machine was built from. */
     const SystemConfig &config() const { return config_; }

@@ -31,8 +31,17 @@ buildPrefix(ProcessModel &process, std::size_t sample_refs)
         std::uint64_t seq;
         RefKind kind;
     };
+    // The map holds at most one entry per footprint word, so size
+    // the reservation by the footprint, not the sample length -
+    // sample_refs grows with the requested trace length, and an
+    // O(length) bucket array is exactly what a streaming generator
+    // must not allocate.
+    std::uint64_t footprint_words = 0;
+    for (const auto &region : process.footprint())
+        footprint_words += region.words;
     std::unordered_map<Addr, LastUse> last_use;
-    last_use.reserve(sample_refs / 4);
+    last_use.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(
+        sample_refs / 4, footprint_words)));
     for (std::size_t i = 0; i < sample_refs; ++i) {
         Ref ref = process.next();
         last_use[ref.addr] = {i, ref.kind};
@@ -66,54 +75,106 @@ Trace
 interleave(const std::string &name, std::vector<ProcessModel> &processes,
            const InterleaveConfig &cfg)
 {
-    if (processes.empty())
-        fatal("interleave: no processes for workload '%s'", name.c_str());
+    InterleaveSource source(name, processes, cfg);
+    return materialize(source);
+}
 
-    Rng rng(cfg.seed);
-    std::vector<Ref> refs;
-    refs.reserve(cfg.lengthRefs + cfg.prefixSampleRefs / 2);
+InterleaveSource::InterleaveSource(std::string name,
+                                   std::vector<ProcessModel> processes,
+                                   const InterleaveConfig &cfg)
+    : name_(std::move(name)), cfg_(cfg),
+      processes_(std::move(processes)), rng_(cfg.seed)
+{
+    if (processes_.empty())
+        fatal("interleave: no processes for workload '%s'",
+              name_.c_str());
 
     // Warm-start prefix (R2000-style), interleaved with the same
-    // slice distribution as the live stream.
-    if (cfg.prefixSampleRefs > 0) {
+    // slice distribution as the live stream.  Its size is bounded by
+    // the processes' footprints, so building it eagerly keeps the
+    // source's memory independent of cfg.lengthRefs.
+    if (cfg_.prefixSampleRefs > 0) {
         std::vector<std::vector<Ref>> prefixes;
-        std::vector<std::size_t> cursors(processes.size(), 0);
-        prefixes.reserve(processes.size());
-        for (auto &process : processes)
+        std::vector<std::size_t> cursors(processes_.size(), 0);
+        prefixes.reserve(processes_.size());
+        for (auto &process : processes_)
             prefixes.push_back(buildPrefix(process,
-                                           cfg.prefixSampleRefs));
+                                           cfg_.prefixSampleRefs));
         std::size_t remaining = 0;
         for (const auto &p : prefixes)
             remaining += p.size();
         while (remaining > 0) {
-            std::size_t who = rng.below(processes.size());
+            std::size_t who = rng_.below(processes_.size());
             if (cursors[who] >= prefixes[who].size())
                 continue;
             std::size_t slice =
-                1 + rng.geometric(1.0 / cfg.meanSliceRefs);
+                1 + rng_.geometric(1.0 / cfg_.meanSliceRefs);
             slice = std::min(slice,
                              prefixes[who].size() - cursors[who]);
             for (std::size_t i = 0; i < slice; ++i)
-                refs.push_back(prefixes[who][cursors[who] + i]);
+                prefix_.push_back(prefixes[who][cursors[who] + i]);
             cursors[who] += slice;
             remaining -= slice;
         }
     }
 
-    const std::size_t prefix_len = refs.size();
+    total_ = prefix_.size() + cfg_.lengthRefs;
+    warm_ = std::max(cfg_.warmStartRefs, prefix_.size());
 
-    // Live multiprogrammed stream.
-    while (refs.size() < prefix_len + cfg.lengthRefs) {
-        std::size_t who = rng.below(processes.size());
-        std::size_t slice = 1 + rng.geometric(1.0 / cfg.meanSliceRefs);
-        slice = std::min(slice,
-                         prefix_len + cfg.lengthRefs - refs.size());
-        for (std::size_t i = 0; i < slice; ++i)
-            refs.push_back(processes[who].next());
+    // Snapshot the post-prefix generator state so reset() replays
+    // the live stream bit-identically.
+    liveStart_ = processes_;
+    liveRng_ = rng_;
+}
+
+void
+InterleaveSource::reset()
+{
+    processes_ = liveStart_;
+    rng_ = liveRng_;
+    pos_ = 0;
+    who_ = 0;
+    sliceLeft_ = 0;
+}
+
+std::size_t
+InterleaveSource::fill(Ref *out, std::size_t max)
+{
+    std::size_t produced = 0;
+    while (produced < max && pos_ < total_) {
+        if (pos_ < prefix_.size()) {
+            std::size_t n = static_cast<std::size_t>(
+                std::min<std::uint64_t>(max - produced,
+                                        prefix_.size() - pos_));
+            std::copy(prefix_.begin() +
+                          static_cast<std::ptrdiff_t>(pos_),
+                      prefix_.begin() +
+                          static_cast<std::ptrdiff_t>(pos_ + n),
+                      out + produced);
+            produced += n;
+            pos_ += n;
+            continue;
+        }
+        if (sliceLeft_ == 0) {
+            // Same draw sequence as the eager interleaver: one
+            // scheduling decision and one slice length per slice,
+            // clamped at the stream end.
+            who_ = static_cast<std::size_t>(
+                rng_.below(processes_.size()));
+            std::uint64_t slice =
+                1 + rng_.geometric(1.0 / cfg_.meanSliceRefs);
+            sliceLeft_ = std::min<std::uint64_t>(slice,
+                                                 total_ - pos_);
+        }
+        std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(max - produced, sliceLeft_));
+        for (std::size_t i = 0; i < n; ++i)
+            out[produced + i] = processes_[who_].next();
+        produced += n;
+        sliceLeft_ -= n;
+        pos_ += n;
     }
-
-    std::size_t warm = std::max(cfg.warmStartRefs, prefix_len);
-    return Trace(name, std::move(refs), warm);
+    return produced;
 }
 
 } // namespace cachetime

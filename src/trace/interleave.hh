@@ -18,8 +18,10 @@
 #include <string>
 #include <vector>
 
+#include "trace/ref_source.hh"
 #include "trace/synthetic.hh"
 #include "trace/trace.hh"
+#include "util/rng.hh"
 
 namespace cachetime
 {
@@ -59,6 +61,49 @@ struct InterleaveConfig
 Trace interleave(const std::string &name,
                  std::vector<ProcessModel> &processes,
                  const InterleaveConfig &cfg);
+
+/**
+ * Streaming interleaver: produces the exact reference stream of
+ * interleave() chunk by chunk, so workloads far larger than RAM can
+ * be generated and replayed at bounded RSS (interleave() itself is
+ * materialize() over this source).
+ *
+ * The warm-start prefix is built eagerly at construction - it is
+ * bounded by the processes' footprints, not the stream length - and
+ * the live stream is drawn on demand.  reset() restores the
+ * post-prefix generator state, so replays are bit-identical.
+ */
+class InterleaveSource : public RefSource
+{
+  public:
+    /** @param processes generator state, copied (and never shared). */
+    InterleaveSource(std::string name,
+                     std::vector<ProcessModel> processes,
+                     const InterleaveConfig &cfg);
+
+    const std::string &name() const override { return name_; }
+    std::uint64_t size() const override { return total_; }
+    std::size_t warmStart() const override { return warm_; }
+    void reset() override;
+    std::size_t fill(Ref *out, std::size_t max) override;
+
+    /** @return length of the R2000-style warm prefix (maybe 0). */
+    std::size_t prefixLength() const { return prefix_.size(); }
+
+  private:
+    std::string name_;
+    InterleaveConfig cfg_;
+    std::vector<Ref> prefix_;      ///< interleaved warm prefix
+    std::vector<ProcessModel> processes_;  ///< advanced by fill()
+    std::vector<ProcessModel> liveStart_;  ///< post-prefix snapshot
+    Rng rng_;                      ///< slice scheduling, advanced
+    Rng liveRng_;                  ///< post-prefix snapshot
+    std::uint64_t total_ = 0;      ///< prefix + live references
+    std::size_t warm_ = 0;
+    std::uint64_t pos_ = 0;        ///< next reference index
+    std::size_t who_ = 0;          ///< process owning current slice
+    std::uint64_t sliceLeft_ = 0;  ///< refs left in current slice
+};
 
 } // namespace cachetime
 

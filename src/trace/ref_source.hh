@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The streaming reference pipeline: pull-based chunked iteration
+ * over a reference stream.
+ *
+ * A Trace materializes the whole stream as a std::vector<Ref>, which
+ * caps workload length by RAM.  RefSource is the streaming
+ * counterpart: consumers pull bounded chunks and the producer keeps
+ * only O(chunk) state, so multi-gigabyte traces replay at bounded
+ * RSS.  Three families implement it:
+ *
+ *  - TraceRefSource: a zero-allocation adapter over an in-memory
+ *    Trace (the bridge between the eager and streaming worlds);
+ *  - InterleaveSource (trace/interleave.hh): generates the
+ *    multiprogrammed synthetic stream incrementally;
+ *  - V2FileSource (trace/trace_v2.hh): an mmap-backed reader for
+ *    the fixed-record binary trace format v2.
+ *
+ * A source is single-consumer and replayable: reset() rewinds to the
+ * first reference, and System::run(RefSource&) resets before every
+ * run.  The streamed and materialized paths are required to agree
+ * bit for bit; tests/test_differential.cc enforces it.
+ */
+
+#ifndef CACHETIME_TRACE_REF_SOURCE_HH
+#define CACHETIME_TRACE_REF_SOURCE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace cachetime
+{
+
+/** Default refs per fill() chunk (256KB of Ref at 16 bytes each). */
+constexpr std::size_t refChunkSize = 16 * 1024;
+
+/** A pull-based, replayable reference stream. */
+class RefSource
+{
+  public:
+    virtual ~RefSource() = default;
+
+    /** @return the workload name, e.g. "mu3". */
+    virtual const std::string &name() const = 0;
+
+    /** @return total number of references (known up front). */
+    virtual std::uint64_t size() const = 0;
+
+    /** @return references before statistics begin. */
+    virtual std::size_t warmStart() const = 0;
+
+    /**
+     * @return per-window warm segments (see Trace::warmSegments);
+     * empty for every source except sampled in-memory traces.
+     */
+    virtual const std::vector<WarmSegment> &warmSegments() const;
+
+    /** Rewind to the first reference. */
+    virtual void reset() = 0;
+
+    /**
+     * Copy up to @p max references into @p out, starting where the
+     * previous fill() left off.  @return the number produced; 0
+     * means the stream is exhausted.
+     */
+    virtual std::size_t fill(Ref *out, std::size_t max) = 0;
+
+    /**
+     * @return the stream's identity hash - equal, by construction,
+     * to traceIdentityHash() of the materialized equivalent, so the
+     * SimCache keys streamed and eager runs identically.  Computed
+     * on first call (one full replay for generative sources) and
+     * memoized; the source is left reset().
+     */
+    std::uint64_t contentHash();
+
+  protected:
+    /**
+     * Hook for sources that can answer without a replay
+     * (TraceRefSource delegates to the Trace's cached hash).
+     * @return true and set @p hash when available.
+     */
+    virtual bool cachedContentHash(std::uint64_t *hash) { return !hash; }
+
+  private:
+    bool hashValid_ = false;
+    std::uint64_t hash_ = 0;
+};
+
+/**
+ * Incremental computation of a stream's identity hash.  One
+ * implementation serves both worlds: traceIdentityHash() feeds it a
+ * whole vector, RefSource::contentHash() feeds it chunk by chunk.
+ * The digest covers the name, length, warm boundary, warm segments
+ * and every reference, in that order.
+ */
+class StreamHasher
+{
+  public:
+    StreamHasher(const std::string &name, std::uint64_t size,
+                 std::size_t warm_start,
+                 const std::vector<WarmSegment> &warm_segments);
+
+    /** Absorb the next @p n references. */
+    void absorb(const Ref *refs, std::size_t n);
+
+    /** @return the finalized digest. */
+    std::uint64_t digest() const;
+
+  private:
+    std::uint64_t state_;
+};
+
+/** splitmix64 finalizer: full-avalanche 64-bit mix. */
+std::uint64_t mix64(std::uint64_t x);
+
+/**
+ * @return a hash of the trace's identity: name, warm-start boundary,
+ * warm segments and the complete reference stream.  Memoized in the
+ * Trace itself, so sweeps hash each trace once however many configs
+ * revisit it.  (Also declared by core/sim_cache.hh, which keys the
+ * memoization table with it.)
+ */
+std::uint64_t traceIdentityHash(const Trace &trace);
+
+/** Adapter presenting an in-memory Trace as a RefSource. */
+class TraceRefSource : public RefSource
+{
+  public:
+    /** View over @p trace; the trace must outlive the source. */
+    explicit TraceRefSource(const Trace &trace) : trace_(&trace) {}
+
+    /** @return a source owning a copy of @p trace. */
+    static std::unique_ptr<TraceRefSource> owning(Trace trace);
+
+    const std::string &name() const override { return trace_->name(); }
+    std::uint64_t size() const override { return trace_->size(); }
+    std::size_t warmStart() const override { return trace_->warmStart(); }
+    const std::vector<WarmSegment> &warmSegments() const override
+    {
+        return trace_->warmSegments();
+    }
+    void reset() override { pos_ = 0; }
+    std::size_t fill(Ref *out, std::size_t max) override;
+
+    /** @return the adapted trace. */
+    const Trace &trace() const { return *trace_; }
+
+  protected:
+    bool cachedContentHash(std::uint64_t *hash) override;
+
+  private:
+    const Trace *trace_;
+    std::unique_ptr<Trace> owned_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * Drain @p source into an in-memory Trace (name, warm boundary and
+ * warm segments carried over).  The bridge back from the streaming
+ * world for consumers that need random access.
+ */
+Trace materialize(RefSource &source);
+
+} // namespace cachetime
+
+#endif // CACHETIME_TRACE_REF_SOURCE_HH

@@ -27,6 +27,12 @@ sampleTime(const Trace &trace, const SamplingConfig &config)
                    refs.begin() +
                        static_cast<std::ptrdiff_t>(live_start));
 
+    // The first window's warm-up folds into the warm-start boundary;
+    // every later window gets a warm segment so its own warm-up is
+    // issued but excluded from the measured statistics too.
+    std::vector<WarmSegment> segments;
+    std::size_t at = live_start;
+    bool first = true;
     for (std::size_t window = live_start; window < refs.size();
          window += config.periodRefs) {
         std::size_t end =
@@ -36,13 +42,22 @@ sampleTime(const Trace &trace, const SamplingConfig &config)
                            static_cast<std::ptrdiff_t>(window),
                        refs.begin() +
                            static_cast<std::ptrdiff_t>(end));
+        std::size_t len = end - window;
+        if (!first && config.windowWarmupRefs > 0) {
+            std::size_t warmup =
+                std::min(config.windowWarmupRefs, len);
+            segments.push_back({at, at + warmup});
+        }
+        first = false;
+        at += len;
     }
 
     std::size_t warm = live_start + std::min(config.windowWarmupRefs,
                                              sampled.size() -
                                                  live_start);
-    return Trace(trace.name() + ".sampled", std::move(sampled),
-                 warm);
+    Trace out(trace.name() + ".sampled", std::move(sampled), warm);
+    out.setWarmSegments(std::move(segments));
+    return out;
 }
 
 double

@@ -41,9 +41,11 @@ struct SamplingConfig
 /**
  * Extract periodic windows from @p trace (its live, post-warm-start
  * portion).  The result's warm-start boundary covers the original
- * prefix plus the first window's warm-up; note that per-window
- * warm-up inside later windows is NOT excluded from statistics by
- * the simulator - the bench quantifies exactly that bias.
+ * prefix plus the first window's warm-up; every later window's
+ * warm-up is carried as a warm segment (Trace::warmSegments), which
+ * the simulator issues - advancing the clock and cache state - but
+ * excludes from every measured counter.  The bench (`ext_sampling`)
+ * measures the residual error of sampling itself.
  *
  * @return the sampled trace (named "<name>.sampled")
  */

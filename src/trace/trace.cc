@@ -1,6 +1,9 @@
 #include "trace/trace.hh"
 
 #include <unordered_set>
+#include <utility>
+
+#include "util/logging.hh"
 
 namespace cachetime
 {
@@ -25,10 +28,72 @@ Trace::Trace(std::string name, std::vector<Ref> refs, std::size_t warm_start)
     setWarmStart(warm_start);
 }
 
+Trace::Trace(const Trace &other)
+    : name_(other.name_), refs_(other.refs_),
+      warmStart_(other.warmStart_), warmSegments_(other.warmSegments_),
+      idHash_(other.idHash_.load(std::memory_order_relaxed))
+{
+}
+
+Trace::Trace(Trace &&other) noexcept
+    : name_(std::move(other.name_)), refs_(std::move(other.refs_)),
+      warmStart_(other.warmStart_),
+      warmSegments_(std::move(other.warmSegments_)),
+      idHash_(other.idHash_.load(std::memory_order_relaxed))
+{
+}
+
+Trace &
+Trace::operator=(const Trace &other)
+{
+    name_ = other.name_;
+    refs_ = other.refs_;
+    warmStart_ = other.warmStart_;
+    warmSegments_ = other.warmSegments_;
+    idHash_.store(other.idHash_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    return *this;
+}
+
+Trace &
+Trace::operator=(Trace &&other) noexcept
+{
+    name_ = std::move(other.name_);
+    refs_ = std::move(other.refs_);
+    warmStart_ = other.warmStart_;
+    warmSegments_ = std::move(other.warmSegments_);
+    idHash_.store(other.idHash_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    return *this;
+}
+
 void
 Trace::setWarmStart(std::size_t warm_start)
 {
     warmStart_ = warm_start > refs_.size() ? refs_.size() : warm_start;
+    idHash_.store(0, std::memory_order_relaxed);
+}
+
+void
+Trace::setWarmSegments(std::vector<WarmSegment> segments)
+{
+    std::size_t previous_end = warmStart_;
+    for (const WarmSegment &seg : segments) {
+        if (seg.begin >= seg.end)
+            fatal("Trace: empty warm segment [%zu, %zu)", seg.begin,
+                  seg.end);
+        if (seg.begin < previous_end)
+            fatal("Trace: warm segment [%zu, %zu) overlaps or "
+                  "precedes the boundary at %zu",
+                  seg.begin, seg.end, previous_end);
+        if (seg.end > refs_.size())
+            fatal("Trace: warm segment [%zu, %zu) beyond the trace "
+                  "length %zu",
+                  seg.begin, seg.end, refs_.size());
+        previous_end = seg.end;
+    }
+    warmSegments_ = std::move(segments);
+    idHash_.store(0, std::memory_order_relaxed);
 }
 
 double

@@ -7,12 +7,20 @@
  * start boundary (statistics gathering only begins once that many
  * references have been issued, so cold-start misses do not pollute
  * the results).
+ *
+ * Sampled traces additionally carry *warm segments*: index ranges
+ * after the warm-start boundary whose references are issued (they
+ * advance the clock and update cache state) but are excluded from
+ * every measured counter.  trace/sampling.cc uses them to discard
+ * each sampling window's warm-up, not just the first one's.
  */
 
 #ifndef CACHETIME_TRACE_TRACE_HH
 #define CACHETIME_TRACE_TRACE_HH
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -20,6 +28,18 @@
 
 namespace cachetime
 {
+
+/**
+ * A half-open reference-index range [begin, end) excluded from
+ * measurement (cache state still updates, the clock still runs).
+ */
+struct WarmSegment
+{
+    std::size_t begin = 0;
+    std::size_t end = 0;
+
+    bool operator==(const WarmSegment &other) const = default;
+};
 
 /** A named reference stream with its warm-start boundary. */
 class Trace
@@ -30,6 +50,11 @@ class Trace
     /** Construct from parts. */
     Trace(std::string name, std::vector<Ref> refs,
           std::size_t warm_start = 0);
+
+    Trace(const Trace &other);
+    Trace(Trace &&other) noexcept;
+    Trace &operator=(const Trace &other);
+    Trace &operator=(Trace &&other) noexcept;
 
     /** @return the workload name, e.g. "mu3". */
     const std::string &name() const { return name_; }
@@ -43,18 +68,62 @@ class Trace
     /** Set the warm-start boundary (clamped to the trace length). */
     void setWarmStart(std::size_t warm_start);
 
+    /**
+     * @return the per-window warm segments, sorted and disjoint;
+     * empty for unsampled traces.
+     */
+    const std::vector<WarmSegment> &warmSegments() const
+    {
+        return warmSegments_;
+    }
+
+    /**
+     * Install per-window warm segments.  They must be sorted,
+     * non-empty, pairwise disjoint and lie in [warmStart, size);
+     * anything else is a fatal error (the segments are produced
+     * programmatically, so a violation is a caller bug surfaced as
+     * bad input).
+     */
+    void setWarmSegments(std::vector<WarmSegment> segments);
+
     /** Append a reference. */
-    void push(const Ref &ref) { refs_.push_back(ref); }
+    void
+    push(const Ref &ref)
+    {
+        refs_.push_back(ref);
+        idHash_.store(0, std::memory_order_relaxed);
+    }
 
     /** @return total number of references. */
     std::size_t size() const { return refs_.size(); }
 
     bool empty() const { return refs_.empty(); }
 
+    /**
+     * Identity-hash memoization slot (see traceIdentityHash() in
+     * core/sim_cache.hh).  0 means "not computed yet"; the hash
+     * function never returns 0 for a stored value.  Thread safe:
+     * concurrent sweeps may race to store the same deterministic
+     * value.
+     */
+    std::uint64_t
+    cachedIdentityHash() const
+    {
+        return idHash_.load(std::memory_order_relaxed);
+    }
+
+    void
+    storeIdentityHash(std::uint64_t hash) const
+    {
+        idHash_.store(hash, std::memory_order_relaxed);
+    }
+
   private:
     std::string name_;
     std::vector<Ref> refs_;
     std::size_t warmStart_ = 0;
+    std::vector<WarmSegment> warmSegments_;
+    mutable std::atomic<std::uint64_t> idHash_{0};
 };
 
 /** Aggregate, organization-independent statistics about a trace. */

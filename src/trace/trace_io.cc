@@ -1,5 +1,6 @@
 #include "trace/trace_io.hh"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <fstream>
@@ -7,6 +8,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "trace/ref_source.hh"
+#include "trace/trace_v2.hh"
 #include "util/logging.hh"
 
 namespace cachetime
@@ -94,14 +97,24 @@ readText(std::istream &is, const std::string &name)
         std::istringstream ss(line);
         std::string kind;
         std::uint64_t addr;
-        unsigned pid = 0;
-        ss >> kind >> std::hex >> addr >> std::dec >> pid;
+        ss >> kind >> std::hex >> addr >> std::dec;
         if (kind.empty() || ss.fail())
             fatal("trace_io: malformed trace line %zu: '%s'", lineno,
                   line.c_str());
+        // The pid column is optional (the classic din dialect has
+        // none); only a present-but-unparseable pid is malformed.
+        unsigned pid = 0;
+        ss >> std::ws;
+        if (!ss.eof() && !(ss >> pid))
+            fatal("trace_io: malformed pid on trace line %zu: '%s'",
+                  lineno, line.c_str());
         refs.push_back({addr, kindFromChar(kind[0]),
                         static_cast<Pid>(pid)});
     }
+    if (warm_start > refs.size())
+        fatal("trace_io: #warmstart %zu beyond the %zu references "
+              "in the trace",
+              warm_start, refs.size());
     return Trace(name, std::move(refs), warm_start);
 }
 
@@ -184,8 +197,16 @@ readBinary(std::istream &is, const std::string &name)
         fatal("trace_io: not a cachetime binary trace");
     auto count = readLE<std::uint64_t>(is);
     auto warm_start = readLE<std::uint64_t>(is);
+    if (warm_start > count)
+        fatal("trace_io: header warm start %llu beyond the %llu "
+              "references in the trace",
+              static_cast<unsigned long long>(warm_start),
+              static_cast<unsigned long long>(count));
     std::vector<Ref> refs;
-    refs.reserve(count);
+    // Cap the up-front reservation: a corrupt header must surface as
+    // a clean truncation error, not an allocation failure.
+    refs.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(count, 1u << 20)));
     for (std::uint64_t i = 0; i < count; ++i) {
         Ref ref;
         ref.addr = readLE<std::uint64_t>(is);
@@ -197,7 +218,8 @@ readBinary(std::istream &is, const std::string &name)
         ref.kind = static_cast<RefKind>(kind);
         refs.push_back(ref);
     }
-    return Trace(name, std::move(refs), warm_start);
+    return Trace(name, std::move(refs),
+                 static_cast<std::size_t>(warm_start));
 }
 
 namespace
@@ -213,6 +235,17 @@ hasSuffix(const std::string &text, const char *suffix)
 
 } // namespace
 
+std::string
+workloadNameFromPath(const std::string &path)
+{
+    std::string name = path;
+    if (auto slash = name.find_last_of('/'); slash != std::string::npos)
+        name = name.substr(slash + 1);
+    if (auto dot = name.find_last_of('.'); dot != std::string::npos)
+        name = name.substr(0, dot);
+    return name;
+}
+
 Trace
 loadFile(const std::string &path)
 {
@@ -223,19 +256,28 @@ loadFile(const std::string &path)
     is.read(magic, sizeof(magic));
     bool binary = is &&
         std::memcmp(magic, binaryMagic, sizeof(magic)) == 0;
+    bool v2 = is &&
+        std::memcmp(magic, v2::magic, sizeof(v2::magic)) == 0;
     is.clear();
     is.seekg(0);
-    // Derive a workload name from the file name.
-    std::string name = path;
-    if (auto slash = name.find_last_of('/'); slash != std::string::npos)
-        name = name.substr(slash + 1);
-    if (auto dot = name.find_last_of('.'); dot != std::string::npos)
-        name = name.substr(0, dot);
+    std::string name = workloadNameFromPath(path);
+    if (v2) {
+        is.close();
+        return readV2(path);
+    }
     if (binary)
         return readBinary(is, name);
     if (hasSuffix(path, ".din"))
         return readDinero(is, name);
     return readText(is, name);
+}
+
+std::unique_ptr<RefSource>
+openRefSource(const std::string &path)
+{
+    if (isV2File(path))
+        return std::make_unique<V2FileSource>(path);
+    return TraceRefSource::owning(loadFile(path));
 }
 
 void

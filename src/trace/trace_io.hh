@@ -20,12 +20,15 @@
 #define CACHETIME_TRACE_TRACE_IO_HH
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 
 #include "trace/trace.hh"
 
 namespace cachetime
 {
+
+class RefSource;
 
 /** Write @p trace to @p os in the text format. */
 void writeText(const Trace &trace, std::ostream &os);
@@ -56,8 +59,22 @@ void writeBinary(const Trace &trace, std::ostream &os);
 /** Parse a binary-format trace; fatal on a bad magic or truncation. */
 Trace readBinary(std::istream &is, const std::string &name = "trace");
 
-/** Load a trace from @p path, sniffing text vs binary by magic. */
+/** @return a workload name derived from @p path (basename, no ext). */
+std::string workloadNameFromPath(const std::string &path);
+
+/**
+ * Load a trace from @p path, sniffing the format by magic (binary
+ * v1, format v2) or extension (".din"), defaulting to text.
+ */
 Trace loadFile(const std::string &path);
+
+/**
+ * Open @p path as a streaming RefSource.  Format-v2 files stream
+ * straight off disk through an mmap window (bounded RSS however
+ * long the trace); every other format is materialized through
+ * loadFile() and adapted, so the caller gets one uniform interface.
+ */
+std::unique_ptr<RefSource> openRefSource(const std::string &path);
 
 /** Save @p trace to @p path; binary iff @p binary. */
 void saveFile(const Trace &trace, const std::string &path,

@@ -31,14 +31,12 @@ table1Workloads()
     return specs;
 }
 
-Trace
-generate(const WorkloadSpec &spec, double scale)
+namespace
 {
-    if (scale <= 0.0)
-        fatal("workloads: scale must be positive, got %f", scale);
-    if (spec.processes == 0)
-        fatal("workloads: '%s' has zero processes", spec.name.c_str());
 
+std::vector<ProcessModel>
+buildProcesses(const WorkloadSpec &spec)
+{
     Rng seeder(spec.seed * 0x9e3779b97f4a7c15ULL + 0xc0ffee);
     std::vector<ProcessModel> processes;
     processes.reserve(spec.processes);
@@ -70,6 +68,18 @@ generate(const WorkloadSpec &spec, double scale)
         processes.emplace_back(profile, static_cast<Pid>(p + 1),
                                seeder.next());
     }
+    return processes;
+}
+
+} // namespace
+
+std::unique_ptr<InterleaveSource>
+makeWorkloadSource(const WorkloadSpec &spec, double scale)
+{
+    if (scale <= 0.0)
+        fatal("workloads: scale must be positive, got %f", scale);
+    if (spec.processes == 0)
+        fatal("workloads: '%s' has zero processes", spec.name.c_str());
 
     InterleaveConfig cfg;
     cfg.lengthRefs =
@@ -87,7 +97,15 @@ generate(const WorkloadSpec &spec, double scale)
         static_cast<std::size_t>(spec.lengthRefs * scale / 4);
     cfg.warmStartRefs =
         static_cast<std::size_t>(spec.warmStartRefs * scale);
-    return interleave(spec.name, processes, cfg);
+    return std::make_unique<InterleaveSource>(
+        spec.name, buildProcesses(spec), cfg);
+}
+
+Trace
+generate(const WorkloadSpec &spec, double scale)
+{
+    auto source = makeWorkloadSource(spec, scale);
+    return materialize(*source);
 }
 
 std::vector<Trace>

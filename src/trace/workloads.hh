@@ -14,6 +14,7 @@
 #define CACHETIME_TRACE_WORKLOADS_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,17 @@ std::vector<WorkloadSpec> table1Workloads();
  *              prefix sample); footprints are unaffected
  */
 Trace generate(const WorkloadSpec &spec, double scale = 1.0);
+
+class InterleaveSource;
+
+/**
+ * Expand @p spec into a *streaming* source producing exactly the
+ * reference stream generate() would materialize (generate() is the
+ * materialization of this source).  Lets arbitrarily long workloads
+ * be generated, hashed and replayed at bounded RSS.
+ */
+std::unique_ptr<InterleaveSource>
+makeWorkloadSource(const WorkloadSpec &spec, double scale = 1.0);
 
 /** Generate all eight Table 1 traces at the given scale. */
 std::vector<Trace> generateTable1(double scale = 1.0);

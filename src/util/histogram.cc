@@ -59,6 +59,24 @@ Histogram::reset()
     max_ = 0;
 }
 
+void
+Histogram::merge(const Histogram &other)
+{
+    if (counts_.size() != other.counts_.size() ||
+        width_ != other.width_)
+        panic("Histogram::merge: shape mismatch (%zu x %llu vs "
+              "%zu x %llu)",
+              counts_.size(), static_cast<unsigned long long>(width_),
+              other.counts_.size(),
+              static_cast<unsigned long long>(other.width_));
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    overflow_ += other.overflow_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+}
+
 std::string
 Histogram::summary() const
 {

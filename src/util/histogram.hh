@@ -62,6 +62,13 @@ class Histogram
     /** Reset all counts (warm-start boundary). */
     void reset();
 
+    /**
+     * Accumulate @p other into this histogram (bin-wise).  The bin
+     * count and width must match; merging differently-shaped
+     * histograms is a caller bug.
+     */
+    void merge(const Histogram &other);
+
     /** Render a compact one-line summary, e.g. for reports. */
     std::string summary() const;
 

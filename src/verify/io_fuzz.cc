@@ -1,0 +1,218 @@
+#include "verify/io_fuzz.hh"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "trace/ref_source.hh"
+#include "trace/trace.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_v2.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace cachetime
+{
+namespace verify
+{
+
+namespace
+{
+
+/** Draw a small, well-formed trace for one case. */
+Trace
+randomTrace(Rng &rng)
+{
+    std::size_t n = 1 + rng.below(200);
+    std::vector<Ref> refs;
+    refs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Ref r;
+        r.addr = rng.below(1u << 20);
+        r.kind = static_cast<RefKind>(rng.below(3));
+        r.pid = static_cast<Pid>(rng.below(4));
+        refs.push_back(r);
+    }
+    std::size_t warm = rng.chance(0.5) ? 0 : rng.below(n);
+    return Trace("iofuzz", std::move(refs), warm);
+}
+
+/** Serialize @p trace to @p path in one of the four disk formats. */
+void
+writeCase(const Trace &trace, const std::string &path, unsigned format)
+{
+    if (format == 3) {
+        writeV2(trace, path);
+        return;
+    }
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("io_fuzz: cannot create '%s'", path.c_str());
+    switch (format) {
+    case 0: writeText(trace, out); break;
+    case 1: writeDinero(trace, out); break;
+    default: writeBinary(trace, out); break;
+    }
+}
+
+/** Read the whole file at @p path. */
+std::string
+slurpBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/**
+ * Corrupt the byte image of one case: truncate, flip bytes, splice
+ * random garbage, or leave it intact (the loaders must keep
+ * accepting clean files too).
+ */
+void
+mutateFile(const std::string &path, Rng &rng)
+{
+    std::string bytes = slurpBytes(path);
+    switch (rng.below(4)) {
+    case 0:
+        break; // intact
+    case 1:
+        bytes.resize(rng.below(bytes.size() + 1));
+        break;
+    case 2: {
+        std::uint64_t flips = 1 + rng.below(8);
+        for (std::uint64_t i = 0; i < flips && !bytes.empty(); ++i)
+            bytes[rng.below(bytes.size())] =
+                static_cast<char>(rng.below(256));
+        break;
+    }
+    default: {
+        std::size_t at = rng.below(bytes.size() + 1);
+        std::size_t len = 1 + rng.below(64);
+        std::string junk(len, '\0');
+        for (char &c : junk)
+            c = static_cast<char>(rng.below(256));
+        bytes.insert(at, junk);
+        break;
+    }
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+/** Child outcome classification. */
+enum class ChildResult { Accepted, Rejected, Failed };
+
+ChildResult
+loadInChild(const std::string &path)
+{
+    pid_t child = fork();
+    if (child < 0)
+        fatal("io_fuzz: fork failed");
+    if (child == 0) {
+        // Errors are expected by the hundreds; keep them off the
+        // terminal.  Failures are reproduced by re-loading the kept
+        // file directly.
+        int devnull = open("/dev/null", O_WRONLY);
+        if (devnull >= 0) {
+            dup2(devnull, 1);
+            dup2(devnull, 2);
+            close(devnull);
+        }
+        // Re-exec so sanitizer runtimes re-read their options:
+        // abort_on_error makes an ASAN finding die by signal, which
+        // the parent can tell apart from fatal()'s exit(1).
+        const char *old = getenv("ASAN_OPTIONS");
+        std::string opts = old ? std::string(old) + ":" : "";
+        opts += "abort_on_error=1";
+        setenv("ASAN_OPTIONS", opts.c_str(), 1);
+        execl("/proc/self/exe", "cachetime_verify", "--load-one",
+              path.c_str(), static_cast<char *>(nullptr));
+        // No /proc (or a non-reexecable host binary): drain in
+        // process.  Classification still works, minus the ASAN
+        // exit-code disambiguation.
+        drainTraceFile(path);
+        std::exit(0);
+    }
+    int status = 0;
+    if (waitpid(child, &status, 0) != child)
+        fatal("io_fuzz: waitpid failed");
+    if (WIFEXITED(status)) {
+        if (WEXITSTATUS(status) == 0)
+            return ChildResult::Accepted;
+        if (WEXITSTATUS(status) == 1)
+            return ChildResult::Rejected;
+        return ChildResult::Failed; // unexpected exit code
+    }
+    return ChildResult::Failed; // signalled: crash or abort
+}
+
+} // namespace
+
+void
+drainTraceFile(const std::string &path)
+{
+    Trace trace = loadFile(path);
+    (void)trace;
+    std::unique_ptr<RefSource> source = openRefSource(path);
+    std::vector<Ref> buf(4096);
+    while (source->fill(buf.data(), buf.size()) > 0) {
+    }
+}
+
+IoFuzzReport
+runIoFuzz(const IoFuzzOptions &options)
+{
+    IoFuzzReport report;
+    for (std::uint64_t i = 0; i < options.cases; ++i) {
+        std::uint64_t seed = options.seed + i;
+        Rng rng(seed * 0x2545f4914f6cdd1dULL + 0x1005);
+        std::string path = options.workDir + "/io_fuzz_" +
+                           std::to_string(seed) + ".trace";
+
+        Trace trace = randomTrace(rng);
+        writeCase(trace, path, static_cast<unsigned>(rng.below(4)));
+        mutateFile(path, rng);
+
+        ChildResult result = loadInChild(path);
+        ++report.casesRun;
+        switch (result) {
+        case ChildResult::Accepted:
+            ++report.accepted;
+            break;
+        case ChildResult::Rejected:
+            ++report.rejected;
+            break;
+        case ChildResult::Failed:
+            ++report.failures;
+            report.firstBadSeed = seed;
+            report.reproPath = path;
+            return report; // keep the file as the repro
+        }
+        std::remove(path.c_str());
+
+        if (options.progressEvery &&
+            (i + 1) % options.progressEvery == 0) {
+            inform("io fuzz: %llu/%llu cases (%llu ok, %llu "
+                   "rejected)",
+                   static_cast<unsigned long long>(i + 1),
+                   static_cast<unsigned long long>(options.cases),
+                   static_cast<unsigned long long>(report.accepted),
+                   static_cast<unsigned long long>(report.rejected));
+        }
+    }
+    return report;
+}
+
+} // namespace verify
+} // namespace cachetime

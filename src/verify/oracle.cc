@@ -965,108 +965,171 @@ oracleSupports(const SystemConfig &config, std::string *why)
 SimResult
 oracleRun(const SystemConfig &config, const Trace &trace)
 {
+    TraceRefSource source(trace);
+    return oracleRun(config, source);
+}
+
+SimResult
+oracleRun(const SystemConfig &config, RefSource &source)
+{
     std::string why;
     if (!oracleSupports(config, &why))
         fatal("oracleRun: unsupported feature (%s)", why.c_str());
 
     OMachine m(config);
 
-    const std::vector<Ref> &refs = trace.refs();
     const bool pair = m.cfg.split && m.cfg.cpu.pairIssue;
+    const std::vector<WarmSegment> &segments = source.warmSegments();
+    const std::size_t warm_start = source.warmStart();
+    source.reset();
+
+    // The oracle keeps its own chunk buffer and pairing loop rather
+    // than reusing the simulator's StreamPairer; sharing the
+    // iteration machinery would hide a bug in it from the harness.
+    std::vector<Ref> buf(4096);
+    std::size_t head = 0;
+    std::size_t buffered = 0;
+    std::size_t consumed = 0; ///< index of the next unconsumed ref
+    bool drained = false;
+    auto ensure = [&](std::size_t want) {
+        if (drained || buffered - head >= want)
+            return;
+        std::copy(buf.begin() + static_cast<std::ptrdiff_t>(head),
+                  buf.begin() + static_cast<std::ptrdiff_t>(buffered),
+                  buf.begin());
+        buffered -= head;
+        head = 0;
+        while (buffered < want) {
+            std::size_t n =
+                source.fill(buf.data() + buffered,
+                            buf.size() - buffered);
+            if (n == 0) {
+                drained = true;
+                break;
+            }
+            buffered += n;
+        }
+    };
+
+    SimResult result;
+    result.traceName = source.name();
+    result.configSummary = m.cfg.describe();
+    result.cycleNs = m.cfg.cycleNs;
+    result.midLevels.resize(m.midLevels.size());
+    result.midBuffers.resize(m.midBuffers.size());
+    result.physical = m.tlb != nullptr;
 
     Tick now = 0;
-    Tick warm_time = 0;
-    bool warmed = trace.warmStart() == 0;
-    std::uint64_t measured_refs = 0;
-    std::uint64_t measured_reads = 0;
-    std::uint64_t measured_writes = 0;
-    std::uint64_t measured_groups = 0;
+    Tick seg_start = 0;
+    bool measuring = false;
+    std::size_t seg_idx = 0;
 
-    std::size_t i = 0;
-    while (i < refs.size()) {
-        if (!warmed && i >= trace.warmStart()) {
-            warmed = true;
-            warm_time = now;
-            m.resetStats();
+    auto fold = [&]() {
+        result.cycles += now - seg_start;
+        if (m.cfg.split)
+            result.icache.merge(m.icache->stats);
+        result.dcache.merge(m.dcache->stats);
+        // midLevels is ordered memory-first; expose CPU-first.
+        for (std::size_t l = m.midLevels.size(); l-- > 0;) {
+            std::size_t out = m.midLevels.size() - 1 - l;
+            result.midLevels[out].merge(m.midLevels[l]->cache.stats);
+            result.midBuffers[out].merge(m.midBuffers[l]->stats);
+        }
+        result.l1Buffer.merge(m.l1Buffer->stats);
+        result.memory.merge(m.memory->stats);
+        if (m.tlb)
+            result.tlb.merge(m.tlb->stats);
+        result.missPenaltyCycles.merge(m.missPenalty);
+        result.stallReadCycles += m.stallRead;
+        result.stallWriteCycles += m.stallWrite;
+        result.stallTlbCycles += m.stallTlb;
+    };
+
+    for (;;) {
+        // Two refs of lookahead so couplets form across chunk
+        // boundaries exactly as they would in a materialized walk.
+        ensure(2);
+        if (head >= buffered)
+            break;
+
+        // Measurement state is decided at issue-group granularity,
+        // matching System::run.
+        std::size_t p = consumed;
+        while (seg_idx < segments.size() && p >= segments[seg_idx].end)
+            ++seg_idx;
+        bool want = p >= warm_start &&
+                    (seg_idx >= segments.size() ||
+                     p < segments[seg_idx].begin);
+        if (want != measuring) {
+            if (want) {
+                m.resetStats();
+                seg_start = now;
+            } else {
+                fold();
+            }
+            measuring = want;
         }
 
         // Form one issue group: an ifetch, optionally coupled with
         // the immediately following data reference.
-        const Ref *ifetch = nullptr;
-        const Ref *data = nullptr;
-        if (refs[i].kind == RefKind::IFetch) {
-            ifetch = &refs[i];
-            ++i;
-            if (pair && i < refs.size() && isData(refs[i].kind)) {
-                data = &refs[i];
-                ++i;
+        Ref ifetch;
+        Ref data;
+        bool has_ifetch = false;
+        bool has_data = false;
+        if (buf[head].kind == RefKind::IFetch) {
+            ifetch = buf[head];
+            has_ifetch = true;
+            ++head;
+            ++consumed;
+            if (pair && head < buffered && isData(buf[head].kind)) {
+                data = buf[head];
+                has_data = true;
+                ++head;
+                ++consumed;
             }
         } else {
-            data = &refs[i];
-            ++i;
+            data = buf[head];
+            has_data = true;
+            ++head;
+            ++consumed;
         }
 
         Tick done = now;
-        if (ifetch) {
+        if (has_ifetch) {
             OCacheModel &iside =
                 m.cfg.split ? *m.icache : *m.dcache;
             Tick &busy = m.cfg.split ? m.iBusy : m.dBusy;
             done = std::max(done,
-                            m.readAccess(iside, busy, *ifetch, now));
+                            m.readAccess(iside, busy, ifetch, now));
         }
-        if (data) {
-            Tick d = data->kind == RefKind::Store
-                         ? m.writeAccess(*m.dcache, m.dBusy, *data,
+        if (has_data) {
+            Tick d = data.kind == RefKind::Store
+                         ? m.writeAccess(*m.dcache, m.dBusy, data,
                                          now)
-                         : m.readAccess(*m.dcache, m.dBusy, *data,
+                         : m.readAccess(*m.dcache, m.dBusy, data,
                                         now);
             done = std::max(done, d);
         }
         now = done;
 
-        if (warmed) {
-            ++measured_groups;
-            if (ifetch) {
-                ++measured_refs;
-                ++measured_reads;
+        if (measuring) {
+            ++result.groups;
+            if (has_ifetch) {
+                ++result.refs;
+                ++result.readRefs;
             }
-            if (data) {
-                ++measured_refs;
-                if (data->kind == RefKind::Store)
-                    ++measured_writes;
+            if (has_data) {
+                ++result.refs;
+                if (data.kind == RefKind::Store)
+                    ++result.writeRefs;
                 else
-                    ++measured_reads;
+                    ++result.readRefs;
             }
         }
     }
+    if (measuring)
+        fold();
 
-    SimResult result;
-    result.traceName = trace.name();
-    result.configSummary = m.cfg.describe();
-    result.cycleNs = m.cfg.cycleNs;
-    result.refs = measured_refs;
-    result.readRefs = measured_reads;
-    result.writeRefs = measured_writes;
-    result.groups = measured_groups;
-    result.cycles = now - warm_time;
-    if (m.cfg.split)
-        result.icache = m.icache->stats;
-    result.dcache = m.dcache->stats;
-    // midLevels is ordered memory-first; expose CPU-first.
-    for (std::size_t l = m.midLevels.size(); l-- > 0;) {
-        result.midLevels.push_back(m.midLevels[l]->cache.stats);
-        result.midBuffers.push_back(m.midBuffers[l]->stats);
-    }
-    result.l1Buffer = m.l1Buffer->stats;
-    result.memory = m.memory->stats;
-    if (m.tlb) {
-        result.tlb = m.tlb->stats;
-        result.physical = true;
-    }
-    result.missPenaltyCycles = m.missPenalty;
-    result.stallReadCycles = m.stallRead;
-    result.stallWriteCycles = m.stallWrite;
-    result.stallTlbCycles = m.stallTlb;
     return result;
 }
 

@@ -35,6 +35,7 @@
 
 #include "sim/sim_result.hh"
 #include "sim/system_config.hh"
+#include "trace/ref_source.hh"
 #include "trace/trace.hh"
 
 namespace cachetime
@@ -60,6 +61,14 @@ bool oracleSupports(const SystemConfig &config,
  * oracleSupports() rejects.
  */
 SimResult oracleRun(const SystemConfig &config, const Trace &trace);
+
+/**
+ * Streamed counterpart: pulls @p source chunk by chunk through the
+ * oracle's own buffering and pairing loop (kept separate from the
+ * simulator's StreamPairer so the harness stays independent of the
+ * machinery it checks).  resets() the source first.
+ */
+SimResult oracleRun(const SystemConfig &config, RefSource &source);
 
 } // namespace verify
 } // namespace cachetime

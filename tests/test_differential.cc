@@ -12,6 +12,7 @@
 
 #include "core/sim_cache.hh"
 #include "sim/system.hh"
+#include "trace/trace_v2.hh"
 #include "util/parallel.hh"
 #include "verify/fuzz.hh"
 #include "verify/oracle.hh"
@@ -73,6 +74,54 @@ TEST(Differential, BitIdenticalAcrossThreadCounts)
     ASSERT_EQ(one.size(), eight.size());
     for (std::size_t i = 0; i < one.size(); ++i)
         EXPECT_EQ(one[i], eight[i]) << "seed " << base_seed + i;
+}
+
+/**
+ * The streaming pipeline must reproduce the materialized path bit
+ * for bit, at any thread count.  Each fuzz trace is written to a
+ * format-v2 file and replayed through a per-task V2FileSource (the
+ * sources are single-consumer, so every worker opens its own), then
+ * compared against the in-memory run of the same case.
+ */
+TEST(Differential, StreamedBitIdenticalAcrossThreadCounts)
+{
+    const std::size_t cases = 24;
+    const std::uint64_t base_seed = 80001;
+    bool cache_was_enabled = SimCache::global().enabled();
+    SimCache::global().setEnabled(false);
+
+    std::vector<verify::FuzzCase> corpus;
+    std::vector<std::string> paths;
+    std::vector<std::string> eager;
+    for (std::size_t i = 0; i < cases; ++i) {
+        corpus.push_back(verify::generateCase(base_seed + i));
+        paths.push_back(::testing::TempDir() + "/stream_case_" +
+                        std::to_string(i) + ".trace");
+        writeV2(corpus[i].trace, paths[i]);
+        System system(corpus[i].config);
+        eager.push_back(fingerprint(system.run(corpus[i].trace)));
+    }
+
+    auto run_streamed = [&](unsigned threads) {
+        setParallelThreads(threads);
+        return parallelMap<std::string>(cases, [&](std::size_t i) {
+            V2FileSource source(paths[i]);
+            System system(corpus[i].config);
+            return fingerprint(system.run(source));
+        });
+    };
+
+    std::vector<std::string> one = run_streamed(1);
+    std::vector<std::string> eight = run_streamed(8);
+
+    setParallelThreads(0);
+    SimCache::global().setEnabled(cache_was_enabled);
+
+    for (std::size_t i = 0; i < cases; ++i) {
+        EXPECT_EQ(one[i], eager[i]) << "seed " << base_seed + i;
+        EXPECT_EQ(eight[i], eager[i]) << "seed " << base_seed + i;
+        std::remove(paths[i].c_str());
+    }
 }
 
 TEST(Differential, CycleConservation)

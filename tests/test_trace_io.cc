@@ -1,14 +1,19 @@
 /**
  * @file
- * Round-trip tests for trace serialization.
+ * Round-trip tests for trace serialization, rejection tests for
+ * malformed input (every loader must fatal() cleanly, never crash),
+ * and the format-v2 file round trip.
  */
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
+#include "trace/ref_source.hh"
 #include "trace/trace_io.hh"
+#include "trace/trace_v2.hh"
 
 namespace cachetime
 {
@@ -136,6 +141,175 @@ TEST(TraceIo, LoadFileDerivesName)
     Trace copy = loadFile("/tmp/myworkload.trace");
     EXPECT_EQ(copy.name(), "myworkload");
     std::remove("/tmp/myworkload.trace");
+}
+
+TEST(TraceIo, TextPidColumnIsOptional)
+{
+    std::stringstream buffer;
+    buffer << "L 10\nS ff 2\nI 20\n";
+    Trace trace = readText(buffer);
+    ASSERT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace.refs()[0].pid, 0u);
+    EXPECT_EQ(trace.refs()[1].pid, 2u);
+    EXPECT_EQ(trace.refs()[2].pid, 0u);
+}
+
+TEST(TraceIoDeath, TextRejectsMalformedPid)
+{
+    EXPECT_EXIT(
+        {
+            std::stringstream buffer;
+            buffer << "L 10 bogus\n";
+            readText(buffer);
+        },
+        ::testing::ExitedWithCode(1), "malformed pid");
+}
+
+TEST(TraceIoDeath, TextRejectsWarmStartBeyondEnd)
+{
+    EXPECT_EXIT(
+        {
+            std::stringstream buffer;
+            buffer << "#warmstart 5\nL 1 0\nL 2 0\n";
+            readText(buffer);
+        },
+        ::testing::ExitedWithCode(1), "warmstart 5 beyond");
+}
+
+TEST(TraceIoDeath, BinaryRejectsTruncation)
+{
+    std::stringstream buffer;
+    writeBinary(sampleTrace(), buffer);
+    std::string bytes = buffer.str();
+    bytes.resize(bytes.size() - 5);
+    EXPECT_EXIT(
+        {
+            std::stringstream in(bytes);
+            readBinary(in);
+        },
+        ::testing::ExitedWithCode(1), "truncated");
+}
+
+TEST(TraceIoDeath, BinaryRejectsWarmStartBeyondCount)
+{
+    std::stringstream buffer;
+    writeBinary(sampleTrace(), buffer);
+    std::string bytes = buffer.str();
+    bytes[16] = 100; // warm-start field at offset 8 (magic) + 8 (count)
+    EXPECT_EXIT(
+        {
+            std::stringstream in(bytes);
+            readBinary(in);
+        },
+        ::testing::ExitedWithCode(1), "warm start");
+}
+
+TEST(TraceIoDeath, BinaryRejectsHugeCountWithoutAllocating)
+{
+    // A corrupt count field must surface as a truncation error, not
+    // an attempt to reserve count * sizeof(Ref) bytes.
+    std::stringstream buffer;
+    writeBinary(sampleTrace(), buffer);
+    std::string bytes = buffer.str();
+    for (int i = 8; i < 16; ++i)
+        bytes[static_cast<std::size_t>(i)] = '\xff';
+    EXPECT_EXIT(
+        {
+            std::stringstream in(bytes);
+            readBinary(in);
+        },
+        ::testing::ExitedWithCode(1), "truncated");
+}
+
+TEST(TraceIo, V2RoundTrip)
+{
+    Trace original = sampleTrace();
+    std::string path = "/tmp/cachetime_io_test_v2.trace";
+    writeV2(original, path);
+    Trace copy = readV2(path);
+    ASSERT_EQ(copy.size(), original.size());
+    EXPECT_EQ(copy.warmStart(), original.warmStart());
+    for (std::size_t i = 0; i < original.size(); ++i)
+        EXPECT_EQ(copy.refs()[i], original.refs()[i]);
+    // loadFile() must recognize the magic without being told.
+    Trace sniffed = loadFile(path);
+    EXPECT_EQ(sniffed.refs(), original.refs());
+    EXPECT_EQ(sniffed.warmStart(), original.warmStart());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, V2WriterStreamsIncrementally)
+{
+    Trace original = sampleTrace();
+    std::string path = "/tmp/cachetime_io_test_v2w.trace";
+    {
+        V2Writer writer(path, original.warmStart());
+        for (const Ref &ref : original.refs())
+            writer.push(ref);
+        EXPECT_EQ(writer.count(), original.size());
+    } // destructor closes and patches the header
+    Trace copy = readV2(path);
+    EXPECT_EQ(copy.refs(), original.refs());
+    EXPECT_EQ(copy.warmStart(), original.warmStart());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoDeath, V2RejectsTruncation)
+{
+    std::string path = "/tmp/cachetime_io_test_v2t.trace";
+    writeV2(sampleTrace(), path);
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    in.close();
+    std::string bytes = ss.str();
+    bytes.resize(bytes.size() - 3);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    EXPECT_EXIT(readV2(path), ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(V2FileSource source(path),
+                ::testing::ExitedWithCode(1), "");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoDeath, V2RejectsWarmStartBeyondCount)
+{
+    std::string path = "/tmp/cachetime_io_test_v2w2.trace";
+    writeV2(sampleTrace(), path);
+    {
+        std::fstream f(path,
+                       std::ios::binary | std::ios::in | std::ios::out);
+        f.seekp(24); // warm-start field
+        char big[8] = {'\x77', 0, 0, 0, 0, 0, 0, 0};
+        f.write(big, sizeof(big));
+    }
+    EXPECT_EXIT(readV2(path), ::testing::ExitedWithCode(1),
+                "warm start");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, OpenRefSourceMatchesLoadFileEverywhere)
+{
+    Trace original = sampleTrace();
+    struct Case { const char *path; bool binary; bool v2; };
+    for (const Case &c : {Case{"/tmp/cachetime_ors.trace", false, false},
+                          Case{"/tmp/cachetime_ors_b.trace", true, false},
+                          Case{"/tmp/cachetime_ors_v2.trace", false, true}}) {
+        if (c.v2)
+            writeV2(original, c.path);
+        else
+            saveFile(original, c.path, c.binary);
+        Trace eager = loadFile(c.path);
+        auto source = openRefSource(c.path);
+        Trace streamed = materialize(*source);
+        EXPECT_EQ(streamed.refs(), eager.refs()) << c.path;
+        EXPECT_EQ(streamed.warmStart(), eager.warmStart()) << c.path;
+        EXPECT_EQ(source->contentHash(), traceIdentityHash(eager))
+            << c.path;
+        std::remove(c.path);
+    }
 }
 
 } // namespace

@@ -15,7 +15,10 @@
  *     --spec FILE         specification file (key=value lines)
  *     --vary FILE         variation file (repeatable, ordered)
  *     --set KEY=VALUE     inline variation (repeatable)
- *     --trace FILE        trace file (repeatable)
+ *     --trace FILE        trace file, materialized in RAM (repeatable)
+ *     --trace-file FILE   trace file replayed as a stream (repeatable);
+ *                         format-v2 files are mmap-streamed, so RSS
+ *                         stays bounded however long the trace
  *     --workloads SCALE   use the Table 1 workloads at SCALE
  *     --csv               machine-readable per-trace output
  *     --stats-json FILE   write a JSON run manifest with the full
@@ -41,6 +44,7 @@
 #include "stats/stats.hh"
 #include "stats/telemetry.hh"
 #include "trace_debug/trace_debug.hh"
+#include "trace/ref_source.hh"
 #include "trace/trace_io.hh"
 #include "trace/workloads.hh"
 #include "util/logging.hh"
@@ -134,6 +138,7 @@ main(int argc, char **argv)
     setQuiet(true);
     SystemConfig config = SystemConfig::paperDefault();
     std::vector<std::string> trace_files;
+    std::vector<std::string> stream_files;
     double workload_scale = 0.0;
     bool csv = false, verbose = false, dump_stats = false;
     std::string stats_json_path;
@@ -151,6 +156,8 @@ main(int argc, char **argv)
             applyKeyValues(config, need("--set"));
         } else if (arg == "--trace") {
             trace_files.push_back(need("--trace"));
+        } else if (arg == "--trace-file") {
+            stream_files.push_back(need("--trace-file"));
         } else if (arg == "--workloads") {
             workload_scale = std::stod(need("--workloads"));
         } else if (arg == "--csv") {
@@ -188,11 +195,16 @@ main(int argc, char **argv)
                      "exec_ns_per_ref,read_miss_ratio\n";
 
     std::vector<Trace> traces;
+    std::vector<std::unique_ptr<RefSource>> sources;
     {
         telemetry::PhaseTimer timer("traces");
         for (const std::string &path : trace_files)
             traces.push_back(loadFile(path));
-        if (traces.empty()) {
+        // Streamed inputs: v2 files replay straight off disk, never
+        // materialized, so RSS is bounded by the chunk size.
+        for (const std::string &path : stream_files)
+            sources.push_back(openRefSource(path));
+        if (traces.empty() && sources.empty()) {
             double scale =
                 workload_scale > 0 ? workload_scale : 0.1;
             traces = generateTable1(scale);
@@ -204,13 +216,11 @@ main(int argc, char **argv)
     manifest.configHash = telemetry::configHash(config);
     manifest.configSummary = config.describe();
 
-    std::vector<double> exec_ns;
+    std::vector<std::shared_ptr<const SimResult>> results;
     std::string trace_stats_json = "[";
     {
         telemetry::PhaseTimer timer("simulate");
-        for (const Trace &trace : traces) {
-            System system(config);
-            SimResult r = system.run(trace);
+        auto consume = [&](const SimResult &r) {
             printResult(r, csv, verbose);
             if (dump_stats) {
                 stats::Registry registry;
@@ -223,16 +233,29 @@ main(int argc, char **argv)
                     trace_stats_json += ',';
                 trace_stats_json += traceStatsJson(r);
             }
-            manifest.traces.push_back(trace.name());
-            exec_ns.push_back(r.execNsPerRef());
+            manifest.traces.push_back(r.traceName);
+        };
+        for (const Trace &trace : traces) {
+            System system(config);
+            auto r = std::make_shared<const SimResult>(
+                system.run(trace));
+            consume(*r);
+            results.push_back(std::move(r));
+        }
+        for (auto &source : sources) {
+            System system(config);
+            auto r = std::make_shared<const SimResult>(
+                system.run(*source));
+            consume(*r);
+            results.push_back(std::move(r));
         }
     }
     trace_stats_json += ']';
 
-    if (traces.size() > 1 && !csv) {
+    if (results.size() > 1 && !csv) {
         telemetry::PhaseTimer timer("report");
-        AggregateMetrics m = runGeoMean(config, traces);
-        std::cout << "geometric mean over " << traces.size()
+        AggregateMetrics m = aggregateResults(config, results);
+        std::cout << "geometric mean over " << results.size()
                   << " traces: "
                   << TablePrinter::fmt(m.cyclesPerRef, 3)
                   << " cycles/ref, "

@@ -9,12 +9,17 @@
  * Usage:
  *   cachetime_verify [options]
  *     --fuzz N        run N consecutive seeds (default 1000)
+ *     --fuzz-io N     fuzz the trace loaders with N random
+ *                     truncated/corrupt files instead; loaders must
+ *                     accept or fatal() cleanly, never crash
  *     --seed S        first seed (default 1)
  *     --repro FILE    replay one repro file and print the diff
  *     --case SEED     run one generated case verbosely
  *     --repro-dir DIR where failure repros are written (default .)
  *     --progress N    progress line every N cases (default 0: quiet)
  *     --no-minimize   dump the raw failing case without shrinking
+ *     --load-one FILE (internal) drain one trace file and exit;
+ *                     the I/O fuzzer re-execs itself with this
  *
  * Exit status is 0 when every case agreed, 1 on any mismatch.
  */
@@ -27,6 +32,7 @@
 #include "util/logging.hh"
 #include "verify/diff.hh"
 #include "verify/fuzz.hh"
+#include "verify/io_fuzz.hh"
 
 using namespace cachetime;
 
@@ -60,7 +66,10 @@ main(int argc, char **argv)
     verify::FuzzOptions options;
     options.cases = 1000;
     std::string repro_path;
+    std::string load_one_path;
     bool single_case = false;
+    bool io_fuzz = false;
+    std::uint64_t io_cases = 0;
     std::uint64_t single_seed = 0;
 
     for (int i = 1; i < argc; ++i) {
@@ -73,6 +82,11 @@ main(int argc, char **argv)
         };
         if (arg == "--fuzz")
             options.cases = std::strtoull(value(), nullptr, 0);
+        else if (arg == "--fuzz-io") {
+            io_fuzz = true;
+            io_cases = std::strtoull(value(), nullptr, 0);
+        } else if (arg == "--load-one")
+            load_one_path = value();
         else if (arg == "--seed")
             options.seed = std::strtoull(value(), nullptr, 0);
         else if (arg == "--repro")
@@ -92,6 +106,36 @@ main(int argc, char **argv)
                   arg.c_str());
     }
 
+    if (!load_one_path.empty()) {
+        verify::drainTraceFile(load_one_path);
+        return 0;
+    }
+    if (io_fuzz) {
+        verify::IoFuzzOptions io_options;
+        io_options.seed = options.seed;
+        io_options.cases = io_cases ? io_cases : 500;
+        io_options.workDir = options.reproDir;
+        io_options.progressEvery = options.progressEvery;
+        verify::IoFuzzReport report = verify::runIoFuzz(io_options);
+        if (report.failures == 0) {
+            std::printf("io fuzz: %llu cases, all clean (%llu "
+                        "accepted, %llu rejected)\n",
+                        static_cast<unsigned long long>(
+                            report.casesRun),
+                        static_cast<unsigned long long>(
+                            report.accepted),
+                        static_cast<unsigned long long>(
+                            report.rejected));
+            return 0;
+        }
+        std::printf("io fuzz: LOADER FAILURE at seed %llu after "
+                    "%llu cases\ninput kept at %s\n",
+                    static_cast<unsigned long long>(
+                        report.firstBadSeed),
+                    static_cast<unsigned long long>(report.casesRun),
+                    report.reproPath.c_str());
+        return 1;
+    }
     if (!repro_path.empty()) {
         verify::FuzzCase fuzz_case = verify::loadRepro(repro_path);
         return reportCase(fuzz_case, repro_path.c_str()) ? 0 : 1;
