@@ -1,5 +1,8 @@
 #include "cache/cache.hh"
 
+#include <bit>
+#include <cassert>
+
 #include "stats/stats.hh"
 #include "util/logging.hh"
 #include "util/mathutil.hh"
@@ -86,12 +89,46 @@ CacheConfig::validate(const char *what) const
 }
 
 Cache::Cache(const CacheConfig &config, std::string name)
-    : config_(config), name_(std::move(name))
+    : config_(config), name_(std::move(name)),
+      replRng_(config.replSeed)
 {
     config_.validate(name_.c_str());
     lines_.resize(config_.numSets() * config_.assoc);
+    keys_.assign(lines_.size(), kInvalidKey);
+    fastFlags_.assign(lines_.size(), 0);
     victims_.resize(config_.victimEntries);
-    repl_ = makeReplacementPolicy(config_.replPolicy, config_.replSeed);
+
+    // Shift/mask indexing: every organizational quantity is a
+    // validated power of two, so the per-access divisions of the
+    // naive model reduce to these precomputed fields.
+    blockShift_ = static_cast<unsigned>(
+        std::countr_zero(static_cast<std::uint64_t>(config_.blockWords)));
+    blockMask_ = config_.blockWords - 1;
+    setShift_ = static_cast<unsigned>(std::countr_zero(config_.numSets()));
+    assocShift_ = static_cast<unsigned>(
+        std::countr_zero(static_cast<std::uint64_t>(config_.assoc)));
+    fullValid_.setRange(0, config_.blockWords);
+    setMask_ = config_.numSets() - 1;
+    pidMask_ = config_.virtualTags ? (std::uint64_t{1} << kPidBits) - 1
+                                   : 0;
+    replKind_ = config_.replPolicy;
+}
+
+void
+Cache::syncKey(const Line &line)
+{
+    std::size_t idx = static_cast<std::size_t>(&line - lines_.data());
+    std::uint64_t key;
+    if (!line.present)
+        key = kInvalidKey;
+    else if (line.tag < kTagLimit) [[likely]]
+        key = (line.tag << kPidBits) | (line.pid & pidMask_);
+    else
+        key = kWideKey;
+    validBlocks_ += (key != kInvalidKey);
+    validBlocks_ -= (keys_[idx] != kInvalidKey);
+    keys_[idx] = key;
+    fastFlags_[idx] = 0; // re-earned on the next slow hit
 }
 
 Cache::VictimEntry *
@@ -144,58 +181,39 @@ Cache::parkVictim(const Line &line, Addr block_addr,
     slot->lastUse = seq_;
 }
 
-std::uint64_t
-Cache::setIndex(Addr block_addr) const
-{
-    return block_addr & (config_.numSets() - 1);
-}
-
-Addr
-Cache::tagOf(Addr block_addr) const
-{
-    return block_addr / config_.numSets();
-}
-
-Cache::Line *
-Cache::findLine(Addr block_addr, Pid pid)
-{
-    const Line *line =
-        const_cast<const Cache *>(this)->findLine(block_addr, pid);
-    return const_cast<Line *>(line);
-}
-
-const Cache::Line *
-Cache::findLine(Addr block_addr, Pid pid) const
-{
-    Addr tag = tagOf(block_addr);
-    const Line *set = &lines_[setIndex(block_addr) * config_.assoc];
-    for (unsigned w = 0; w < config_.assoc; ++w) {
-        const Line &line = set[w];
-        if (line.state.valid && line.tag == tag &&
-            (!config_.virtualTags || line.pid == pid)) {
-            return &line;
-        }
-    }
-    return nullptr;
-}
-
 Cache::Line &
 Cache::selectWay(Addr block_addr)
 {
-    Line *set = &lines_[setIndex(block_addr) * config_.assoc];
-    // Prefer an invalid way.
-    for (unsigned w = 0; w < config_.assoc; ++w) {
-        if (!set[w].state.valid)
-            return set[w];
+    const std::size_t base =
+        static_cast<std::size_t>(block_addr & setMask_) << assocShift_;
+    const unsigned ways = config_.assoc;
+    // Prefer an invalid way (scan the hot keys, not the cold lines).
+    const std::uint64_t *keys = keys_.data() + base;
+    for (unsigned w = 0; w < ways; ++w) {
+        if (keys[w] == kInvalidKey)
+            return lines_[base + w];
     }
-    // All valid: consult the policy.
-    WayState states[64];
-    unsigned ways = config_.assoc;
-    if (ways > 64)
-        panic("associativity > 64 unsupported");
-    for (unsigned w = 0; w < ways; ++w)
-        states[w] = set[w].state;
-    unsigned w = repl_->victim(states, ways);
+    // All valid: the victim choice is devirtualized here; the
+    // polymorphic policies in cache/replacement.hh implement the
+    // same selections (and RandomReplacement the same Rng stream)
+    // for the ablation harness.
+    Line *set = &lines_[base];
+    unsigned w = 0;
+    switch (replKind_) {
+      case ReplPolicy::Random:
+        w = static_cast<unsigned>(replRng_.below(ways));
+        break;
+      case ReplPolicy::LRU:
+        for (unsigned i = 1; i < ways; ++i)
+            if (set[i].lastUse < set[w].lastUse)
+                w = i;
+        break;
+      case ReplPolicy::FIFO:
+        for (unsigned i = 1; i < ways; ++i)
+            if (set[i].fillSeq < set[w].fillSeq)
+                w = i;
+        break;
+    }
     if (w >= ways)
         panic("replacement policy chose way %u of %u", w, ways);
     return set[w];
@@ -205,21 +223,21 @@ Cache::Line &
 Cache::victimLine(Addr block_addr, AccessOutcome &outcome)
 {
     Line &victim = selectWay(block_addr);
-    if (!victim.state.valid)
+    if (!victim.present)
         return victim;
+    const unsigned dirty_words = victim.dirty.count();
     outcome.victimValid = true;
-    outcome.victimDirty = victim.dirty.any();
-    outcome.victimDirtyWords = victim.dirty.count();
+    outcome.victimDirty = dirty_words != 0;
+    outcome.victimDirtyWords = dirty_words;
     // Reconstruct the victim's block address from tag + set index.
     Addr set_index = setIndex(block_addr);
     outcome.victimBlockAddr =
-        (victim.tag * config_.numSets() + set_index) *
-        config_.blockWords;
+        ((victim.tag << setShift_) | set_index) << blockShift_;
     outcome.victimPid = victim.pid;
     ++stats_.blocksReplaced;
-    if (victim.dirty.any()) {
+    if (dirty_words != 0) {
         ++stats_.dirtyBlocksReplaced;
-        stats_.dirtyWordsReplaced += victim.dirty.count();
+        stats_.dirtyWordsReplaced += dirty_words;
     }
     return victim;
 }
@@ -234,9 +252,9 @@ Cache::swapThroughVictims(Addr block_addr, Pid pid,
 {
     Line &way = selectWay(block_addr);
     Line displaced = way;
-    bool displaced_valid = way.state.valid;
+    bool displaced_valid = way.present;
     Addr displaced_addr =
-        displaced.tag * config_.numSets() + setIndex(block_addr);
+        (displaced.tag << setShift_) | setIndex(block_addr);
 
     if (VictimEntry *entry = findVictim(block_addr, pid)) {
         way.tag = tagOf(block_addr);
@@ -244,15 +262,16 @@ Cache::swapThroughVictims(Addr block_addr, Pid pid,
         way.valid = entry->valid;
         way.dirty = entry->dirty;
         way.prefetched = false;
-        way.state.valid = true;
-        way.state.fillSeq = seq_;
-        way.state.lastUse = seq_;
+        way.present = true;
+        way.fillSeq = seq_;
+        way.lastUse = seq_;
         entry->occupied = false;
         ++stats_.victimHits;
         outcome.victimCacheHit = true;
     } else {
-        way.state.valid = false;
+        way.present = false;
     }
+    syncKey(way);
     if (displaced_valid)
         parkVictim(displaced, displaced_addr, outcome);
     return way;
@@ -262,68 +281,32 @@ void
 Cache::fill(Line &line, Addr block_addr, Pid pid, unsigned offset,
             unsigned words, AccessOutcome &outcome)
 {
-    bool new_block = !(line.state.valid && line.tag == tagOf(block_addr) &&
+    Addr tag = tagOf(block_addr);
+    bool new_block = !(line.present && line.tag == tag &&
                        (!config_.virtualTags || line.pid == pid));
     if (new_block) {
-        line.tag = tagOf(block_addr);
+        line.tag = tag;
         line.pid = pid;
         line.valid.clear();
         line.dirty.clear();
         line.prefetched = false;
-        line.state.valid = true;
-        line.state.fillSeq = seq_;
+        line.present = true;
+        line.fillSeq = seq_;
+        syncKey(line);
     }
     line.valid.setRange(offset, words);
-    line.state.lastUse = seq_;
+    line.lastUse = seq_;
     outcome.filled = true;
     outcome.fetchedWords = words;
-    outcome.fetchAddr = block_addr * config_.blockWords + offset;
+    outcome.fetchAddr = (block_addr << blockShift_) + offset;
     ++stats_.fills;
     stats_.wordsFetched += words;
 }
 
-AccessOutcome
-Cache::read(Addr addr, unsigned words, Pid pid)
+void
+Cache::readMiss(Addr block_addr, Pid pid, unsigned offset,
+                unsigned words, AccessOutcome &outcome)
 {
-    ++seq_;
-    ++stats_.readAccesses;
-    AccessOutcome outcome;
-
-    const unsigned block_words = config_.blockWords;
-    Addr block_addr = addr / block_words;
-    unsigned offset = static_cast<unsigned>(addr % block_words);
-    if (offset + words > block_words)
-        panic("%s: read of %u words at offset %u crosses a block",
-              name_.c_str(), words, offset);
-
-    if (Line *line = findLine(block_addr, pid)) {
-        outcome.tagMatch = true;
-        if (line->valid.testRange(offset, words)) {
-            outcome.hit = true;
-            line->state.lastUse = seq_;
-            if (line->prefetched) {
-                line->prefetched = false;
-                outcome.hitPrefetched = true;
-                ++stats_.prefetchHits;
-            }
-            return outcome;
-        }
-        // Sub-block miss: fetch the missing sub-block(s) into the
-        // resident line.
-        ++stats_.readMisses;
-        ++stats_.subBlockMisses;
-        unsigned fetch = config_.effectiveFetchWords();
-        unsigned fetch_start = (offset / fetch) * fetch;
-        unsigned fetch_words = fetch;
-        while (fetch_start + fetch_words < offset + words)
-            fetch_words += fetch;
-        fill(*line, block_addr, pid, fetch_start, fetch_words, outcome);
-        outcome.fetchCriticalOffset = offset - fetch_start;
-        return outcome;
-    }
-
-    // Full miss.
-    ++stats_.readMisses;
     unsigned fetch = config_.effectiveFetchWords();
     unsigned fetch_start = (offset / fetch) * fetch;
     unsigned fetch_words = fetch;
@@ -338,46 +321,47 @@ Cache::read(Addr addr, unsigned words, Pid pid)
                  outcome);
             outcome.fetchCriticalOffset = offset - fetch_start;
         }
-        return outcome;
+        return;
     }
     Line &line = victimLine(block_addr, outcome);
-    line.state.valid = false; // mark replaced before refill
+    line.present = false; // mark replaced before refill
     fill(line, block_addr, pid, fetch_start, fetch_words, outcome);
     outcome.fetchCriticalOffset = offset - fetch_start;
-    return outcome;
 }
 
-AccessOutcome
-Cache::write(Addr addr, unsigned words, Pid pid)
+HitKind
+Cache::readMissSlow(Line *line, Addr block_addr, unsigned offset,
+                    unsigned words, Pid pid, AccessOutcome &outcome)
 {
-    ++seq_;
-    ++stats_.writeAccesses;
-    AccessOutcome outcome;
-
-    const unsigned block_words = config_.blockWords;
-    Addr block_addr = addr / block_words;
-    unsigned offset = static_cast<unsigned>(addr % block_words);
-    if (offset + words > block_words)
-        panic("%s: write of %u words at offset %u crosses a block",
-              name_.c_str(), words, offset);
-
-    Line *line = findLine(block_addr, pid);
     if (line) {
+        // Sub-block miss: fetch the missing sub-block(s) into the
+        // resident line.
+        outcome = AccessOutcome();
         outcome.tagMatch = true;
-        outcome.hit = true;
-        line->state.lastUse = seq_;
-        // The store makes these words valid (write-validate within a
-        // resident line) and, for write-back, dirty.
-        line->valid.setRange(offset, words);
-        if (config_.writePolicy == WritePolicy::WriteBack) {
-            line->dirty.setRange(offset, words);
-        } else {
-            stats_.wordsWrittenThrough += words;
-        }
-        return outcome;
+        ++stats_.readMisses;
+        ++stats_.subBlockMisses;
+        unsigned fetch = config_.effectiveFetchWords();
+        unsigned fetch_start = (offset / fetch) * fetch;
+        unsigned fetch_words = fetch;
+        while (fetch_start + fetch_words < offset + words)
+            fetch_words += fetch;
+        fill(*line, block_addr, pid, fetch_start, fetch_words, outcome);
+        outcome.fetchCriticalOffset = offset - fetch_start;
+        return HitKind::Miss;
     }
 
-    // Write miss.
+    // Full miss.
+    outcome = AccessOutcome();
+    ++stats_.readMisses;
+    readMiss(block_addr, pid, offset, words, outcome);
+    return HitKind::Miss;
+}
+
+HitKind
+Cache::writeMissSlow(Addr block_addr, unsigned offset,
+                     unsigned words, Pid pid, AccessOutcome &outcome)
+{
+    outcome = AccessOutcome();
     ++stats_.writeMisses;
     if (config_.victimEntries > 0 && findVictim(block_addr, pid)) {
         // Swap the parked block back in and write into it.
@@ -387,7 +371,7 @@ Cache::write(Addr addr, unsigned words, Pid pid)
             way.dirty.setRange(offset, words);
         else
             stats_.wordsWrittenThrough += words;
-        return outcome;
+        return HitKind::Miss;
     }
     if (config_.allocPolicy == AllocPolicy::WriteAllocate) {
         unsigned fetch = config_.effectiveFetchWords();
@@ -396,7 +380,7 @@ Cache::write(Addr addr, unsigned words, Pid pid)
         while (fetch_start + fetch_words < offset + words)
             fetch_words += fetch;
         Line &victim = victimLine(block_addr, outcome);
-        victim.state.valid = false;
+        victim.present = false;
         fill(victim, block_addr, pid, fetch_start, fetch_words,
              outcome);
         outcome.fetchCriticalOffset = offset - fetch_start;
@@ -405,12 +389,37 @@ Cache::write(Addr addr, unsigned words, Pid pid)
             victim.dirty.setRange(offset, words);
         else
             stats_.wordsWrittenThrough += words;
-        return outcome;
+        return HitKind::Miss;
     }
 
     // No-write-allocate (the paper's default): the words bypass the
     // cache and go straight to the next level.
     stats_.wordsWrittenThrough += words;
+    return HitKind::Miss;
+}
+
+AccessOutcome
+Cache::read(Addr addr, unsigned words, Pid pid)
+{
+    AccessOutcome outcome;
+    HitKind kind = readFast(addr, words, pid, outcome);
+    if (kind != HitKind::Miss) {
+        outcome.hit = true;
+        outcome.tagMatch = true;
+        outcome.hitPrefetched = kind == HitKind::HitPrefetched;
+    }
+    return outcome;
+}
+
+AccessOutcome
+Cache::write(Addr addr, unsigned words, Pid pid)
+{
+    AccessOutcome outcome;
+    HitKind kind = writeFast(addr, words, pid, outcome);
+    if (kind != HitKind::Miss) {
+        outcome.hit = true;
+        outcome.tagMatch = true;
+    }
     return outcome;
 }
 
@@ -419,15 +428,15 @@ Cache::prefetch(Addr addr, Pid pid)
 {
     ++seq_;
     AccessOutcome outcome;
-    Addr block_addr = addr / config_.blockWords;
+    Addr block_addr = addr >> blockShift_;
     if (Line *line = findLine(block_addr, pid)) {
         // Already resident (possibly partially): nothing to do.
         outcome.hit = line->valid.testRange(
-            static_cast<unsigned>(addr % config_.blockWords), 1);
+            static_cast<unsigned>(addr & blockMask_), 1);
         return outcome;
     }
     Line &line = victimLine(block_addr, outcome);
-    line.state.valid = false;
+    line.present = false;
     fill(line, block_addr, pid, 0, config_.blockWords, outcome);
     line.prefetched = true;
     ++stats_.prefetches;
@@ -437,7 +446,7 @@ Cache::prefetch(Addr addr, Pid pid)
 bool
 Cache::prefetchTagged(Addr addr, Pid pid) const
 {
-    const Line *line = findLine(addr / config_.blockWords, pid);
+    const Line *line = findLine(addr >> blockShift_, pid);
     return line && line->prefetched;
 }
 
@@ -452,8 +461,8 @@ Cache::access(const Ref &ref)
 bool
 Cache::probe(Addr addr, unsigned words, Pid pid) const
 {
-    Addr block_addr = addr / config_.blockWords;
-    unsigned offset = static_cast<unsigned>(addr % config_.blockWords);
+    Addr block_addr = addr >> blockShift_;
+    unsigned offset = static_cast<unsigned>(addr & blockMask_);
     const Line *line = findLine(block_addr, pid);
     return line && line->valid.testRange(offset, words);
 }
@@ -462,20 +471,27 @@ void
 Cache::invalidateAll()
 {
     for (Line &line : lines_) {
-        line.state.valid = false;
+        line.present = false;
         line.valid.clear();
         line.dirty.clear();
     }
+    keys_.assign(keys_.size(), kInvalidKey);
+    fastFlags_.assign(fastFlags_.size(), 0);
+    validBlocks_ = 0;
 }
 
 std::uint64_t
 Cache::validBlocks() const
 {
-    std::uint64_t count = 0;
+#ifndef NDEBUG
+    std::uint64_t scan = 0;
     for (const Line &line : lines_)
-        if (line.state.valid)
-            ++count;
-    return count;
+        if (line.present)
+            ++scan;
+    assert(scan == validBlocks_ &&
+           "incremental valid-block counter out of sync");
+#endif
+    return validBlocks_;
 }
 
 } // namespace cachetime

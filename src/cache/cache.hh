@@ -13,6 +13,17 @@
  * throughout).  Per-word valid bits support sub-block fetches and
  * per-word dirty bits support the dirty-word traffic statistic of
  * Figure 3-1.
+ *
+ * Storage is split structure-of-arrays for simulation speed (see
+ * DESIGN.md section 9): the per-line probe state lives in one
+ * contiguous array of pid-fused tag keys scanned branch-light by
+ * findLine(), while the valid/dirty word masks, the prefetch mark
+ * and the replacement metadata sit in a parallel cold array touched
+ * only on hits that mutate state or on misses.  All indexing uses
+ * precomputed shifts and masks (configurations are validated
+ * power-of-two), and the hot demand path (readFast/writeFast)
+ * reports hits through a one-byte discriminant without constructing
+ * an AccessOutcome.
  */
 
 #ifndef CACHETIME_CACHE_CACHE_HH
@@ -25,8 +36,9 @@
 
 #include "cache/cache_config.hh"
 #include "cache/mask.hh"
-#include "cache/replacement.hh"
 #include "trace/ref.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
 
 namespace cachetime
 {
@@ -39,19 +51,53 @@ class Registry;
 /** Everything the timing layer needs to know about one access. */
 struct AccessOutcome
 {
-    bool hit = false;          ///< data present (tag match + valid words)
-    bool tagMatch = false;     ///< a tag matched even if words invalid
-    bool filled = false;       ///< a fetch from the next level happened
-    bool victimValid = false;  ///< the fill displaced a valid block
-    bool victimDirty = false;  ///< the displaced block had dirty words
-    unsigned victimDirtyWords = 0; ///< dirty word count of the victim
-    Addr victimBlockAddr = 0;  ///< word address of the victim block
-    Pid victimPid = 0;         ///< pid tag of the victim block
-    unsigned fetchedWords = 0; ///< words requested from the next level
-    Addr fetchAddr = 0;        ///< aligned start of the fetched range
-    unsigned fetchCriticalOffset = 0; ///< demanded word within fetch
-    bool hitPrefetched = false; ///< demand hit consumed a prefetch
-    bool victimCacheHit = false; ///< satisfied by a victim-cache swap
+    /**
+     * Tag for the deliberately-uninitialized constructor used on
+     * the hot path: readFast()/writeFast() leave the outcome
+     * untouched on a hit, so callers that check the returned
+     * HitKind first can skip zeroing these ~48 bytes per access.
+     */
+    struct Uninit
+    {
+    };
+
+    AccessOutcome()
+        : hit(false), tagMatch(false), filled(false),
+          victimValid(false), victimDirty(false), victimDirtyWords(0),
+          victimBlockAddr(0), victimPid(0), fetchedWords(0),
+          fetchAddr(0), fetchCriticalOffset(0), hitPrefetched(false),
+          victimCacheHit(false)
+    {
+    }
+
+    /** Leave every field indeterminate; see Uninit. */
+    explicit AccessOutcome(Uninit) {}
+
+    bool hit;                  ///< data present (tag match + valid words)
+    bool tagMatch;             ///< a tag matched even if words invalid
+    bool filled;               ///< a fetch from the next level happened
+    bool victimValid;          ///< the fill displaced a valid block
+    bool victimDirty;          ///< the displaced block had dirty words
+    unsigned victimDirtyWords; ///< dirty word count of the victim
+    Addr victimBlockAddr;      ///< word address of the victim block
+    Pid victimPid;             ///< pid tag of the victim block
+    unsigned fetchedWords;     ///< words requested from the next level
+    Addr fetchAddr;            ///< aligned start of the fetched range
+    unsigned fetchCriticalOffset; ///< demanded word within fetch
+    bool hitPrefetched;        ///< demand hit consumed a prefetch
+    bool victimCacheHit;       ///< satisfied by a victim-cache swap
+};
+
+/**
+ * Trimmed result of a demand access: the hot path in System::run
+ * needs only this discriminant on a hit; the full AccessOutcome is
+ * filled in by readFast()/writeFast() only when the access misses.
+ */
+enum class HitKind : std::uint8_t
+{
+    Miss = 0,      ///< the AccessOutcome was filled in
+    Hit,           ///< plain hit; the outcome was not touched
+    HitPrefetched, ///< hit that consumed a tagged-prefetch mark
 };
 
 /** Running counters; reset at the warm-start boundary. */
@@ -140,6 +186,23 @@ class Cache
      */
     AccessOutcome write(Addr addr, unsigned words, Pid pid);
 
+    /**
+     * Demand read on the hot path: identical state transitions and
+     * statistics to read(), but on a hit nothing is written to
+     * @p outcome (construct it with AccessOutcome::Uninit).  The
+     * outcome is (re)initialized and filled only when the result is
+     * HitKind::Miss - including victim-cache swaps and sub-block
+     * fills, which the timing layer distinguishes via its fields.
+     */
+    [[gnu::always_inline]] inline HitKind
+    readFast(Addr addr, unsigned words, Pid pid,
+             AccessOutcome &outcome);
+
+    /** Store counterpart of readFast(). */
+    [[gnu::always_inline]] inline HitKind
+    writeFast(Addr addr, unsigned words, Pid pid,
+              AccessOutcome &outcome);
+
     /** Convenience wrapper dispatching on the reference kind. */
     AccessOutcome access(const Ref &ref);
 
@@ -179,19 +242,34 @@ class Cache
     /** @return the diagnostic name. */
     const std::string &name() const { return name_; }
 
-    /** @return number of valid blocks currently resident. */
+    /**
+     * @return number of valid blocks currently resident.  O(1): the
+     * count is maintained incrementally on fill/invalidate (debug
+     * builds assert it against a full scan).
+     */
     std::uint64_t validBlocks() const;
 
+
   private:
-    struct Line
+    /**
+     * Cold per-line state: everything findLine() does not need.
+     * The probe-relevant digest of a line (valid + tag + pid) is
+     * mirrored into keys_ and must be resynced via syncKey() after
+     * any mutation of tag, pid or present.
+     */
+    struct alignas(64) Line
     {
+        Mask128 valid;             ///< per-word valid bits
+        Mask128 dirty;             ///< per-word dirty bits
         Addr tag = 0;
+        std::uint64_t lastUse = 0; ///< LRU recency (access sequence)
+        std::uint64_t fillSeq = 0; ///< FIFO fill order
         Pid pid = 0;
-        Mask128 valid;
-        Mask128 dirty;
-        bool prefetched = false; ///< tagged-prefetch mark
-        WayState state;
+        bool present = false;      ///< line holds a block
+        bool prefetched = false;   ///< tagged-prefetch mark
     };
+    static_assert(sizeof(Line) == 64,
+                  "a hit should touch exactly one cache line");
 
     /** A parked block in the fully-associative victim cache. */
     struct VictimEntry
@@ -203,6 +281,30 @@ class Cache
         Mask128 dirty;
         std::uint64_t lastUse = 0;
     };
+
+    /** Pid bits fused into the low end of a tag key. */
+    static constexpr unsigned kPidBits = 16;
+    static_assert(sizeof(Pid) * 8 <= kPidBits,
+                  "fused tag keys reserve too few pid bits");
+
+    /**
+     * Tags below this limit fuse exactly into a 64-bit key with the
+     * pid; fused keys are then < 2^63, so the two top-bit-set
+     * sentinels below can never alias a fast probe.  Tags at or
+     * above the limit (addresses beyond 2^47 blocks x numSets; no
+     * realistic trace) fall back to an exact scan of the cold
+     * lines.
+     */
+    static constexpr Addr kTagLimit = Addr{1} << (63 - kPidBits);
+
+    /** Key of an invalid line; never matches any probe. */
+    static constexpr std::uint64_t kInvalidKey = ~std::uint64_t{0};
+
+    /** findIndex() miss sentinel. */
+    static constexpr std::size_t kNoLine = ~std::size_t{0};
+
+    /** Key of a valid line whose tag exceeds kTagLimit. */
+    static constexpr std::uint64_t kWideKey = ~std::uint64_t{0} - 1;
 
     /**
      * Park an evicted line; if the buffer casts out a dirty block,
@@ -220,22 +322,247 @@ class Cache
 
     Line *findLine(Addr block_addr, Pid pid);
     const Line *findLine(Addr block_addr, Pid pid) const;
+
+    /** findLine() returning an index into lines_, or kNoLine. */
+    [[gnu::always_inline]] inline std::size_t
+    findIndex(Addr block_addr, Pid pid) const;
+
+    /** @return whether @p line qualifies for the fast-hit flag. */
+    bool
+    lineIsFast(const Line &line) const
+    {
+        return replKind_ != ReplPolicy::LRU && !line.prefetched &&
+               (line.valid.lo & fullValid_.lo) == fullValid_.lo &&
+               (line.valid.hi & fullValid_.hi) == fullValid_.hi;
+    }
     Line &selectWay(Addr block_addr);
     Line &victimLine(Addr block_addr, AccessOutcome &outcome);
     void fill(Line &line, Addr block_addr, Pid pid, unsigned offset,
               unsigned words, AccessOutcome &outcome);
 
-    std::uint64_t setIndex(Addr block_addr) const;
-    Addr tagOf(Addr block_addr) const;
+    /** Shared miss tail of readFast(): fetch sizing + placement. */
+    void readMiss(Addr block_addr, Pid pid, unsigned offset,
+                  unsigned words, AccessOutcome &outcome);
+
+    /**
+     * Out-of-line miss tails of the inline fast paths.  @p line is
+     * the tag-matched resident line on a sub-block miss, nullptr on
+     * a full miss.  Both (re)initialize @p outcome and return
+     * HitKind::Miss.
+     */
+    HitKind readMissSlow(Line *line, Addr block_addr,
+                         unsigned offset, unsigned words, Pid pid,
+                         AccessOutcome &outcome);
+    HitKind writeMissSlow(Addr block_addr, unsigned offset,
+                          unsigned words, Pid pid,
+                          AccessOutcome &outcome);
+
+    std::uint64_t
+    setIndex(Addr block_addr) const
+    {
+        return block_addr & setMask_;
+    }
+
+    Addr tagOf(Addr block_addr) const { return block_addr >> setShift_; }
+
+    /**
+     * Recompute @p line's entry in keys_ (and the incremental valid
+     * count) from its tag/pid/valid state.  Must be called after
+     * every mutation of those fields; fill(), swapThroughVictims()
+     * and invalidateAll() are the only mutators.
+     */
+    void syncKey(const Line &line);
 
     CacheConfig config_;
     std::string name_;
-    std::vector<Line> lines_; ///< numSets x assoc, way-major per set
+
+    // Precomputed shift/mask indexing (configs are validated
+    // power-of-two): addr -> block via blockShift_/blockMask_,
+    // block_addr -> set/tag via setMask_/setShift_.
+    unsigned blockShift_ = 0;
+    unsigned setShift_ = 0;
+    unsigned assocShift_ = 0;      ///< log2(assoc): set index -> way base
+    Addr blockMask_ = 0;
+    std::uint64_t setMask_ = 0;
+    std::uint64_t pidMask_ = 0; ///< 0 when tags ignore the pid
+
+    /**
+     * Hot probe state, numSets x assoc, way-major per set: the
+     * pid-fused tag key of each valid line, kInvalidKey/kWideKey
+     * sentinels otherwise.  findLine() scans only this array.
+     */
+    std::vector<std::uint64_t> keys_;
+
+    /**
+     * One byte per line, parallel to keys_: nonzero when the line is
+     * fully valid, not prefetch-marked, and the replacement policy
+     * does not consume recency (non-LRU).  A read hit on a flagged
+     * line needs nothing from the cold array at all.  The flag is a
+     * conservative cache of lineIsFast(): set only on the slow hit
+     * path (where the line is loaded anyway), cleared by syncKey()
+     * and invalidateAll().  This stays sound without further
+     * bookkeeping because outside syncKey() valid bits only ever
+     * grow and the prefetch mark is only set right after a
+     * syncKey()-guarded fill.
+     */
+    std::vector<std::uint8_t> fastFlags_;
+
+    /** Word-valid mask of a completely valid block (precomputed). */
+    Mask128 fullValid_;
+
+    std::vector<Line> lines_; ///< cold state, parallel to keys_
     std::vector<VictimEntry> victims_; ///< fully-associative buffer
-    std::unique_ptr<ReplacementPolicy> repl_;
+
+    // Replacement is devirtualized on this path: the enum is
+    // switched directly in selectWay() and Random draws from an
+    // inline Rng seeded exactly like RandomReplacement, so victim
+    // streams are bit-identical to the polymorphic policies (which
+    // remain in cache/replacement.hh for the ablation benches).
+    ReplPolicy replKind_ = ReplPolicy::Random;
+    Rng replRng_;
+
     std::uint64_t seq_ = 0;   ///< access sequence for LRU/FIFO
+    std::uint64_t validBlocks_ = 0; ///< incremental resident count
     CacheStats stats_;
 };
+
+// The demand path is defined inline: System's reference loop calls
+// these once or twice per simulated reference from another
+// translation unit, and the non-LTO build must still inline the
+// probe and the hit transitions (the miss tails are out of line in
+// cache.cc).
+
+[[gnu::always_inline]] inline std::size_t
+Cache::findIndex(Addr block_addr, Pid pid) const
+{
+    const Addr tag = block_addr >> setShift_;
+    const std::size_t base =
+        static_cast<std::size_t>(block_addr & setMask_)
+        << assocShift_;
+    if (tag < kTagLimit) [[likely]] {
+        // Fast probe: one fused-key compare per way over a
+        // contiguous array; invalid and wide-tagged lines hold
+        // sentinels that can never equal a fast probe key.
+        const std::uint64_t key =
+            (tag << kPidBits) | (pid & pidMask_);
+        const std::uint64_t *keys = keys_.data() + base;
+        for (unsigned w = 0; w < config_.assoc; ++w) {
+            if (keys[w] == key)
+                return base + w;
+        }
+        return kNoLine;
+    }
+    // Wide tags (beyond 2^47 blocks x numSets) cannot fuse exactly;
+    // compare the cold lines.  A wide probe can only match a wide
+    // line and vice versa, so the two paths partition cleanly.
+    const Line *set = &lines_[base];
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        const Line &line = set[w];
+        if (line.present && line.tag == tag &&
+            (!config_.virtualTags || line.pid == pid)) {
+            return base + w;
+        }
+    }
+    return kNoLine;
+}
+
+[[gnu::always_inline]] inline const Cache::Line *
+Cache::findLine(Addr block_addr, Pid pid) const
+{
+    const std::size_t idx = findIndex(block_addr, pid);
+    return idx == kNoLine ? nullptr : &lines_[idx];
+}
+
+inline Cache::Line *
+Cache::findLine(Addr block_addr, Pid pid)
+{
+    return const_cast<Line *>(
+        static_cast<const Cache *>(this)->findLine(block_addr, pid));
+}
+
+inline HitKind
+Cache::readFast(Addr addr, unsigned words, Pid pid,
+                AccessOutcome &outcome)
+{
+    ++seq_;
+    ++stats_.readAccesses;
+
+    const Addr block_addr = addr >> blockShift_;
+    const unsigned offset = static_cast<unsigned>(addr & blockMask_);
+    if (offset + words > config_.blockWords) [[unlikely]]
+        panic("%s: read of %u words at offset %u crosses a block",
+              name_.c_str(), words, offset);
+
+    const std::size_t idx = findIndex(block_addr, pid);
+    if (idx != kNoLine) [[likely]] {
+        if (fastFlags_[idx]) [[likely]] {
+            // Fully valid, unmarked, recency-free replacement: the
+            // hit needs nothing from the cold line.  (lastUse is
+            // left stale; only LRU reads it, and LRU never flags.)
+            return HitKind::Hit;
+        }
+        Line *line = &lines_[idx];
+        // words is a literal 1 at every System call site; the
+        // ternaries fold to single-bit mask ops after inlining.
+        const bool resident =
+            words == 1 ? line->valid.test(offset)
+                       : line->valid.testRange(offset, words);
+        if (resident) [[likely]] {
+            line->lastUse = seq_;
+            if (!line->prefetched) [[likely]] {
+                fastFlags_[idx] = lineIsFast(*line);
+                return HitKind::Hit;
+            }
+            line->prefetched = false;
+            ++stats_.prefetchHits;
+            fastFlags_[idx] = lineIsFast(*line);
+            return HitKind::HitPrefetched;
+        }
+        return readMissSlow(line, block_addr, offset, words, pid,
+                            outcome);
+    }
+    return readMissSlow(nullptr, block_addr, offset, words, pid,
+                        outcome);
+}
+
+inline HitKind
+Cache::writeFast(Addr addr, unsigned words, Pid pid,
+                 AccessOutcome &outcome)
+{
+    ++seq_;
+    ++stats_.writeAccesses;
+
+    const Addr block_addr = addr >> blockShift_;
+    const unsigned offset = static_cast<unsigned>(addr & blockMask_);
+    if (offset + words > config_.blockWords) [[unlikely]]
+        panic("%s: write of %u words at offset %u crosses a block",
+              name_.c_str(), words, offset);
+
+    const std::size_t idx = findIndex(block_addr, pid);
+    if (idx != kNoLine) [[likely]] {
+        Line *line = &lines_[idx];
+        line->lastUse = seq_;
+        // The store makes these words valid (write-validate within a
+        // resident line) and, for write-back, dirty.  words is a
+        // literal 1 at every System call site; the ternaries fold
+        // to the single-bit mask ops after inlining.
+        if (words == 1)
+            line->valid.set(offset);
+        else
+            line->valid.setRange(offset, words);
+        if (config_.writePolicy == WritePolicy::WriteBack) [[likely]] {
+            if (words == 1)
+                line->dirty.set(offset);
+            else
+                line->dirty.setRange(offset, words);
+        } else {
+            stats_.wordsWrittenThrough += words;
+        }
+        fastFlags_[idx] = lineIsFast(*line);
+        return HitKind::Hit;
+    }
+    return writeMissSlow(block_addr, offset, words, pid, outcome);
+}
 
 } // namespace cachetime
 

@@ -39,12 +39,29 @@ struct Mask128
             hi |= std::uint64_t{1} << (i - 64);
     }
 
+    /**
+     * @return the 64-bit word covering bits [base, base+64) of the
+     * range mask [start, start+count) — range ops cost two shifts
+     * per word instead of a per-bit loop.
+     */
+    static constexpr std::uint64_t
+    rangeWord(unsigned start, unsigned count, unsigned base)
+    {
+        unsigned s = start > base ? start : base;
+        unsigned e = start + count < base + 64 ? start + count
+                                               : base + 64;
+        if (e <= s)
+            return 0;
+        std::uint64_t m = ~std::uint64_t{0} >> (64 - (e - s));
+        return m << (s - base);
+    }
+
     /** Set @p count bits starting at @p start. */
     void
     setRange(unsigned start, unsigned count)
     {
-        for (unsigned i = 0; i < count; ++i)
-            set(start + i);
+        lo |= rangeWord(start, count, 0);
+        hi |= rangeWord(start, count, 64);
     }
 
     /** @return true if bit @p i is set. */
@@ -60,10 +77,9 @@ struct Mask128
     bool
     testRange(unsigned start, unsigned count) const
     {
-        for (unsigned i = 0; i < count; ++i)
-            if (!test(start + i))
-                return false;
-        return true;
+        const std::uint64_t wlo = rangeWord(start, count, 0);
+        const std::uint64_t whi = rangeWord(start, count, 64);
+        return (lo & wlo) == wlo && (hi & whi) == whi;
     }
 
     /** @return number of set bits. */

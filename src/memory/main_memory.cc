@@ -34,6 +34,8 @@ MainMemory::MainMemory(const MainMemoryConfig &config, double cycleNs)
 {
     if (config_.banks == 0)
         fatal("MainMemory: banks must be nonzero");
+    if ((config_.banks & (config_.banks - 1)) == 0)
+        bankMask_ = config_.banks - 1;
     bankFreeAt_.assign(config_.banks, 0);
 }
 
@@ -51,6 +53,14 @@ MainMemory::banksFreeAt(Addr addr, unsigned words) const
     Tick latest = 0;
     unsigned banks = config_.banks;
     unsigned touched = std::min<unsigned>(words, banks);
+    if (bankMask_ || banks == 1) {
+        for (unsigned i = 0; i < touched; ++i) {
+            unsigned bank =
+                static_cast<unsigned>((addr + i) & bankMask_);
+            latest = std::max(latest, bankFreeAt_[bank]);
+        }
+        return latest;
+    }
     for (unsigned i = 0; i < touched; ++i) {
         unsigned bank =
             static_cast<unsigned>((addr + i) % banks);
@@ -64,6 +74,14 @@ MainMemory::occupyBanks(Addr addr, unsigned words, Tick until)
 {
     unsigned banks = config_.banks;
     unsigned touched = std::min<unsigned>(words, banks);
+    if (bankMask_ || banks == 1) {
+        for (unsigned i = 0; i < touched; ++i) {
+            unsigned bank =
+                static_cast<unsigned>((addr + i) & bankMask_);
+            bankFreeAt_[bank] = std::max(bankFreeAt_[bank], until);
+        }
+        return;
+    }
     for (unsigned i = 0; i < touched; ++i) {
         unsigned bank =
             static_cast<unsigned>((addr + i) % banks);

@@ -96,6 +96,9 @@ class MainMemory : public MemLevel
 
     MainMemoryConfig config_;
     MemoryTiming timing_;
+    /** banks - 1 when banks is a power of two (mask instead of
+     *  modulo in the interleave math), 0 otherwise. */
+    unsigned bankMask_ = 0;
     Tick busFreeAt_ = 0;            ///< address/data path
     std::vector<Tick> bankFreeAt_;  ///< per-bank recovery horizon
     MainMemoryStats stats_;

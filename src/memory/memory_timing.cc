@@ -43,6 +43,8 @@ MemoryTiming::MemoryTiming(const MainMemoryConfig &config, double cycleNs)
         addressCycles_ + ceilNsToCycles(config.readLatencyNs, cycleNs);
     write_ = ceilNsToCycles(config.writeNs, cycleNs);
     recovery_ = ceilNsToCycles(config.recoveryNs, cycleNs);
+    for (unsigned n = 0; n <= kTransferTableWords; ++n)
+        transferTable_[n] = rate_.transferCycles(n);
 }
 
 Tick

@@ -92,6 +92,11 @@ class MemoryTiming
     Tick
     transferCycles(unsigned words) const
     {
+        // Every memory operation asks two or three times; the table
+        // replaces the per-call ceiling division for every word
+        // count a block transfer can reach.
+        if (words <= kTransferTableWords) [[likely]]
+            return transferTable_[words];
         return rate_.transferCycles(words);
     }
 
@@ -113,6 +118,10 @@ class MemoryTiming
   private:
     double cycleNs_;
     TransferRate rate_;
+
+    /** Largest block transfer (Mask128 line limit). */
+    static constexpr unsigned kTransferTableWords = 128;
+    Tick transferTable_[kTransferTableWords + 1] = {};
     unsigned addressCycles_;
     Tick readLatency_; ///< addressCycles + ceil(readLatencyNs/cycle)
     Tick write_;

@@ -1,5 +1,7 @@
 #include "memory/write_buffer.hh"
 
+#include <bit>
+
 #include <algorithm>
 
 #include "stats/stats.hh"
@@ -53,6 +55,13 @@ WriteBuffer::WriteBuffer(const WriteBufferConfig &config,
     if (config_.matchGranularityWords == 0)
         fatal("%s: matchGranularityWords must be nonzero",
               name_.c_str());
+    // The overlap test divides by the granularity on every queued
+    // entry of every read; the common granularities are powers of
+    // two, where a shift gives the identical quotient.
+    unsigned gran = config_.matchGranularityWords;
+    if ((gran & (gran - 1)) == 0)
+        granShift_ = static_cast<unsigned>(std::countr_zero(gran));
+    queue_.init(std::max<std::size_t>(config_.depth, 1));
 }
 
 bool
@@ -61,11 +70,19 @@ WriteBuffer::matches(const Entry &entry, Addr addr, unsigned words,
 {
     if (entry.pid != pid)
         return false;
-    Addr gran = config_.matchGranularityWords;
-    Addr lo1 = entry.addr / gran;
-    Addr hi1 = (entry.addr + entry.words - 1) / gran;
-    Addr lo2 = addr / gran;
-    Addr hi2 = (addr + words - 1) / gran;
+    Addr lo1, hi1, lo2, hi2;
+    if (granShift_ != kNoShift) [[likely]] {
+        lo1 = entry.addr >> granShift_;
+        hi1 = (entry.addr + entry.words - 1) >> granShift_;
+        lo2 = addr >> granShift_;
+        hi2 = (addr + words - 1) >> granShift_;
+    } else {
+        Addr gran = config_.matchGranularityWords;
+        lo1 = entry.addr / gran;
+        hi1 = (entry.addr + entry.words - 1) / gran;
+        lo2 = addr / gran;
+        hi2 = (addr + words - 1) / gran;
+    }
     return lo1 <= hi2 && lo2 <= hi1;
 }
 
@@ -148,7 +165,8 @@ WriteBuffer::writeBlock(Tick when, Addr addr, unsigned words, Pid pid)
     stats_.wordsEnqueued += words;
 
     if (config_.coalesce) {
-        for (Entry &entry : queue_) {
+        for (std::size_t i = 0; i < queue_.size(); ++i) {
+            Entry &entry = queue_[i];
             if (entry.addr == addr && entry.pid == pid) {
                 entry.words = std::max(entry.words, words);
                 entry.ready = std::max(entry.ready, when);

@@ -17,8 +17,8 @@
 #define CACHETIME_MEMORY_WRITE_BUFFER_HH
 
 #include <cstdint>
-#include <deque>
 #include <string>
+#include <vector>
 
 #include "memory/mem_level.hh"
 #include "util/histogram.hh"
@@ -147,6 +147,63 @@ class WriteBuffer : public MemLevel
         Pid pid;
     };
 
+    /**
+     * FIFO over a power-of-two ring.  The queue can never exceed
+     * config_.depth entries (writeBlock retires the head before
+     * enqueueing at capacity), so the storage is sized once in the
+     * constructor and no allocation happens on the hot path.
+     */
+    class Ring
+    {
+      public:
+        void
+        init(std::size_t capacity)
+        {
+            std::size_t cap = 1;
+            while (cap < capacity)
+                cap <<= 1;
+            slots_.resize(cap);
+            mask_ = cap - 1;
+        }
+
+        bool empty() const { return count_ == 0; }
+        std::size_t size() const { return count_; }
+
+        Entry &front() { return slots_[head_]; }
+        const Entry &front() const { return slots_[head_]; }
+
+        Entry &
+        operator[](std::size_t i)
+        {
+            return slots_[(head_ + i) & mask_];
+        }
+        const Entry &
+        operator[](std::size_t i) const
+        {
+            return slots_[(head_ + i) & mask_];
+        }
+
+        void
+        push_back(const Entry &entry)
+        {
+            slots_[(head_ + count_) & mask_] = entry;
+            ++count_;
+        }
+
+        void
+        pop_front()
+        {
+            head_ = (head_ + 1) & mask_;
+            --count_;
+        }
+
+      private:
+        std::vector<Entry> slots_;
+        std::size_t mask_ = 0;
+        std::size_t head_ = 0;
+        std::size_t count_ = 0;
+    };
+
     /** Retire entries that can start strictly before @p now. */
     void catchUp(Tick now);
 
@@ -159,7 +216,10 @@ class WriteBuffer : public MemLevel
     WriteBufferConfig config_;
     MemLevel *down_;
     std::string name_;
-    std::deque<Entry> queue_;
+    /** log2(matchGranularityWords) when it is a power of two. */
+    static constexpr unsigned kNoShift = ~0u;
+    unsigned granShift_ = kNoShift;
+    Ring queue_;
     WriteBufferStats stats_;
 };
 

@@ -1,6 +1,7 @@
 #include "sim/system.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "trace_debug/trace_debug.hh"
 #include "util/logging.hh"
@@ -66,21 +67,6 @@ System::reset()
     stallTlb_ = 0;
 }
 
-Addr
-System::translate(const Ref &ref, Tick &start, Pid &pid)
-{
-    if (!tlb_)
-        return ref.addr;
-    Tlb::Translation t = tlb_->translate(ref.addr, ref.pid);
-    if (!t.hit) {
-        start += config_.tlb.missPenaltyCycles;
-        stallTlb_ += config_.tlb.missPenaltyCycles;
-    }
-    // Physical tags carry no process id.
-    pid = 0;
-    return t.paddr;
-}
-
 void
 System::resetStats()
 {
@@ -128,25 +114,42 @@ System::maybePrefetch(Cache &cache, Tick &busy, Addr addr, Pid pid,
     busy = std::max(busy, std::max(reply.complete, victim_ready));
 }
 
+template <bool TraceOn, bool HasTlb>
 Tick
-System::accessRead(Cache &cache, const Ref &ref, Tick issue)
+System::accessRead(Cache &cache, Tick &busy, const Ref &ref,
+                   Tick issue)
 {
-    Tick &busy = (&cache == icache_.get()) ? icacheBusy_ : dcacheBusy_;
     Tick start = std::max(issue, busy);
     Pid pid = ref.pid;
-    Addr addr = translate(ref, start, pid);
+    Addr addr = ref.addr;
+    if constexpr (HasTlb) {
+        Tlb::Translation t = tlb_->translate(ref.addr, ref.pid);
+        if (!t.hit) {
+            start += config_.tlb.missPenaltyCycles;
+            stallTlb_ += config_.tlb.missPenaltyCycles;
+        }
+        // Physical tags carry no process id.
+        pid = 0;
+        addr = t.paddr;
+    }
 
-    AccessOutcome outcome = cache.read(addr, 1, pid);
-    if (outcome.hit) {
+    AccessOutcome outcome{AccessOutcome::Uninit{}};
+    HitKind kind = cache.readFast(addr, 1, pid, outcome);
+    if (kind != HitKind::Miss) [[likely]] {
+        // Hit fast path: the outcome was never written; only the
+        // one-byte discriminant came back.
         Tick done = start + config_.cpu.readHitCycles;
-        CACHETIME_TRACE_EVENT(
-            trace_debug::Cache, "%s t=%llu read hit addr=%llx",
-            cache.name().c_str(),
-            static_cast<unsigned long long>(start),
-            static_cast<unsigned long long>(addr));
+        if constexpr (TraceOn) {
+            CACHETIME_TRACE_EVENT(
+                trace_debug::Cache, "%s t=%llu read hit addr=%llx",
+                cache.name().c_str(),
+                static_cast<unsigned long long>(start),
+                static_cast<unsigned long long>(addr));
+        }
         busy = std::max(busy, done);
-        if (outcome.hitPrefetched &&
-            cache.config().prefetchPolicy == PrefetchPolicy::Tagged) {
+        if (kind == HitKind::HitPrefetched &&
+            cache.config().prefetchPolicy == PrefetchPolicy::Tagged)
+            [[unlikely]] {
             // Tagged prefetch: first use of a prefetched block
             // triggers the next lookahead.
             maybePrefetch(cache, busy, addr, pid, done);
@@ -154,6 +157,13 @@ System::accessRead(Cache &cache, const Ref &ref, Tick issue)
         return done;
     }
 
+    return readMissTail(cache, busy, addr, pid, start, outcome);
+}
+
+Tick
+System::readMissTail(Cache &cache, Tick &busy, Addr addr, Pid pid,
+                     Tick start, AccessOutcome &outcome)
+{
     if (outcome.victimCacheHit && !outcome.filled) {
         // Victim-cache swap: a short fixed penalty instead of the
         // memory round trip; a dirty castout still drains below.
@@ -229,18 +239,30 @@ System::accessRead(Cache &cache, const Ref &ref, Tick issue)
     return done;
 }
 
+template <bool TraceOn, bool HasTlb>
 Tick
-System::accessWrite(Cache &cache, const Ref &ref, Tick issue)
+System::accessWrite(Cache &cache, Tick &busy, const Ref &ref,
+                    Tick issue)
 {
-    Tick &busy = (&cache == icache_.get()) ? icacheBusy_ : dcacheBusy_;
     Tick start = std::max(issue, busy);
     Pid pid = ref.pid;
-    Addr addr = translate(ref, start, pid);
+    Addr addr = ref.addr;
+    if constexpr (HasTlb) {
+        Tlb::Translation t = tlb_->translate(ref.addr, ref.pid);
+        if (!t.hit) {
+            start += config_.tlb.missPenaltyCycles;
+            stallTlb_ += config_.tlb.missPenaltyCycles;
+        }
+        // Physical tags carry no process id.
+        pid = 0;
+        addr = t.paddr;
+    }
 
-    AccessOutcome outcome = cache.write(addr, 1, pid);
+    AccessOutcome outcome{AccessOutcome::Uninit{}};
+    HitKind kind = cache.writeFast(addr, 1, pid, outcome);
     Tick done = start + config_.cpu.writeHitCycles;
 
-    if (outcome.hit) {
+    if (kind != HitKind::Miss) [[likely]] {
         if (cache.config().writePolicy == WritePolicy::WriteThrough) {
             Tick stall =
                 l1Down_->writeBlock(done, addr, 1, pid);
@@ -248,15 +270,26 @@ System::accessWrite(Cache &cache, const Ref &ref, Tick issue)
         }
         busy = std::max(busy, done);
         stallWrite_ += done - start - config_.cpu.writeHitCycles;
-        CACHETIME_TRACE_EVENT(
-            trace_debug::Cache,
-            "%s t=%llu write hit addr=%llx latency=%llu",
-            cache.name().c_str(),
-            static_cast<unsigned long long>(start),
-            static_cast<unsigned long long>(addr),
-            static_cast<unsigned long long>(done - start));
+        if constexpr (TraceOn) {
+            CACHETIME_TRACE_EVENT(
+                trace_debug::Cache,
+                "%s t=%llu write hit addr=%llx latency=%llu",
+                cache.name().c_str(),
+                static_cast<unsigned long long>(start),
+                static_cast<unsigned long long>(addr),
+                static_cast<unsigned long long>(done - start));
+        }
         return done;
     }
+
+    return writeMissTail(cache, busy, addr, pid, start, outcome);
+}
+
+Tick
+System::writeMissTail(Cache &cache, Tick &busy, Addr addr, Pid pid,
+                      Tick start, AccessOutcome &outcome)
+{
+    Tick done = start + config_.cpu.writeHitCycles;
 
     if (outcome.victimCacheHit && !outcome.filled) {
         // The store landed in a block swapped back from the victim
@@ -328,36 +361,104 @@ System::run(const Trace &trace)
     return run(source);
 }
 
-SimResult
-System::run(RefSource &source)
+template <bool TraceOn, bool Pair, bool Split, bool HasTlb>
+void
+System::runLoop(RefSource &source, SimResult &result)
 {
-    reset();
-    CACHETIME_TRACE_EVENT(
-        trace_debug::Sim, "run start trace=%s refs=%llu warm=%zu",
-        source.name().c_str(),
-        static_cast<unsigned long long>(source.size()),
-        source.warmStart());
-
-    Cache &iside = config_.split ? *icache_ : *dcache_;
+    static_assert(Split || !Pair, "paired issue requires a split L1");
+    Cache &iside = Split ? *icache_ : *dcache_;
     Cache &dside = *dcache_;
+    // Busy horizons live in locals for the duration of the loop so
+    // the per-access load/max/store cycle stays in registers; they
+    // are written back below for drain().  Unified caches share one
+    // port, so ifetches contend on the same horizon as data
+    // references - with Split known at compile time the aliasing is
+    // resolved here instead of per access.
+    Tick ibusyLocal = Split ? icacheBusy_ : 0;
+    Tick dbusyLocal = dcacheBusy_;
+    Tick &ibusy = Split ? ibusyLocal : dbusyLocal;
+    Tick &dbusy = dbusyLocal;
 
     const std::vector<WarmSegment> &segments = source.warmSegments();
     const std::size_t warm_start = source.warmStart();
 
-    StreamPairer pairer(source, config_.split && config_.cpu.pairIssue);
+    // Chunked in-place issue: references are processed directly out
+    // of the fill buffer (no per-group copies); pairing keeps one
+    // reference of lookahead by compacting the tail before a refill.
+    // In-memory sources short-circuit the chunk machinery entirely:
+    // borrow() exposes the whole stream as one span and the loop
+    // walks the trace storage with no copies at all.
+    source.reset();
+    std::vector<Ref> storage;
+    const Ref *buffer = nullptr;
+    std::size_t head = 0;
+    std::size_t count = 0;
+    std::size_t consumed = 0;
+    bool exhausted = false;
 
-    SimResult result;
-    result.traceName = source.name();
-    result.configSummary = config_.describe();
-    result.cycleNs = config_.cycleNs;
-    result.midLevels.resize(midLevels_.size());
-    result.midBuffers.resize(midBuffers_.size());
-    result.physical = tlb_ != nullptr;
+    if (std::size_t n = source.borrow(&buffer)) {
+        count = n;
+        exhausted = true;
+    } else {
+        storage.resize(refChunkSize);
+        buffer = storage.data();
+    }
+
+    auto refill = [&]() {
+        if (exhausted)
+            return;
+        if (head > 0) {
+            std::copy(storage.begin() + static_cast<std::ptrdiff_t>(head),
+                      storage.begin() + static_cast<std::ptrdiff_t>(count),
+                      storage.begin());
+            count -= head;
+            head = 0;
+        }
+        while (count < storage.size()) {
+            std::size_t n = source.fill(storage.data() + count,
+                                        storage.size() - count);
+            if (n == 0) {
+                exhausted = true;
+                break;
+            }
+            count += n;
+        }
+    };
 
     Tick now = 0;
     Tick seg_start = 0;
     bool measuring = false;
     std::size_t seg_idx = 0;
+
+    // Measurement state is a pure function of the reference
+    // position; evaluate it only at positions where it can change
+    // (boundary) so the steady-state loop pays one compare per
+    // group instead of re-deriving the segment containment.
+    std::size_t boundary = 0;
+    auto stateAt = [&](std::size_t p) -> bool {
+        if (p < warm_start) {
+            boundary = warm_start;
+            return false;
+        }
+        while (seg_idx < segments.size() && p >= segments[seg_idx].end)
+            ++seg_idx;
+        if (seg_idx < segments.size() &&
+            p >= segments[seg_idx].begin) {
+            boundary = segments[seg_idx].end;
+            return false;
+        }
+        boundary = seg_idx < segments.size()
+                       ? segments[seg_idx].begin
+                       : std::numeric_limits<std::size_t>::max();
+        return true;
+    };
+
+    // Measured reference counters accumulate in locals (registers)
+    // and flush at fold boundaries, keeping the per-group updates
+    // off memory.
+    std::uint64_t groups = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
 
     // Fold the current measured span's component counters into the
     // accumulated result (a single fold over the whole post-warm
@@ -365,6 +466,11 @@ System::run(RefSource &source)
     // is bit-identical to reading the stats directly).
     auto fold = [&]() {
         result.cycles += now - seg_start;
+        result.groups += groups;
+        result.refs += reads + writes;
+        result.readRefs += reads;
+        result.writeRefs += writes;
+        groups = reads = writes = 0;
         if (config_.split)
             result.icache.merge(icache_->stats());
         result.dcache.merge(dcache_->stats());
@@ -384,61 +490,142 @@ System::run(RefSource &source)
         result.stallTlbCycles += stallTlb_;
     };
 
-    while (pairer.hasNext()) {
+    for (;;) {
+        // Pairing needs one reference of lookahead, so keep two
+        // buffered whenever the stream can still provide them.
+        if (count - head < (Pair ? 2u : 1u)) [[unlikely]] {
+            refill();
+            if (head == count)
+                break;
+        }
+
         // Measurement state is decided at issue-group granularity:
         // the state at the group's first reference governs the whole
         // group (the warm-start boundary has always worked this way).
-        std::size_t p = pairer.position();
-        while (seg_idx < segments.size() && p >= segments[seg_idx].end)
-            ++seg_idx;
-        bool want = p >= warm_start &&
-                    (seg_idx >= segments.size() ||
-                     p < segments[seg_idx].begin);
-        if (want != measuring) {
-            if (want) {
-                resetStats();
-                seg_start = now;
-            } else {
-                fold();
+        if (consumed >= boundary) [[unlikely]] {
+            bool want = stateAt(consumed);
+            if (want != measuring) {
+                if (want) {
+                    resetStats();
+                    seg_start = now;
+                } else {
+                    fold();
+                }
+                measuring = want;
             }
-            measuring = want;
         }
-        StreamGroup group = pairer.next();
 
-        Tick done = now;
-        if (group.hasIfetch) {
-            done = std::max(done,
-                            accessRead(iside, group.ifetch, now));
+        const Ref &first = buffer[head];
+        std::uint64_t greads = 0;
+        std::uint64_t gwrites = 0;
+        Tick done;
+        if (first.kind == RefKind::IFetch) {
+            ++greads;
+            done = accessRead<TraceOn, HasTlb>(iside, ibusy, first,
+                                               now);
+            ++head;
+            ++consumed;
+            if (Pair && head < count && isData(buffer[head].kind)) {
+                const Ref &data = buffer[head];
+                Tick d;
+                if (data.kind == RefKind::Store) {
+                    ++gwrites;
+                    d = accessWrite<TraceOn, HasTlb>(dside, dbusy,
+                                                     data, now);
+                } else {
+                    ++greads;
+                    d = accessRead<TraceOn, HasTlb>(dside, dbusy,
+                                                    data, now);
+                }
+                done = std::max(done, d);
+                ++head;
+                ++consumed;
+            }
+        } else if (first.kind == RefKind::Store) {
+            ++gwrites;
+            done = accessWrite<TraceOn, HasTlb>(dside, dbusy, first,
+                                                now);
+            ++head;
+            ++consumed;
+        } else {
+            ++greads;
+            done = accessRead<TraceOn, HasTlb>(dside, dbusy, first,
+                                               now);
+            ++head;
+            ++consumed;
         }
-        if (group.hasData) {
-            Cache &cache = config_.split ? dside : *dcache_;
-            Tick d = group.data.kind == RefKind::Store
-                         ? accessWrite(cache, group.data, now)
-                         : accessRead(cache, group.data, now);
-            done = std::max(done, d);
-        }
-        if (done <= now)
+        if (done <= now) [[unlikely]]
             panic("System: time failed to advance at ref %zu",
-                  pairer.position());
+                  consumed);
         now = done;
 
-        if (measuring) {
-            ++result.groups;
-            if (group.hasIfetch) {
-                ++result.refs;
-                ++result.readRefs;
-            }
-            if (group.hasData) {
-                ++result.refs;
-                if (group.data.kind == RefKind::Store)
-                    ++result.writeRefs;
-                else
-                    ++result.readRefs;
-            }
+        if (measuring) [[likely]] {
+            ++groups;
+            reads += greads;
+            writes += gwrites;
         }
     }
     if (measuring)
         fold();
+    if (Split)
+        icacheBusy_ = ibusyLocal;
+    dcacheBusy_ = dbusyLocal;
+}
+
+SimResult
+System::run(RefSource &source)
+{
+    reset();
+    CACHETIME_TRACE_EVENT(
+        trace_debug::Sim, "run start trace=%s refs=%llu warm=%zu",
+        source.name().c_str(),
+        static_cast<unsigned long long>(source.size()),
+        source.warmStart());
+
+    SimResult result;
+    result.traceName = source.name();
+    result.configSummary = config_.describe();
+    result.cycleNs = config_.cycleNs;
+    result.midLevels.resize(midLevels_.size());
+    result.midBuffers.resize(midBuffers_.size());
+    result.physical = tlb_ != nullptr;
+
+    // Hoist the per-run decisions out of the reference loop: each
+    // combination dispatches to a dedicated instantiation whose
+    // per-reference path re-checks none of them.  The TraceOn=false
+    // paths skip even the (cheap) flag loads of the per-reference
+    // trace points; results are bit-identical across instantiations.
+    const bool trace_on = trace_debug::flags() != 0;
+    const bool pair = config_.split && config_.cpu.pairIssue;
+    const bool has_tlb = tlb_ != nullptr;
+    auto dispatch = [&](auto trace_c, auto pair_c, auto split_c) {
+        has_tlb ? runLoop<trace_c.value, pair_c.value, split_c.value,
+                          true>(source, result)
+                : runLoop<trace_c.value, pair_c.value, split_c.value,
+                          false>(source, result);
+    };
+    using std::bool_constant;
+    if (trace_on) {
+        if (pair)
+            dispatch(bool_constant<true>{}, bool_constant<true>{},
+                     bool_constant<true>{});
+        else if (config_.split)
+            dispatch(bool_constant<true>{}, bool_constant<false>{},
+                     bool_constant<true>{});
+        else
+            dispatch(bool_constant<true>{}, bool_constant<false>{},
+                     bool_constant<false>{});
+    } else {
+        if (pair)
+            dispatch(bool_constant<false>{}, bool_constant<true>{},
+                     bool_constant<true>{});
+        else if (config_.split)
+            dispatch(bool_constant<false>{}, bool_constant<false>{},
+                     bool_constant<true>{});
+        else
+            dispatch(bool_constant<false>{}, bool_constant<false>{},
+                     bool_constant<false>{});
+    }
 
     CACHETIME_TRACE_EVENT(
         trace_debug::Sim, "run end trace=%s cycles=%llu refs=%llu",

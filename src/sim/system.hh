@@ -79,8 +79,31 @@ class System
     /** Reset statistics only (warm-start boundary). */
     void resetStats();
 
-    /** @return completion time of a read issued at @p issue. */
-    Tick accessRead(Cache &cache, const Ref &ref, Tick issue);
+    /**
+     * The reference-processing engine: pulls chunks from @p source
+     * into a bounded buffer and issues them in place, pairing I/D
+     * couplets inline.  Per-run decisions are hoisted into template
+     * parameters so the per-reference path carries no re-checks:
+     * @tparam TraceOn  emit per-reference debug trace events
+     * @tparam Pair     split caches with couplet issue enabled
+     * @tparam HasTlb   physical addressing (translate every ref)
+     * run(RefSource&) dispatches to the right instantiation once.
+     */
+    template <bool TraceOn, bool Pair, bool Split, bool HasTlb>
+    void runLoop(RefSource &source, SimResult &result);
+
+    /**
+     * @return completion time of a read issued at @p issue.  The
+     * probe + hit path is forced inline into runLoop(); everything
+     * past the HitKind check lives out of line in readMissTail().
+     */
+    template <bool TraceOn, bool HasTlb>
+    [[gnu::always_inline]] inline Tick
+    accessRead(Cache &cache, Tick &busy, const Ref &ref, Tick issue);
+
+    /** Victim-swap / fetch / early-continuation miss timing. */
+    Tick readMissTail(Cache &cache, Tick &busy, Addr addr, Pid pid,
+                      Tick start, AccessOutcome &outcome);
 
     /**
      * Issue a one-block-lookahead prefetch for the block after
@@ -92,15 +115,16 @@ class System
                        Tick when);
 
     /** @return completion time of a write issued at @p issue. */
-    Tick accessWrite(Cache &cache, const Ref &ref, Tick issue);
+    template <bool TraceOn, bool HasTlb>
+    [[gnu::always_inline]] inline Tick
+    accessWrite(Cache &cache, Tick &busy, const Ref &ref,
+                Tick issue);
+
+    /** Victim-swap / no-allocate / write-allocate miss timing. */
+    Tick writeMissTail(Cache &cache, Tick &busy, Addr addr, Pid pid,
+                       Tick start, AccessOutcome &outcome);
 
     SystemConfig config_;
-
-    /**
-     * Translate and, on a TLB miss, delay the access.  Identity in
-     * virtual mode.  @return the address the caches see.
-     */
-    Addr translate(const Ref &ref, Tick &start, Pid &pid);
 
     std::unique_ptr<Cache> icache_;
     std::unique_ptr<Cache> dcache_;

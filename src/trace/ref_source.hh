@@ -70,6 +70,23 @@ class RefSource
     virtual std::size_t fill(Ref *out, std::size_t max) = 0;
 
     /**
+     * Zero-copy alternative to fill(): if the remainder of the
+     * stream is already resident as one contiguous Ref array, point
+     * @p out at it, mark it consumed and return its length.  A
+     * return of 0 means "not supported or nothing left" and callers
+     * fall back to fill().  The array stays valid until the source
+     * is reset or destroyed.  In-memory traces answer here, so the
+     * simulation loop iterates the trace storage directly instead
+     * of copying every reference through a chunk buffer.
+     */
+    virtual std::size_t
+    borrow(const Ref **out)
+    {
+        (void)out;
+        return 0;
+    }
+
+    /**
      * @return the stream's identity hash - equal, by construction,
      * to traceIdentityHash() of the materialized equivalent, so the
      * SimCache keys streamed and eager runs identically.  Computed
@@ -146,6 +163,16 @@ class TraceRefSource : public RefSource
     }
     void reset() override { pos_ = 0; }
     std::size_t fill(Ref *out, std::size_t max) override;
+
+    std::size_t
+    borrow(const Ref **out) override
+    {
+        const std::vector<Ref> &refs = trace_->refs();
+        std::size_t n = refs.size() - pos_;
+        *out = refs.data() + pos_;
+        pos_ = refs.size();
+        return n;
+    }
 
     /** @return the adapted trace. */
     const Trace &trace() const { return *trace_; }

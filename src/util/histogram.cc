@@ -1,6 +1,7 @@
 #include "util/histogram.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 
 #include "util/logging.hh"
@@ -13,6 +14,11 @@ Histogram::Histogram(std::size_t bins, std::uint64_t width)
 {
     if (bins == 0 || width == 0)
         panic("Histogram needs nonzero bins and width");
+    // Binning divides by the width on every sample; the common
+    // widths are powers of two, where a shift gives the identical
+    // quotient without the divider latency.
+    if ((width & (width - 1)) == 0)
+        shift_ = static_cast<unsigned>(std::countr_zero(width));
 }
 
 void
@@ -24,7 +30,8 @@ Histogram::sample(std::uint64_t value)
 void
 Histogram::sample(std::uint64_t value, std::uint64_t weight)
 {
-    std::size_t index = static_cast<std::size_t>(value / width_);
+    std::size_t index = static_cast<std::size_t>(
+        shift_ != kNoShift ? value >> shift_ : value / width_);
     if (index < counts_.size())
         counts_[index] += weight;
     else

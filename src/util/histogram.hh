@@ -75,6 +75,9 @@ class Histogram
   private:
     std::vector<std::uint64_t> counts_;
     std::uint64_t width_;
+    /** log2(width_) when the width is a power of two. */
+    static constexpr unsigned kNoShift = ~0u;
+    unsigned shift_ = kNoShift;
     std::uint64_t overflow_ = 0;
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
