@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_analytic.dir/ablation_analytic.cc.o"
+  "CMakeFiles/ablation_analytic.dir/ablation_analytic.cc.o.d"
+  "ablation_analytic"
+  "ablation_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

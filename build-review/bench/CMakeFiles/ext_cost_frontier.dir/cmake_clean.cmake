@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cost_frontier.dir/ext_cost_frontier.cc.o"
+  "CMakeFiles/ext_cost_frontier.dir/ext_cost_frontier.cc.o.d"
+  "ext_cost_frontier"
+  "ext_cost_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cost_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fetch_size.dir/ext_fetch_size.cc.o"
+  "CMakeFiles/ext_fetch_size.dir/ext_fetch_size.cc.o.d"
+  "ext_fetch_size"
+  "ext_fetch_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fetch_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

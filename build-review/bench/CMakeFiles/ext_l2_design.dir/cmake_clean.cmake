@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_l2_design.dir/ext_l2_design.cc.o"
+  "CMakeFiles/ext_l2_design.dir/ext_l2_design.cc.o.d"
+  "ext_l2_design"
+  "ext_l2_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_l2_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_l2_design.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_l3_hierarchy.dir/ext_l3_hierarchy.cc.o"
+  "CMakeFiles/ext_l3_hierarchy.dir/ext_l3_hierarchy.cc.o.d"
+  "ext_l3_hierarchy"
+  "ext_l3_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_l3_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_miss_classes.dir/ext_miss_classes.cc.o"
+  "CMakeFiles/ext_miss_classes.dir/ext_miss_classes.cc.o.d"
+  "ext_miss_classes"
+  "ext_miss_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_miss_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

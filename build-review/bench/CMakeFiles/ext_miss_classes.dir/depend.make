@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_miss_classes.
+# This may be replaced when dependencies are built.

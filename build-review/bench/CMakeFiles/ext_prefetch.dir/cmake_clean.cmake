@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_prefetch.dir/ext_prefetch.cc.o"
+  "CMakeFiles/ext_prefetch.dir/ext_prefetch.cc.o.d"
+  "ext_prefetch"
+  "ext_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

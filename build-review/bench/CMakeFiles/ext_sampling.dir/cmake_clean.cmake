@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_sampling.dir/ext_sampling.cc.o"
+  "CMakeFiles/ext_sampling.dir/ext_sampling.cc.o.d"
+  "ext_sampling"
+  "ext_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_split_vs_unified.dir/ext_split_vs_unified.cc.o"
+  "CMakeFiles/ext_split_vs_unified.dir/ext_split_vs_unified.cc.o.d"
+  "ext_split_vs_unified"
+  "ext_split_vs_unified.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_split_vs_unified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

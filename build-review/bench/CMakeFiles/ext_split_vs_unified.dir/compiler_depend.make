@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_split_vs_unified.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_victim_cache.dir/ext_victim_cache.cc.o"
+  "CMakeFiles/ext_victim_cache.dir/ext_victim_cache.cc.o.d"
+  "ext_victim_cache"
+  "ext_victim_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_victim_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_virtual_vs_physical.dir/ext_virtual_vs_physical.cc.o"
+  "CMakeFiles/ext_virtual_vs_physical.dir/ext_virtual_vs_physical.cc.o.d"
+  "ext_virtual_vs_physical"
+  "ext_virtual_vs_physical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_virtual_vs_physical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

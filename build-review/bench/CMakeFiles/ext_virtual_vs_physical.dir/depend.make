@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_virtual_vs_physical.
+# This may be replaced when dependencies are built.

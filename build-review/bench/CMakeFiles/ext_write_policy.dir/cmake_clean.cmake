@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_write_policy.dir/ext_write_policy.cc.o"
+  "CMakeFiles/ext_write_policy.dir/ext_write_policy.cc.o.d"
+  "ext_write_policy"
+  "ext_write_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_write_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

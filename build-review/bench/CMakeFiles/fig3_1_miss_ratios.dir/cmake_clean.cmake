@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_1_miss_ratios.dir/fig3_1_miss_ratios.cc.o"
+  "CMakeFiles/fig3_1_miss_ratios.dir/fig3_1_miss_ratios.cc.o.d"
+  "fig3_1_miss_ratios"
+  "fig3_1_miss_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_1_miss_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

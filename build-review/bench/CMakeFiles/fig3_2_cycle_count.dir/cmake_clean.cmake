@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_2_cycle_count.dir/fig3_2_cycle_count.cc.o"
+  "CMakeFiles/fig3_2_cycle_count.dir/fig3_2_cycle_count.cc.o.d"
+  "fig3_2_cycle_count"
+  "fig3_2_cycle_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_2_cycle_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

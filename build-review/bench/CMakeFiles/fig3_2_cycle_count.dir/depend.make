@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_2_cycle_count.
+# This may be replaced when dependencies are built.

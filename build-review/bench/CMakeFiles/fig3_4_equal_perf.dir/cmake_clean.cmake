@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_4_equal_perf.dir/fig3_4_equal_perf.cc.o"
+  "CMakeFiles/fig3_4_equal_perf.dir/fig3_4_equal_perf.cc.o.d"
+  "fig3_4_equal_perf"
+  "fig3_4_equal_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_4_equal_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_4_equal_perf.
+# This may be replaced when dependencies are built.

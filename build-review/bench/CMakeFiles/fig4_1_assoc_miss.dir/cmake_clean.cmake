@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_1_assoc_miss.dir/fig4_1_assoc_miss.cc.o"
+  "CMakeFiles/fig4_1_assoc_miss.dir/fig4_1_assoc_miss.cc.o.d"
+  "fig4_1_assoc_miss"
+  "fig4_1_assoc_miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_1_assoc_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

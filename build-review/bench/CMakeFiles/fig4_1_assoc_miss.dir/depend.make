@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_1_assoc_miss.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_2_assoc_time.dir/fig4_2_assoc_time.cc.o"
+  "CMakeFiles/fig4_2_assoc_time.dir/fig4_2_assoc_time.cc.o.d"
+  "fig4_2_assoc_time"
+  "fig4_2_assoc_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_2_assoc_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

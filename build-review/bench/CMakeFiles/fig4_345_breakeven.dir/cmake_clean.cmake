@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_345_breakeven.dir/fig4_345_breakeven.cc.o"
+  "CMakeFiles/fig4_345_breakeven.dir/fig4_345_breakeven.cc.o.d"
+  "fig4_345_breakeven"
+  "fig4_345_breakeven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_345_breakeven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_1_blocksize.dir/fig5_1_blocksize.cc.o"
+  "CMakeFiles/fig5_1_blocksize.dir/fig5_1_blocksize.cc.o.d"
+  "fig5_1_blocksize"
+  "fig5_1_blocksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_1_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_2_memory_sweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_3_optimal_block.dir/fig5_3_optimal_block.cc.o"
+  "CMakeFiles/fig5_3_optimal_block.dir/fig5_3_optimal_block.cc.o.d"
+  "fig5_3_optimal_block"
+  "fig5_3_optimal_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_3_optimal_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_4_product_rule.dir/fig5_4_product_rule.cc.o"
+  "CMakeFiles/fig5_4_product_rule.dir/fig5_4_product_rule.cc.o.d"
+  "fig5_4_product_rule"
+  "fig5_4_product_rule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_4_product_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_streaming.dir/perf_streaming.cc.o"
+  "CMakeFiles/perf_streaming.dir/perf_streaming.cc.o.d"
+  "perf_streaming"
+  "perf_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

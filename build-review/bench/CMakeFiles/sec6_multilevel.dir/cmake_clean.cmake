@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_multilevel.dir/sec6_multilevel.cc.o"
+  "CMakeFiles/sec6_multilevel.dir/sec6_multilevel.cc.o.d"
+  "sec6_multilevel"
+  "sec6_multilevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_multilevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_memory_cycles.dir/table2_memory_cycles.cc.o"
+  "CMakeFiles/table2_memory_cycles.dir/table2_memory_cycles.cc.o.d"
+  "table2_memory_cycles"
+  "table2_memory_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_memory_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_miss_penalty.dir/table3_miss_penalty.cc.o"
+  "CMakeFiles/table3_miss_penalty.dir/table3_miss_penalty.cc.o.d"
+  "table3_miss_penalty"
+  "table3_miss_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_miss_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

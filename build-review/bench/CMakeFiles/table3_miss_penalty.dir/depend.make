@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_miss_penalty.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocksize_tuner.dir/blocksize_tuner.cpp.o"
+  "CMakeFiles/blocksize_tuner.dir/blocksize_tuner.cpp.o.d"
+  "blocksize_tuner"
+  "blocksize_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocksize_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilevel.dir/multilevel.cpp.o"
+  "CMakeFiles/multilevel.dir/multilevel.cpp.o.d"
+  "multilevel"
+  "multilevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/cachetime.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/cache_level.cc" "src/CMakeFiles/cachetime.dir/cache/cache_level.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/cache/cache_level.cc.o.d"
+  "/root/repo/src/cache/miss_classify.cc" "src/CMakeFiles/cachetime.dir/cache/miss_classify.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/cache/miss_classify.cc.o.d"
+  "/root/repo/src/cache/replacement.cc" "src/CMakeFiles/cachetime.dir/cache/replacement.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/cache/replacement.cc.o.d"
+  "/root/repo/src/core/analytic.cc" "src/CMakeFiles/cachetime.dir/core/analytic.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/core/analytic.cc.o.d"
+  "/root/repo/src/core/blocksize_opt.cc" "src/CMakeFiles/cachetime.dir/core/blocksize_opt.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/core/blocksize_opt.cc.o.d"
+  "/root/repo/src/core/breakeven.cc" "src/CMakeFiles/cachetime.dir/core/breakeven.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/core/breakeven.cc.o.d"
+  "/root/repo/src/core/cost.cc" "src/CMakeFiles/cachetime.dir/core/cost.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/core/cost.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/cachetime.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/miss_penalty.cc" "src/CMakeFiles/cachetime.dir/core/miss_penalty.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/core/miss_penalty.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/cachetime.dir/core/report.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/core/report.cc.o.d"
+  "/root/repo/src/core/sim_cache.cc" "src/CMakeFiles/cachetime.dir/core/sim_cache.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/core/sim_cache.cc.o.d"
+  "/root/repo/src/core/tradeoff.cc" "src/CMakeFiles/cachetime.dir/core/tradeoff.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/core/tradeoff.cc.o.d"
+  "/root/repo/src/cpu/cpu.cc" "src/CMakeFiles/cachetime.dir/cpu/cpu.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/cpu/cpu.cc.o.d"
+  "/root/repo/src/memory/main_memory.cc" "src/CMakeFiles/cachetime.dir/memory/main_memory.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/memory/main_memory.cc.o.d"
+  "/root/repo/src/memory/memory_timing.cc" "src/CMakeFiles/cachetime.dir/memory/memory_timing.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/memory/memory_timing.cc.o.d"
+  "/root/repo/src/memory/tlb.cc" "src/CMakeFiles/cachetime.dir/memory/tlb.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/memory/tlb.cc.o.d"
+  "/root/repo/src/memory/write_buffer.cc" "src/CMakeFiles/cachetime.dir/memory/write_buffer.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/memory/write_buffer.cc.o.d"
+  "/root/repo/src/sim/sim_result.cc" "src/CMakeFiles/cachetime.dir/sim/sim_result.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/sim/sim_result.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/cachetime.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/sim/system.cc.o.d"
+  "/root/repo/src/sim/system_config.cc" "src/CMakeFiles/cachetime.dir/sim/system_config.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/sim/system_config.cc.o.d"
+  "/root/repo/src/stats/stats.cc" "src/CMakeFiles/cachetime.dir/stats/stats.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/stats/stats.cc.o.d"
+  "/root/repo/src/stats/telemetry.cc" "src/CMakeFiles/cachetime.dir/stats/telemetry.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/stats/telemetry.cc.o.d"
+  "/root/repo/src/trace/interleave.cc" "src/CMakeFiles/cachetime.dir/trace/interleave.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/trace/interleave.cc.o.d"
+  "/root/repo/src/trace/ref_source.cc" "src/CMakeFiles/cachetime.dir/trace/ref_source.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/trace/ref_source.cc.o.d"
+  "/root/repo/src/trace/sampling.cc" "src/CMakeFiles/cachetime.dir/trace/sampling.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/trace/sampling.cc.o.d"
+  "/root/repo/src/trace/synthetic.cc" "src/CMakeFiles/cachetime.dir/trace/synthetic.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/trace/synthetic.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/cachetime.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/trace/trace.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/CMakeFiles/cachetime.dir/trace/trace_io.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/trace/trace_io.cc.o.d"
+  "/root/repo/src/trace/trace_v2.cc" "src/CMakeFiles/cachetime.dir/trace/trace_v2.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/trace/trace_v2.cc.o.d"
+  "/root/repo/src/trace/workloads.cc" "src/CMakeFiles/cachetime.dir/trace/workloads.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/trace/workloads.cc.o.d"
+  "/root/repo/src/trace_debug/trace_debug.cc" "src/CMakeFiles/cachetime.dir/trace_debug/trace_debug.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/trace_debug/trace_debug.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/cachetime.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/cachetime.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/mathutil.cc" "src/CMakeFiles/cachetime.dir/util/mathutil.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/util/mathutil.cc.o.d"
+  "/root/repo/src/util/parallel.cc" "src/CMakeFiles/cachetime.dir/util/parallel.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/util/parallel.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/cachetime.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/cachetime.dir/util/table.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/util/table.cc.o.d"
+  "/root/repo/src/verify/diff.cc" "src/CMakeFiles/cachetime.dir/verify/diff.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/verify/diff.cc.o.d"
+  "/root/repo/src/verify/fuzz.cc" "src/CMakeFiles/cachetime.dir/verify/fuzz.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/verify/fuzz.cc.o.d"
+  "/root/repo/src/verify/io_fuzz.cc" "src/CMakeFiles/cachetime.dir/verify/io_fuzz.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/verify/io_fuzz.cc.o.d"
+  "/root/repo/src/verify/oracle.cc" "src/CMakeFiles/cachetime.dir/verify/oracle.cc.o" "gcc" "src/CMakeFiles/cachetime.dir/verify/oracle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cachetime_test_golden.dir/test_golden.cc.o"
+  "CMakeFiles/cachetime_test_golden.dir/test_golden.cc.o.d"
+  "cachetime_test_golden"
+  "cachetime_test_golden.pdb"
+  "cachetime_test_golden[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cachetime_test_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

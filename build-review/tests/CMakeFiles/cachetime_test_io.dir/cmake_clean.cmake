@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cachetime_test_io.dir/test_ref_source.cc.o"
+  "CMakeFiles/cachetime_test_io.dir/test_ref_source.cc.o.d"
+  "CMakeFiles/cachetime_test_io.dir/test_trace_io.cc.o"
+  "CMakeFiles/cachetime_test_io.dir/test_trace_io.cc.o.d"
+  "cachetime_test_io"
+  "cachetime_test_io.pdb"
+  "cachetime_test_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cachetime_test_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

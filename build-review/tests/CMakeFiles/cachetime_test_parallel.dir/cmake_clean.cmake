@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cachetime_test_parallel.dir/test_parallel.cc.o"
+  "CMakeFiles/cachetime_test_parallel.dir/test_parallel.cc.o.d"
+  "cachetime_test_parallel"
+  "cachetime_test_parallel.pdb"
+  "cachetime_test_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cachetime_test_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

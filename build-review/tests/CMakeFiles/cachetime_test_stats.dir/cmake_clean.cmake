@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cachetime_test_stats.dir/test_stats.cc.o"
+  "CMakeFiles/cachetime_test_stats.dir/test_stats.cc.o.d"
+  "CMakeFiles/cachetime_test_stats.dir/test_trace_flags.cc.o"
+  "CMakeFiles/cachetime_test_stats.dir/test_trace_flags.cc.o.d"
+  "cachetime_test_stats"
+  "cachetime_test_stats.pdb"
+  "cachetime_test_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cachetime_test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cachetime_test_verify.dir/test_differential.cc.o"
+  "CMakeFiles/cachetime_test_verify.dir/test_differential.cc.o.d"
+  "CMakeFiles/cachetime_test_verify.dir/test_oracle.cc.o"
+  "CMakeFiles/cachetime_test_verify.dir/test_oracle.cc.o.d"
+  "cachetime_test_verify"
+  "cachetime_test_verify.pdb"
+  "cachetime_test_verify[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cachetime_test_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

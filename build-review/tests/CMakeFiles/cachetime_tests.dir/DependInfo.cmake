@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analytic.cc" "tests/CMakeFiles/cachetime_tests.dir/test_analytic.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_analytic.cc.o.d"
+  "/root/repo/tests/test_banks.cc" "tests/CMakeFiles/cachetime_tests.dir/test_banks.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_banks.cc.o.d"
+  "/root/repo/tests/test_blocksize.cc" "tests/CMakeFiles/cachetime_tests.dir/test_blocksize.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_blocksize.cc.o.d"
+  "/root/repo/tests/test_breakeven.cc" "tests/CMakeFiles/cachetime_tests.dir/test_breakeven.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_breakeven.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/cachetime_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_cache_level.cc" "tests/CMakeFiles/cachetime_tests.dir/test_cache_level.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_cache_level.cc.o.d"
+  "/root/repo/tests/test_cache_reference.cc" "tests/CMakeFiles/cachetime_tests.dir/test_cache_reference.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_cache_reference.cc.o.d"
+  "/root/repo/tests/test_cost.cc" "tests/CMakeFiles/cachetime_tests.dir/test_cost.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_cost.cc.o.d"
+  "/root/repo/tests/test_cpu.cc" "tests/CMakeFiles/cachetime_tests.dir/test_cpu.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_cpu.cc.o.d"
+  "/root/repo/tests/test_experiment.cc" "tests/CMakeFiles/cachetime_tests.dir/test_experiment.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_experiment.cc.o.d"
+  "/root/repo/tests/test_fast_path.cc" "tests/CMakeFiles/cachetime_tests.dir/test_fast_path.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_fast_path.cc.o.d"
+  "/root/repo/tests/test_histogram.cc" "tests/CMakeFiles/cachetime_tests.dir/test_histogram.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_histogram.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/cachetime_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_main_memory.cc" "tests/CMakeFiles/cachetime_tests.dir/test_main_memory.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_main_memory.cc.o.d"
+  "/root/repo/tests/test_mask.cc" "tests/CMakeFiles/cachetime_tests.dir/test_mask.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_mask.cc.o.d"
+  "/root/repo/tests/test_mathutil.cc" "tests/CMakeFiles/cachetime_tests.dir/test_mathutil.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_mathutil.cc.o.d"
+  "/root/repo/tests/test_memory_timing.cc" "tests/CMakeFiles/cachetime_tests.dir/test_memory_timing.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_memory_timing.cc.o.d"
+  "/root/repo/tests/test_miss_classify.cc" "tests/CMakeFiles/cachetime_tests.dir/test_miss_classify.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_miss_classify.cc.o.d"
+  "/root/repo/tests/test_multilevel.cc" "tests/CMakeFiles/cachetime_tests.dir/test_multilevel.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_multilevel.cc.o.d"
+  "/root/repo/tests/test_prefetch.cc" "tests/CMakeFiles/cachetime_tests.dir/test_prefetch.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_prefetch.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/cachetime_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_replacement.cc" "tests/CMakeFiles/cachetime_tests.dir/test_replacement.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_replacement.cc.o.d"
+  "/root/repo/tests/test_report.cc" "tests/CMakeFiles/cachetime_tests.dir/test_report.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_report.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/cachetime_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_sampling.cc" "tests/CMakeFiles/cachetime_tests.dir/test_sampling.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_sampling.cc.o.d"
+  "/root/repo/tests/test_sim_result.cc" "tests/CMakeFiles/cachetime_tests.dir/test_sim_result.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_sim_result.cc.o.d"
+  "/root/repo/tests/test_synthetic.cc" "tests/CMakeFiles/cachetime_tests.dir/test_synthetic.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_synthetic.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/cachetime_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_system_config.cc" "tests/CMakeFiles/cachetime_tests.dir/test_system_config.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_system_config.cc.o.d"
+  "/root/repo/tests/test_table.cc" "tests/CMakeFiles/cachetime_tests.dir/test_table.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_table.cc.o.d"
+  "/root/repo/tests/test_tlb.cc" "tests/CMakeFiles/cachetime_tests.dir/test_tlb.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_tlb.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/cachetime_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_tradeoff.cc" "tests/CMakeFiles/cachetime_tests.dir/test_tradeoff.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_tradeoff.cc.o.d"
+  "/root/repo/tests/test_victim_cache.cc" "tests/CMakeFiles/cachetime_tests.dir/test_victim_cache.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_victim_cache.cc.o.d"
+  "/root/repo/tests/test_wb_tlb_edges.cc" "tests/CMakeFiles/cachetime_tests.dir/test_wb_tlb_edges.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_wb_tlb_edges.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/cachetime_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_workloads.cc.o.d"
+  "/root/repo/tests/test_write_buffer.cc" "tests/CMakeFiles/cachetime_tests.dir/test_write_buffer.cc.o" "gcc" "tests/CMakeFiles/cachetime_tests.dir/test_write_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/cachetime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/cachetime_tests[1]_include.cmake")
+include("/root/repo/build-review/tests/cachetime_test_parallel[1]_include.cmake")
+include("/root/repo/build-review/tests/cachetime_test_stats[1]_include.cmake")
+include("/root/repo/build-review/tests/cachetime_test_io[1]_include.cmake")
+include("/root/repo/build-review/tests/cachetime_test_verify[1]_include.cmake")
+include("/root/repo/build-review/tests/cachetime_test_golden[1]_include.cmake")
+add_test(tool.cachetime_sim "/root/repo/build-review/tools/cachetime_sim" "--spec" "/root/repo/configs/baseline.spec" "--vary" "/root/repo/configs/two_level.vary" "--set" "cycle_ns=25" "--workloads" "0.005")
+set_tests_properties(tool.cachetime_sim PROPERTIES  LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;95;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tool.cachetime_sim_physical "/root/repo/build-review/tools/cachetime_sim" "--vary" "/root/repo/configs/physical.vary" "--workloads" "0.005" "--csv")
+set_tests_properties(tool.cachetime_sim_physical PROPERTIES  LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;99;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tool.cachetime_sim_stats_json "/root/repo/build-review/tools/cachetime_sim" "--workloads" "0.005" "--trace-flags" "sim" "--stats-json" "/root/repo/build-review/sim_manifest.json")
+set_tests_properties(tool.cachetime_sim_stats_json PROPERTIES  LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;102;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(verify.fuzz_smoke "/root/repo/build-review/tools/cachetime_verify" "--fuzz" "10000" "--seed" "1" "--repro-dir" "/root/repo/build-review")
+set_tests_properties(verify.fuzz_smoke PROPERTIES  LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;110;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(verify.fuzz_io "/root/repo/build-review/tools/cachetime_verify" "--fuzz-io" "400" "--seed" "1" "--repro-dir" "/root/repo/build-review")
+set_tests_properties(verify.fuzz_io PROPERTIES  LABELS "smoke;io" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;117;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cachetime_sim.dir/cachetime_sim.cc.o"
+  "CMakeFiles/cachetime_sim.dir/cachetime_sim.cc.o.d"
+  "cachetime_sim"
+  "cachetime_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cachetime_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cachetime_verify.dir/cachetime_verify.cc.o"
+  "CMakeFiles/cachetime_verify.dir/cachetime_verify.cc.o.d"
+  "cachetime_verify"
+  "cachetime_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cachetime_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
