@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/experiment.hh"
+#include "core/stack_sim.hh"
 #include "stats/telemetry.hh"
 #include "trace/workloads.hh"
 #include "util/logging.hh"
@@ -114,6 +115,48 @@ sweepGrid(const std::vector<Row> &rows, const std::vector<Col> &cols,
     std::vector<AggregateMetrics> flat =
         runGeoMeanMany(configs, traces);
     std::vector<std::vector<AggregateMetrics>> out(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        out[i].assign(
+            flat.begin() + static_cast<std::ptrdiff_t>(i * cols.size()),
+            flat.begin() +
+                static_cast<std::ptrdiff_t>((i + 1) * cols.size()));
+    return out;
+}
+
+/**
+ * Miss-ratio-only counterpart of sweepAxis: for figures that report
+ * nothing but miss ratios, runMissRatioMany picks the cheapest exact
+ * engine per point (single-pass stack simulation where eligible,
+ * the fused cycle-accurate batch otherwise).  Ratios are
+ * bit-identical to sweepAxis's.
+ */
+template <typename Axis, typename Make>
+inline std::vector<MissRatioMetrics>
+sweepAxisMissRatios(const std::vector<Axis> &axis,
+                    const std::vector<Trace> &traces, Make &&make)
+{
+    std::vector<SystemConfig> configs;
+    configs.reserve(axis.size());
+    for (const Axis &a : axis)
+        configs.push_back(make(a));
+    return runMissRatioMany(configs, traces);
+}
+
+/** Two-axis miss-ratio-only form, mirroring sweepGrid. */
+template <typename Row, typename Col, typename Make>
+inline std::vector<std::vector<MissRatioMetrics>>
+sweepGridMissRatios(const std::vector<Row> &rows,
+                    const std::vector<Col> &cols,
+                    const std::vector<Trace> &traces, Make &&make)
+{
+    std::vector<SystemConfig> configs;
+    configs.reserve(rows.size() * cols.size());
+    for (const Row &r : rows)
+        for (const Col &c : cols)
+            configs.push_back(make(r, c));
+    std::vector<MissRatioMetrics> flat =
+        runMissRatioMany(configs, traces);
+    std::vector<std::vector<MissRatioMetrics>> out(rows.size());
     for (std::size_t i = 0; i < rows.size(); ++i)
         out[i].assign(
             flat.begin() + static_cast<std::ptrdiff_t>(i * cols.size()),

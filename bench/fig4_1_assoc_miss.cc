@@ -36,8 +36,11 @@ main()
     for (unsigned a : assocs)
         curves.push_back({std::to_string(a) + "-way", {}, {}});
 
-    // One parallel batch over the whole (size, assoc) grid.
-    auto metrics = sweepGrid(
+    // Only miss ratios are reported, so the whole (size, assoc)
+    // grid goes through the miss-ratio engine: the direct-mapped
+    // column rides the single-pass stack sweep, the set-associative
+    // columns (random replacement) the fused batch.
+    auto metrics = sweepGridMissRatios(
         sizes, assocs, traces,
         [&](std::uint64_t words_each, unsigned a) {
             SystemConfig config = base;
@@ -53,7 +56,7 @@ main()
         double dm = 0.0, two = 0.0;
         for (std::size_t k = 0; k < assocs.size(); ++k) {
             unsigned a = assocs[k];
-            const AggregateMetrics &m = metrics[s][k];
+            const MissRatioMetrics &m = metrics[s][k];
             row.push_back(TablePrinter::fmt(m.readMissRatio, 4));
             curves[k].xs.push_back(
                 static_cast<double>(2 * words_each) * 4 / 1024);

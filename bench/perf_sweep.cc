@@ -1,0 +1,163 @@
+/**
+ * @file
+ * End-to-end benchmark of the single-pass sweep engine, and the
+ * machine-readable report behind `BENCH_sweep.json`.
+ *
+ * The workload is the Figure 3-1 situation: the full 2KB..2MB L1
+ * size axis queried for miss ratios over the Table 1 traces.  Two
+ * engines run the identical query:
+ *
+ *  - baseline: the per-config path (one full timing simulation per
+ *    (config, trace) pair, the way every sweep ran before the batch
+ *    engine existed), aggregated with aggregateResults();
+ *  - sweep: runMissRatioMany(), which routes the whole axis through
+ *    the single-pass stack kernel (plus the fused batch for any
+ *    ineligible point).
+ *
+ * Both are wall-clocked cold (SimCache disabled) and the report
+ * records seconds, grid-points/sec, the end-to-end speedup, and
+ * whether the two engines' ratios were bit-identical - the speedup
+ * is only claimable because they are.
+ *
+ * Invoked as `perf_sweep --json[=path]`; CACHETIME_BENCH_SCALE
+ * resizes the traces (default 0.05 keeps the smoke test quick).
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hh"
+#include "core/experiment.hh"
+#include "core/sim_cache.hh"
+#include "core/stack_sim.hh"
+
+using namespace cachetime;
+using namespace cachetime::bench;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start)
+        .count();
+}
+
+std::vector<SystemConfig>
+fig3Grid()
+{
+    std::vector<SystemConfig> configs;
+    for (std::uint64_t words_each : sizeAxisWordsEach()) {
+        SystemConfig config = SystemConfig::paperDefault();
+        config.setL1SizeWordsEach(words_each);
+        configs.push_back(config);
+    }
+    return configs;
+}
+
+int
+runReport(const std::string &path)
+{
+    const std::vector<SystemConfig> configs = fig3Grid();
+    double scale = 0.05;
+    if (const char *env = std::getenv("CACHETIME_BENCH_SCALE"))
+        scale = std::strtod(env, nullptr);
+    setQuiet(true);
+    const std::vector<Trace> traces = generateTable1(scale);
+
+    std::uint64_t total_refs = 0;
+    for (const Trace &trace : traces)
+        total_refs += trace.size();
+
+    const bool cache_was_enabled = SimCache::global().enabled();
+    SimCache::global().setEnabled(false);
+
+    // Baseline: the pre-batch per-config path, one full timing
+    // simulation per (config, trace) pair.
+    auto baseline_start = Clock::now();
+    std::vector<AggregateMetrics> baseline;
+    baseline.reserve(configs.size());
+    for (const SystemConfig &config : configs) {
+        std::vector<std::shared_ptr<const SimResult>> results;
+        results.reserve(traces.size());
+        for (const Trace &trace : traces)
+            results.push_back(std::make_shared<const SimResult>(
+                simulateOne(config, trace)));
+        baseline.push_back(aggregateResults(config, results));
+    }
+    const double baseline_seconds = secondsSince(baseline_start);
+
+    // The contender: one stack pass per trace for the whole axis.
+    auto sweep_start = Clock::now();
+    std::vector<MissRatioMetrics> swept =
+        runMissRatioMany(configs, traces);
+    const double sweep_seconds = secondsSince(sweep_start);
+
+    SimCache::global().setEnabled(cache_was_enabled);
+
+    bool identical = swept.size() == baseline.size();
+    for (std::size_t c = 0; identical && c < swept.size(); ++c) {
+        identical = swept[c].readMissRatio ==
+                        baseline[c].readMissRatio &&
+                    swept[c].ifetchMissRatio ==
+                        baseline[c].ifetchMissRatio &&
+                    swept[c].loadMissRatio ==
+                        baseline[c].loadMissRatio &&
+                    swept[c].writeMissRatio ==
+                        baseline[c].writeMissRatio;
+    }
+
+    const double points = static_cast<double>(configs.size());
+    const double speedup =
+        sweep_seconds > 0.0 ? baseline_seconds / sweep_seconds : 0.0;
+
+    std::ofstream out(path);
+    if (!out) {
+        warn("perf_sweep: cannot open %s for writing", path.c_str());
+        return 1;
+    }
+    out << "{\n"
+        << "  \"bench\": \"perf_sweep\",\n"
+        << "  \"grid\": \"fig3 L1 size axis, miss-ratio query\",\n"
+        << "  \"trace_scale\": " << scale << ",\n"
+        << "  \"grid_points\": " << configs.size() << ",\n"
+        << "  \"traces\": " << traces.size() << ",\n"
+        << "  \"total_refs_per_pass\": " << total_refs << ",\n"
+        << "  \"baseline\": {\"engine\": \"per-config timing "
+           "simulation\", \"seconds\": "
+        << baseline_seconds << ", \"grid_points_per_sec\": "
+        << points / baseline_seconds << "},\n"
+        << "  \"sweep\": {\"engine\": \"runMissRatioMany "
+           "(single-pass stack + fused batch)\", \"seconds\": "
+        << sweep_seconds << ", \"grid_points_per_sec\": "
+        << points / sweep_seconds << "},\n"
+        << "  \"speedup_end_to_end\": " << speedup << ",\n"
+        << "  \"ratios_bit_identical\": "
+        << (identical ? "true" : "false") << "\n}\n";
+
+    return identical ? 0 : 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path = "BENCH_sweep.json";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--json=", 0) == 0)
+            path = arg.substr(7);
+        else if (arg != "--json") {
+            warn("perf_sweep: unknown argument %s", arg.c_str());
+            return 1;
+        }
+    }
+    return runReport(path);
+}

@@ -37,6 +37,14 @@ struct AggregateMetrics
     double writeTrafficWordRatio = 0.0;
 };
 
+/**
+ * Geometric mean with every value floored at the tiny epsilon used
+ * by all aggregate ratios, so one perfectly-cached trace cannot
+ * annihilate the product.  Exposed so alternate aggregation paths
+ * (core/stack_sim.hh) produce bit-identical doubles.
+ */
+double geoMeanFloored(std::vector<double> values);
+
 /** Simulate one trace on one configuration (always runs, no cache). */
 SimResult simulateOne(const SystemConfig &config, const Trace &trace);
 

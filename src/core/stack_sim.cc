@@ -1,0 +1,623 @@
+#include "core/stack_sim.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <limits>
+#include <memory>
+
+#include "core/experiment.hh"
+#include "core/sim_cache.hh"
+#include "core/sweep.hh"
+#include "util/logging.hh"
+#include "util/parallel.hh"
+
+namespace cachetime
+{
+
+namespace
+{
+
+unsigned
+log2u(std::uint64_t value)
+{
+    unsigned shift = 0;
+    while ((std::uint64_t{1} << shift) < value)
+        ++shift;
+    return shift;
+}
+
+/** One block tracked by a set's master list. */
+struct Entry
+{
+    Addr block = 0;
+    Pid pid = 0;
+    /** Minimum associativity at which the block is resident. */
+    std::uint32_t aStar = 0;
+};
+
+/**
+ * The organizational identity of one stack layer.  Configs mapping
+ * to equal keys share state: the level-A contents depend only on
+ * these fields and the reference stream (write policy never enters -
+ * it changes traffic, not residence or recency).
+ */
+struct LayerKey
+{
+    bool iside = false; ///< fed by ifetches (split machines only)
+    unsigned blockShift = 0;
+    std::uint64_t sets = 0;
+    bool pidInTag = true;
+    /** Store-miss behaviour; normalized on the I side (no stores). */
+    AllocPolicy alloc = AllocPolicy::NoWriteAllocate;
+
+    bool operator==(const LayerKey &) const = default;
+};
+
+/** Per-set master lists + reuse histograms for one layer. */
+struct Layer
+{
+    LayerKey key;
+    unsigned maxA = 0; ///< deepest associativity tracked
+
+    unsigned blockShift = 0;
+    std::uint64_t setMask = 0;
+    Pid pidMask = 0;
+    bool noWriteAllocate = false;
+
+    /** sets x maxA entry slots; set s owns [s*maxA, s*maxA+len[s]). */
+    std::vector<Entry> slots;
+    std::vector<std::uint32_t> len;
+
+    /**
+     * Direct-mapped (maxA == 1) layers - the whole paper-default
+     * grid - skip the master lists: one fused (block, pid) tag per
+     * set plus a validity bitmap, probed inline by the driver.  The
+     * fusion (block << 16 | pid) is exact for block addresses below
+     * 2^48, mirroring the production cache's own fused-key layout.
+     */
+    std::vector<std::uint64_t> tags;
+    std::vector<std::uint64_t> validBits;
+
+    /**
+     * Reuse-level histograms, indexed by k = a-star at access time
+     * (maxA+1 = absent): an access hits exactly the levels >= k, so
+     * misses(A) is the histogram mass above A.  Only measured
+     * accesses are recorded; state always advances.
+     */
+    std::vector<std::uint64_t> histRead;
+    std::vector<std::uint64_t> histWrite;
+
+    void
+    finalize()
+    {
+        blockShift = key.blockShift;
+        setMask = key.sets - 1;
+        pidMask = key.pidInTag ? static_cast<Pid>(~Pid{0}) : Pid{0};
+        noWriteAllocate = key.alloc == AllocPolicy::NoWriteAllocate;
+        if (maxA == 1) {
+            tags.assign(key.sets, 0);
+            validBits.assign(key.sets / 64 + 1, 0);
+        } else {
+            slots.resize(key.sets * maxA);
+            len.assign(key.sets, 0);
+        }
+        histRead.assign(maxA + 2, 0);
+        histWrite.assign(maxA + 2, 0);
+    }
+
+    void touch(Addr addr, Pid pid, bool write, bool measuring);
+};
+
+void
+Layer::touch(Addr addr, Pid pid, bool write, bool measuring)
+{
+    const Addr block = addr >> blockShift;
+    const Pid p = static_cast<Pid>(pid & pidMask);
+    const std::size_t set = static_cast<std::size_t>(block & setMask);
+    Entry *list = slots.data() + set * maxA;
+    std::uint32_t n = len[set];
+
+    std::uint32_t i = n;
+    for (std::uint32_t j = 0; j < n; ++j) {
+        if (list[j].block == block && list[j].pid == p) {
+            i = j;
+            break;
+        }
+    }
+    const bool found = i < n;
+    const std::uint32_t k = found ? list[i].aStar : maxA + 1;
+    if (measuring)
+        (write ? histWrite : histRead)[k] += 1;
+
+    if (write && noWriteAllocate) {
+        // Hit for levels >= k: recency updates there, and moving X
+        // to the front of M reorders exactly the lists X belongs
+        // to.  Levels < k miss without allocating - no state change,
+        // a-star untouched.  A full miss changes nothing at all.
+        if (found && i > 0) {
+            Entry x = list[i];
+            std::memmove(list + 1, list, i * sizeof(Entry));
+            list[0] = x;
+        }
+        return;
+    }
+
+    // Allocating touch (read, or store under write-allocate): X
+    // becomes resident at every level.  Each full level below X's
+    // old a-star evicts its LRU member - the last entry in M order
+    // with a-star <= A - whose a-star bumps to A+1.  Ascending order
+    // matters: a victim pushed to level A+1 is immediately a
+    // candidate there.
+    const std::uint32_t cascade = std::min(k - 1, maxA);
+    for (std::uint32_t A = 1; A <= cascade; ++A) {
+        std::uint32_t count = 0;
+        std::uint32_t victim = n;
+        for (std::uint32_t j = 0; j < n; ++j) {
+            if (found && j == i)
+                continue;
+            if (list[j].aStar <= A) {
+                ++count;
+                victim = j;
+            }
+        }
+        if (count < A)
+            continue;
+        if (A == maxA) {
+            // Evicted from the deepest tracked level.  Only an
+            // absent X cascades this far (found implies k <= maxA,
+            // capping the cascade at k-1 < maxA), and every live
+            // entry has a-star <= maxA, so the victim is the
+            // physically last entry.
+            --n;
+        } else {
+            list[victim].aStar = A + 1;
+        }
+    }
+
+    if (found) {
+        Entry x = list[i];
+        x.aStar = 1;
+        std::memmove(list + 1, list, i * sizeof(Entry));
+        list[0] = x;
+    } else {
+        std::memmove(list + 1, list, n * sizeof(Entry));
+        list[0] = Entry{block, p, 1};
+        ++n;
+    }
+    len[set] = n;
+}
+
+bool
+l1Eligible(const CacheConfig &config)
+{
+    return config.prefetchPolicy == PrefetchPolicy::None &&
+           config.victimEntries == 0 &&
+           (config.fetchWords == 0 ||
+            config.fetchWords == config.blockWords) &&
+           (config.replPolicy == ReplPolicy::LRU || config.assoc == 1);
+}
+
+/** Key for memoized counter-only results, disjoint from simKey's. */
+SimKey
+missRatioKey(const SystemConfig &config, std::uint64_t trace_hash)
+{
+    SimKey key = simKey(config, trace_hash);
+    key.lo = mix64(key.lo ^ 0x6d697373726b6579ULL); // "missrkey"
+    key.hi = mix64(key.hi ^ 0x737461636b73696dULL); // "stacksim"
+    return key;
+}
+
+} // namespace
+
+bool
+stackEligible(const SystemConfig &config)
+{
+    if (config.addressing != AddressMode::Virtual)
+        return false;
+    if (config.split && !l1Eligible(config.icache))
+        return false;
+    return l1Eligible(config.dcache);
+}
+
+std::vector<SimResult>
+runStackSweep(const std::vector<SystemConfig> &configs,
+              RefSource &source)
+{
+    if (configs.empty())
+        return {};
+
+    const bool split = configs[0].split;
+    const bool pair = split && configs[0].cpu.pairIssue;
+    for (const SystemConfig &config : configs) {
+        config.validate();
+        if (!stackEligible(config))
+            fatal("runStackSweep: config is not stack-eligible");
+        if (config.split != split ||
+            (config.split && config.cpu.pairIssue) != pair)
+            fatal("runStackSweep: configs mix issue shapes");
+    }
+
+    // Plan: map each config's L1(s) onto shared layers.
+    struct RolePlan
+    {
+        std::size_t layer = 0;
+        unsigned assoc = 0;
+    };
+    std::vector<Layer> layers;
+    auto layerFor = [&](const LayerKey &key, unsigned assoc) {
+        for (std::size_t l = 0; l < layers.size(); ++l) {
+            if (layers[l].key == key) {
+                layers[l].maxA = std::max(layers[l].maxA, assoc);
+                return l;
+            }
+        }
+        layers.emplace_back();
+        layers.back().key = key;
+        layers.back().maxA = assoc;
+        return layers.size() - 1;
+    };
+
+    std::vector<RolePlan> iPlan(configs.size());
+    std::vector<RolePlan> dPlan(configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        const SystemConfig &config = configs[c];
+        if (split) {
+            const CacheConfig &ic = config.icache;
+            iPlan[c] = {layerFor({true, log2u(ic.blockWords),
+                                  ic.numSets(), ic.virtualTags,
+                                  AllocPolicy::NoWriteAllocate},
+                                 ic.assoc),
+                        ic.assoc};
+        }
+        const CacheConfig &dc = config.dcache;
+        dPlan[c] = {layerFor({false, log2u(dc.blockWords),
+                              dc.numSets(), dc.virtualTags,
+                              dc.allocPolicy},
+                             dc.assoc),
+                    dc.assoc};
+    }
+    for (Layer &layer : layers)
+        layer.finalize();
+
+    // Routing: direct-mapped layers get a flat probe view the inner
+    // loop walks without indirection; deeper layers keep the master
+    // lists.  Views sharing blockShift/pidMask are adjacent so the
+    // (block, fused tag) computation amortizes across them.
+    struct DirectView
+    {
+        unsigned blockShift;
+        std::uint64_t setMask;
+        std::uint64_t pidMask;
+        bool noWriteAllocate;
+        std::uint64_t *tags;
+        std::uint64_t *valid;
+        std::uint64_t *histRead;
+        std::uint64_t *histWrite;
+    };
+    auto viewOf = [](Layer &layer) {
+        return DirectView{layer.blockShift,
+                          layer.setMask,
+                          layer.pidMask,
+                          layer.noWriteAllocate,
+                          layer.tags.data(),
+                          layer.validBits.data(),
+                          layer.histRead.data(),
+                          layer.histWrite.data()};
+    };
+    std::vector<DirectView> directIfetch, directData;
+    std::vector<Layer *> deepIfetch, deepData;
+    for (Layer &layer : layers) {
+        if (layer.maxA == 1)
+            (layer.key.iside ? directIfetch : directData)
+                .push_back(viewOf(layer));
+        else
+            (layer.key.iside ? deepIfetch : deepData)
+                .push_back(&layer);
+    }
+    auto byShape = [](const DirectView &a, const DirectView &b) {
+        return a.blockShift != b.blockShift
+                   ? a.blockShift < b.blockShift
+                   : a.pidMask < b.pidMask;
+    };
+    std::sort(directIfetch.begin(), directIfetch.end(), byShape);
+    std::sort(directData.begin(), directData.end(), byShape);
+    if (!split) { // unified: ifetches share the L1 state
+        directIfetch = directData;
+        deepIfetch = deepData;
+    }
+
+    auto touchAll = [](std::vector<DirectView> &direct,
+                       std::vector<Layer *> &deep, const Ref &ref,
+                       bool write, std::uint64_t measured) {
+        unsigned prev_shift = ~0u;
+        std::uint64_t prev_pid_mask = ~std::uint64_t{0};
+        Addr block = 0;
+        std::uint64_t fused = 0;
+        for (DirectView &view : direct) {
+            if (view.blockShift != prev_shift ||
+                view.pidMask != prev_pid_mask) [[unlikely]] {
+                prev_shift = view.blockShift;
+                prev_pid_mask = view.pidMask;
+                block = ref.addr >> view.blockShift;
+                fused = (block << 16) | (ref.pid & view.pidMask);
+            }
+            const std::size_t set =
+                static_cast<std::size_t>(block & view.setMask);
+            std::uint64_t &word = view.valid[set >> 6];
+            const std::uint64_t bit = std::uint64_t{1}
+                                      << (set & 63);
+            const bool hit = (word & bit) && view.tags[set] == fused;
+            (write ? view.histWrite
+                   : view.histRead)[hit ? 1 : 2] += measured;
+            if (write && view.noWriteAllocate)
+                continue; // hit reorders nothing at A=1; miss: no-op
+            view.tags[set] = fused;
+            word |= bit;
+        }
+        for (Layer *layer : deep)
+            layer->touch(ref.addr, ref.pid, write, measured != 0);
+    };
+
+    // One pass, mirroring System::consumeChunk's issue-group and
+    // measurement-window logic exactly: the measuring flag is
+    // decided at the group's first reference, state always advances,
+    // and only measured accesses enter the histograms.
+    const std::vector<WarmSegment> segments = source.warmSegments();
+    const std::size_t warm_start = source.warmStart();
+    ChunkFeeder feeder(source);
+
+    std::size_t consumed = 0;
+    std::size_t seg_idx = 0;
+    std::size_t boundary = 0;
+    bool measuring = false;
+    std::uint64_t mIfetch = 0;
+    std::uint64_t mLoad = 0;
+    std::uint64_t mStore = 0;
+    std::uint64_t mGroups = 0;
+
+    auto stateAt = [&](std::size_t p) -> bool {
+        if (p < warm_start) {
+            boundary = warm_start;
+            return false;
+        }
+        while (seg_idx < segments.size() && p >= segments[seg_idx].end)
+            ++seg_idx;
+        if (seg_idx < segments.size() &&
+            p >= segments[seg_idx].begin) {
+            boundary = segments[seg_idx].end;
+            return false;
+        }
+        boundary = seg_idx < segments.size()
+                       ? segments[seg_idx].begin
+                       : std::numeric_limits<std::size_t>::max();
+        return true;
+    };
+
+    while (ChunkFeeder::Span span = feeder.next()) {
+        const Ref *buffer = span.data;
+        const std::size_t n = span.size;
+        std::size_t head = 0;
+        while (head < n) {
+            if (consumed >= boundary) [[unlikely]]
+                measuring = stateAt(consumed);
+
+            const std::uint64_t measured = measuring ? 1 : 0;
+            const Ref &first = buffer[head];
+            if (first.kind == RefKind::IFetch) {
+                touchAll(directIfetch, deepIfetch, first, false,
+                         measured);
+                mIfetch += measured;
+                ++head;
+                ++consumed;
+                if (pair && head < n && isData(buffer[head].kind)) {
+                    const Ref &data = buffer[head];
+                    const bool write = data.kind == RefKind::Store;
+                    touchAll(directData, deepData, data, write,
+                             measured);
+                    (write ? mStore : mLoad) += measured;
+                    ++head;
+                    ++consumed;
+                }
+            } else {
+                const bool write = first.kind == RefKind::Store;
+                touchAll(directData, deepData, first, write,
+                         measured);
+                (write ? mStore : mLoad) += measured;
+                ++head;
+                ++consumed;
+            }
+            mGroups += measured;
+        }
+    }
+
+    // Extraction: misses at associativity A are the histogram mass
+    // above A; accesses are role-global measured counts.
+    auto missesAbove = [](const std::vector<std::uint64_t> &hist,
+                          unsigned assoc) {
+        std::uint64_t sum = 0;
+        for (std::size_t k = assoc + 1; k < hist.size(); ++k)
+            sum += hist[k];
+        return sum;
+    };
+
+    std::vector<SimResult> out(configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        SimResult &result = out[c];
+        result.traceName = source.name();
+        result.configSummary = configs[c].describe();
+        result.cycleNs = configs[c].cycleNs;
+        result.refs = mIfetch + mLoad + mStore;
+        result.readRefs = mIfetch + mLoad;
+        result.writeRefs = mStore;
+        result.groups = mGroups;
+        const Layer &dl = layers[dPlan[c].layer];
+        if (split) {
+            const Layer &il = layers[iPlan[c].layer];
+            result.icache.readAccesses = mIfetch;
+            result.icache.readMisses =
+                missesAbove(il.histRead, iPlan[c].assoc);
+            result.dcache.readAccesses = mLoad;
+        } else {
+            result.dcache.readAccesses = mIfetch + mLoad;
+        }
+        result.dcache.readMisses =
+            missesAbove(dl.histRead, dPlan[c].assoc);
+        result.dcache.writeAccesses = mStore;
+        result.dcache.writeMisses =
+            missesAbove(dl.histWrite, dPlan[c].assoc);
+    }
+    return out;
+}
+
+std::vector<MissRatioMetrics>
+runMissRatioMany(const std::vector<SystemConfig> &configs,
+                 const std::vector<Trace> &traces)
+{
+    using SimResultPtr = std::shared_ptr<const SimResult>;
+    if (configs.empty())
+        return {};
+    if (traces.empty())
+        fatal("runMissRatioMany: no traces supplied");
+
+    const std::size_t C = configs.size();
+    const std::size_t T = traces.size();
+
+    // Mode selection: stack-eligible configs are grouped by issue
+    // shape (the knobs that define measurement windows); the rest
+    // fall back to the fused cycle-accurate lattice.
+    auto shapeOf = [](const SystemConfig &config) {
+        return !config.split ? 0
+               : (config.cpu.pairIssue ? 2 : 1);
+    };
+    std::array<std::vector<std::size_t>, 3> shapes;
+    std::vector<std::size_t> fused;
+    for (std::size_t c = 0; c < C; ++c) {
+        if (stackEligible(configs[c]))
+            shapes[static_cast<std::size_t>(shapeOf(configs[c]))]
+                .push_back(c);
+        else
+            fused.push_back(c);
+    }
+
+    // One task per (trace, stack group) plus fused sub-batches; the
+    // flattening parallelizes sweeps across traces.
+    struct SweepTask
+    {
+        std::size_t trace = 0;
+        bool stack = false;
+        std::vector<std::size_t> members;
+    };
+    BatchOptions options;
+    std::vector<SweepTask> tasks;
+    for (std::size_t t = 0; t < T; ++t) {
+        for (const std::vector<std::size_t> &group : shapes) {
+            if (!group.empty())
+                tasks.push_back({t, true, group});
+        }
+        for (std::size_t at = 0; at < fused.size();
+             at += options.maxBatch) {
+            std::size_t end =
+                std::min(fused.size(), at + options.maxBatch);
+            tasks.push_back(
+                {t, false,
+                 std::vector<std::size_t>(fused.begin() +
+                                              static_cast<std::ptrdiff_t>(at),
+                                          fused.begin() +
+                                              static_cast<std::ptrdiff_t>(end))});
+        }
+    }
+
+    if (SimCache::global().enabled()) {
+        for (const Trace &trace : traces)
+            traceIdentityHash(trace); // memoize before the fan-out
+    }
+
+    auto outputs = parallelMap<std::vector<SimResultPtr>>(
+        tasks.size(), [&](std::size_t index) {
+            const SweepTask &task = tasks[index];
+            const Trace &trace = traces[task.trace];
+            TraceRefSource source(trace);
+
+            std::vector<SystemConfig> part;
+            part.reserve(task.members.size());
+            for (std::size_t idx : task.members)
+                part.push_back(configs[idx]);
+
+            if (!task.stack)
+                return simulateSourceCachedMany(part, source, options);
+
+            // Stack path with memoization: full timing results
+            // satisfy a counters-only query, partial results live
+            // under their own key; only genuinely missing points
+            // join the single-pass sweep.
+            SimCache &cache = SimCache::global();
+            std::vector<SimResultPtr> out(part.size());
+            std::vector<std::size_t> missing;
+            std::uint64_t hash = 0;
+            if (cache.enabled()) {
+                hash = traceIdentityHash(trace);
+                for (std::size_t j = 0; j < part.size(); ++j) {
+                    if (SimResultPtr hit =
+                            cache.find(simKey(part[j], hash)))
+                        out[j] = hit;
+                    else if (SimResultPtr partial = cache.find(
+                                 missRatioKey(part[j], hash)))
+                        out[j] = partial;
+                    else
+                        missing.push_back(j);
+                }
+            } else {
+                missing.resize(part.size());
+                for (std::size_t j = 0; j < part.size(); ++j)
+                    missing[j] = j;
+            }
+            if (!missing.empty()) {
+                std::vector<SystemConfig> todo;
+                todo.reserve(missing.size());
+                for (std::size_t j : missing)
+                    todo.push_back(part[j]);
+                std::vector<SimResult> swept =
+                    runStackSweep(todo, source);
+                for (std::size_t k = 0; k < swept.size(); ++k) {
+                    auto result = std::make_shared<const SimResult>(
+                        std::move(swept[k]));
+                    if (cache.enabled())
+                        cache.insert(missRatioKey(todo[k], hash),
+                                     result);
+                    out[missing[k]] = std::move(result);
+                }
+            }
+            return out;
+        });
+
+    std::vector<SimResultPtr> results(C * T);
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        for (std::size_t j = 0; j < tasks[i].members.size(); ++j)
+            results[tasks[i].members[j] * T + tasks[i].trace] =
+                std::move(outputs[i][j]);
+    }
+
+    // Aggregate with exactly runGeoMeanMany's math (same accessors,
+    // same trace order, same flooring), so the doubles match the
+    // cycle-accurate path bit for bit.
+    std::vector<MissRatioMetrics> out(C);
+    for (std::size_t c = 0; c < C; ++c) {
+        std::vector<double> rmiss, imiss, lmiss, wmiss;
+        rmiss.reserve(T);
+        for (std::size_t t = 0; t < T; ++t) {
+            const SimResultPtr &r = results[c * T + t];
+            rmiss.push_back(r->readMissRatio());
+            imiss.push_back(r->ifetchMissRatio());
+            lmiss.push_back(r->loadMissRatio());
+            wmiss.push_back(r->dcache.writeMissRatio());
+        }
+        out[c].readMissRatio = geoMeanFloored(std::move(rmiss));
+        out[c].ifetchMissRatio = geoMeanFloored(std::move(imiss));
+        out[c].loadMissRatio = geoMeanFloored(std::move(lmiss));
+        out[c].writeMissRatio = geoMeanFloored(std::move(wmiss));
+    }
+    return out;
+}
+
+} // namespace cachetime

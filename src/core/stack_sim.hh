@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Single-pass stack simulation: miss counts for a whole grid of
+ * cache sizes and set sizes from one traversal of the trace.
+ *
+ * Mattson's inclusion property says that under LRU replacement the
+ * contents of an A-way set grow monotonically with A (for a fixed
+ * set count), so one "stack" per set can answer hit/miss for every
+ * associativity at once.  The classic single-stack construction is
+ * *not* exact for this simulator, though: with no-write-allocate
+ * data caches a store that hits in a large cache but misses in a
+ * small one updates recency in the former and leaves the latter
+ * untouched, so the per-associativity LRU orders diverge and no
+ * single total order reproduces them.
+ *
+ * The kernel here keeps inclusion exact with one augmentation: each
+ * set holds a master list M ordered by last *allocating or resident*
+ * touch, and every entry carries a-star, the minimum associativity
+ * at which the block is currently resident.  The level-A cache's
+ * contents are exactly the entries with a-star <= A, in M order:
+ *
+ *  - a read (or write-allocate store) of X makes X resident at every
+ *    level; each level A below X's old a-star that is full evicts
+ *    its LRU member, which is the *last* entry in M order with
+ *    a-star <= A - its a-star bumps to A+1 (processed in ascending
+ *    A; falling past the deepest tracked level deletes the entry);
+ *    X then moves to the front with a-star = 1;
+ *  - a no-write-allocate store that finds X with a-star = k hits
+ *    levels >= k (recency updates: X moves to the front of M, which
+ *    reorders exactly the lists X belongs to) and misses levels < k
+ *    *without* any state change there - a-star is untouched;
+ *  - a no-write-allocate store that misses everywhere changes
+ *    nothing.
+ *
+ * Both invariants are preserved by every transition: inclusion
+ * (a-star <= A membership nests) and order consistency (M restricted
+ * to level A is that cache's true LRU order).  Each access records
+ * its reuse level k in a histogram; misses at level A are the
+ * histogram mass above A, so one pass yields exact counters for
+ * every (size, assoc) point sharing a set count - and layers for
+ * different set counts, block sizes or tag regimes run side by side
+ * in the same pass, sharing only the decoded reference stream.
+ *
+ * Eligibility (stackEligible): virtually-addressed machines with
+ * demand fetching of whole blocks, no victim buffer, and LRU
+ * replacement (or direct-mapped, where every policy coincides) -
+ * which covers the paper's default machine and its entire
+ * size/block-size grid.  Everything below the L1s is irrelevant:
+ * nothing propagates back up into L1 contents, so miss counts do
+ * not depend on the L2 or memory configuration.
+ *
+ * runMissRatioMany() is the mode-selecting front end for
+ * miss-ratio-only queries (fig3/fig4-style grids): stack-eligible
+ * configs ride one pass per (group, trace), the rest fall back to
+ * the fused timing lattice (core/sweep.hh), and both produce
+ * ratios bit-identical to runGeoMeanMany's.
+ */
+
+#ifndef CACHETIME_CORE_STACK_SIM_HH
+#define CACHETIME_CORE_STACK_SIM_HH
+
+#include <vector>
+
+#include "sim/system.hh"
+
+namespace cachetime
+{
+
+/**
+ * @return true when @p config's L1 miss counts can be produced by
+ * the stack kernel: Virtual addressing, no prefetching, no victim
+ * buffer, whole-block fetch, and LRU or direct-mapped L1s.
+ */
+bool stackEligible(const SystemConfig &config);
+
+/**
+ * Simulate every config's L1 miss behaviour in one pass over
+ * @p source and return partial SimResults, index-aligned with
+ * @p configs: the icache/dcache access and miss counters (and the
+ * measured reference counts) are exact - bit-identical to a full
+ * run - and every timing field is zero.
+ *
+ * Preconditions: every config is stackEligible(), and all share
+ * `split` and effective pair-issue (the two knobs that shape issue
+ * groups and hence the measured windows).  Configs may differ
+ * freely in size, associativity, block size, tag regime and write
+ * policies; each distinct (role, set count, block size, tags,
+ * allocation) combination becomes one shared layer.
+ */
+std::vector<SimResult>
+runStackSweep(const std::vector<SystemConfig> &configs,
+              RefSource &source);
+
+/** The four miss ratios of a fig3/fig4-style grid point. */
+struct MissRatioMetrics
+{
+    double readMissRatio = 0.0;
+    double ifetchMissRatio = 0.0;
+    double loadMissRatio = 0.0;
+    double writeMissRatio = 0.0;
+};
+
+/**
+ * Miss-ratio-only counterpart of runGeoMeanMany(): aggregate the
+ * four miss ratios for every config over the geometric mean of
+ * @p traces, choosing the cheapest exact engine per config -
+ * stack-eligible configs are grouped into single-pass stack sweeps,
+ * the rest run through the fused cycle-accurate batch.  Results are
+ * bit-identical (as doubles) to the corresponding runGeoMeanMany
+ * fields.  Finished stack counters are memoized in the global
+ * SimCache under a miss-ratio-specific key (full timing results
+ * also satisfy miss-ratio queries, but never vice versa), so a
+ * partially-swept lattice re-simulates only its missing points.
+ */
+std::vector<MissRatioMetrics>
+runMissRatioMany(const std::vector<SystemConfig> &configs,
+                 const std::vector<Trace> &traces);
+
+} // namespace cachetime
+
+#endif // CACHETIME_CORE_STACK_SIM_HH

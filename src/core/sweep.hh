@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The config-batched sweep engine: one trace pass, many caches.
+ *
+ * Grid sweeps historically cost O(configs x refs) because every grid
+ * point re-consumed the whole reference stream.  This module is the
+ * batched counterpart, built on System's resumable run interface
+ * (beginRun / feedChunk / endRun): a ChunkFeeder decodes each span
+ * of the stream once and replays it across a batch of machines whose
+ * state lives in one contiguous arena, so trace I/O, decode and
+ * synthetic-stream generation are paid once per span instead of once
+ * per config.  Results are bit-identical to running each config
+ * alone - a machine's evolution depends only on its own state and
+ * the reference sequence, and tests/test_differential.cc holds the
+ * batched path to exact agreement at 1 and 8 threads.
+ *
+ * The cycle-accurate lattice here is one of the sweep engine's two
+ * cooperating paths; the other is the stack-simulation kernel
+ * (core/stack_sim.hh), which answers miss-ratio-only queries for
+ * whole power-of-two size/assoc grids in a single pass.  The
+ * mode-selecting entry points that choose between them live in
+ * core/experiment.hh (runGeoMeanMany) and core/stack_sim.hh
+ * (runMissRatioMany).
+ */
+
+#ifndef CACHETIME_CORE_SWEEP_HH
+#define CACHETIME_CORE_SWEEP_HH
+
+#include <memory>
+#include <vector>
+
+#include "sim/system.hh"
+
+namespace cachetime
+{
+
+/** Tuning knobs for the fused batch driver. */
+struct BatchOptions
+{
+    /**
+     * Most configs replayed per stream pass.  Wider batches amortize
+     * decode further but dilute per-machine cache locality; eight is
+     * past the knee for every stream family benchmarked.
+     */
+    std::size_t maxBatch = 8;
+
+    /**
+     * Cap on the summed state-arena footprint of one sub-batch, so a
+     * sweep over multi-megabyte caches cannot balloon resident
+     * memory (a 2MB-word cache costs ~40MB of simulator state).  A
+     * sub-batch always admits at least one config.
+     */
+    std::size_t memoryBudgetBytes = std::size_t{256} << 20;
+};
+
+/**
+ * Run every config over @p source in one streaming pass and return
+ * the per-config results, index-aligned with @p configs.  The caller
+ * sizes the batch (see BatchOptions and configFootprintBytes); this
+ * driver builds all machines up front, so its peak memory is the sum
+ * of their footprints.
+ */
+std::vector<SimResult>
+simulateBatch(const std::vector<SystemConfig> &configs,
+              RefSource &source);
+
+/**
+ * Batched counterpart of simulateSourceCached: probe the global
+ * SimCache per (config, stream) first, fuse only the misses into
+ * memory-bounded sub-batches, and memoize each finished result, so a
+ * partially-cached lattice re-simulates exactly its missing points.
+ * Results are index-aligned with @p configs.
+ */
+std::vector<std::shared_ptr<const SimResult>>
+simulateSourceCachedMany(const std::vector<SystemConfig> &configs,
+                         RefSource &source,
+                         const BatchOptions &options = {});
+
+/**
+ * @return an estimate of one machine's simulation-state footprint
+ * (cache arrays dominate), used to pack sub-batches under
+ * BatchOptions::memoryBudgetBytes.
+ */
+std::size_t configFootprintBytes(const SystemConfig &config);
+
+} // namespace cachetime
+
+#endif // CACHETIME_CORE_SWEEP_HH

@@ -361,80 +361,76 @@ System::run(const Trace &trace)
     return run(source);
 }
 
+void
+System::foldMeasured(Tick now)
+{
+    // Fold the current measured span's component counters into the
+    // accumulated result (a single fold over the whole post-warm
+    // span when there are no warm segments, so the unsegmented path
+    // is bit-identical to reading the stats directly).
+    result_.cycles += now - progress_.segStart;
+    result_.groups += progress_.groups;
+    result_.refs += progress_.reads + progress_.writes;
+    result_.readRefs += progress_.reads;
+    result_.writeRefs += progress_.writes;
+    progress_.groups = progress_.reads = progress_.writes = 0;
+    if (config_.split)
+        result_.icache.merge(icache_->stats());
+    result_.dcache.merge(dcache_->stats());
+    // midLevels_ is ordered memory-first; expose CPU-first.
+    for (std::size_t i = midLevels_.size(); i-- > 0;) {
+        std::size_t out = midLevels_.size() - 1 - i;
+        result_.midLevels[out].merge(midLevels_[i]->cache().stats());
+        result_.midBuffers[out].merge(midBuffers_[i]->stats());
+    }
+    result_.l1Buffer.merge(l1Buffer_->stats());
+    result_.memory.merge(memory_->stats());
+    if (tlb_)
+        result_.tlb.merge(tlb_->stats());
+    result_.missPenaltyCycles.merge(missPenalty_);
+    result_.stallReadCycles += stallRead_;
+    result_.stallWriteCycles += stallWrite_;
+    result_.stallTlbCycles += stallTlb_;
+}
+
 template <bool TraceOn, bool Pair, bool Split, bool HasTlb>
 void
-System::runLoop(RefSource &source, SimResult &result)
+System::consumeChunk(const Ref *buffer, std::size_t n)
 {
     static_assert(Split || !Pair, "paired issue requires a split L1");
     Cache &iside = Split ? *icache_ : *dcache_;
     Cache &dside = *dcache_;
-    // Busy horizons live in locals for the duration of the loop so
+    // Busy horizons live in locals for the duration of the span so
     // the per-access load/max/store cycle stays in registers; they
-    // are written back below for drain().  Unified caches share one
-    // port, so ifetches contend on the same horizon as data
-    // references - with Split known at compile time the aliasing is
-    // resolved here instead of per access.
+    // are written back below for the next span and for drain().
+    // Unified caches share one port, so ifetches contend on the same
+    // horizon as data references - with Split known at compile time
+    // the aliasing is resolved here instead of per access.
     Tick ibusyLocal = Split ? icacheBusy_ : 0;
     Tick dbusyLocal = dcacheBusy_;
     Tick &ibusy = Split ? ibusyLocal : dbusyLocal;
     Tick &dbusy = dbusyLocal;
 
-    const std::vector<WarmSegment> &segments = source.warmSegments();
-    const std::size_t warm_start = source.warmStart();
+    const std::vector<WarmSegment> &segments = runSegments_;
+    const std::size_t warm_start = runWarmStart_;
 
-    // Chunked in-place issue: references are processed directly out
-    // of the fill buffer (no per-group copies); pairing keeps one
-    // reference of lookahead by compacting the tail before a refill.
-    // In-memory sources short-circuit the chunk machinery entirely:
-    // borrow() exposes the whole stream as one span and the loop
-    // walks the trace storage with no copies at all.
-    source.reset();
-    std::vector<Ref> storage;
-    const Ref *buffer = nullptr;
+    // Cross-span progress is staged through locals so the
+    // steady-state loop runs out of registers; the per-span
+    // load/store is negligible against refChunkSize references.
     std::size_t head = 0;
-    std::size_t count = 0;
-    std::size_t consumed = 0;
-    bool exhausted = false;
-
-    if (std::size_t n = source.borrow(&buffer)) {
-        count = n;
-        exhausted = true;
-    } else {
-        storage.resize(refChunkSize);
-        buffer = storage.data();
-    }
-
-    auto refill = [&]() {
-        if (exhausted)
-            return;
-        if (head > 0) {
-            std::copy(storage.begin() + static_cast<std::ptrdiff_t>(head),
-                      storage.begin() + static_cast<std::ptrdiff_t>(count),
-                      storage.begin());
-            count -= head;
-            head = 0;
-        }
-        while (count < storage.size()) {
-            std::size_t n = source.fill(storage.data() + count,
-                                        storage.size() - count);
-            if (n == 0) {
-                exhausted = true;
-                break;
-            }
-            count += n;
-        }
-    };
-
-    Tick now = 0;
-    Tick seg_start = 0;
-    bool measuring = false;
-    std::size_t seg_idx = 0;
+    std::size_t consumed = progress_.consumed;
+    Tick now = progress_.now;
+    bool measuring = progress_.measuring;
+    std::size_t seg_idx = progress_.segIdx;
+    std::size_t boundary = progress_.boundary;
+    std::uint64_t groups = progress_.groups;
+    std::uint64_t reads = progress_.reads;
+    std::uint64_t writes = progress_.writes;
 
     // Measurement state is a pure function of the reference
     // position; evaluate it only at positions where it can change
     // (boundary) so the steady-state loop pays one compare per
     // group instead of re-deriving the segment containment.
-    std::size_t boundary = 0;
     auto stateAt = [&](std::size_t p) -> bool {
         if (p < warm_start) {
             boundary = warm_start;
@@ -453,52 +449,7 @@ System::runLoop(RefSource &source, SimResult &result)
         return true;
     };
 
-    // Measured reference counters accumulate in locals (registers)
-    // and flush at fold boundaries, keeping the per-group updates
-    // off memory.
-    std::uint64_t groups = 0;
-    std::uint64_t reads = 0;
-    std::uint64_t writes = 0;
-
-    // Fold the current measured span's component counters into the
-    // accumulated result (a single fold over the whole post-warm
-    // span when there are no warm segments, so the unsegmented path
-    // is bit-identical to reading the stats directly).
-    auto fold = [&]() {
-        result.cycles += now - seg_start;
-        result.groups += groups;
-        result.refs += reads + writes;
-        result.readRefs += reads;
-        result.writeRefs += writes;
-        groups = reads = writes = 0;
-        if (config_.split)
-            result.icache.merge(icache_->stats());
-        result.dcache.merge(dcache_->stats());
-        // midLevels_ is ordered memory-first; expose CPU-first.
-        for (std::size_t i = midLevels_.size(); i-- > 0;) {
-            std::size_t out = midLevels_.size() - 1 - i;
-            result.midLevels[out].merge(midLevels_[i]->cache().stats());
-            result.midBuffers[out].merge(midBuffers_[i]->stats());
-        }
-        result.l1Buffer.merge(l1Buffer_->stats());
-        result.memory.merge(memory_->stats());
-        if (tlb_)
-            result.tlb.merge(tlb_->stats());
-        result.missPenaltyCycles.merge(missPenalty_);
-        result.stallReadCycles += stallRead_;
-        result.stallWriteCycles += stallWrite_;
-        result.stallTlbCycles += stallTlb_;
-    };
-
-    for (;;) {
-        // Pairing needs one reference of lookahead, so keep two
-        // buffered whenever the stream can still provide them.
-        if (count - head < (Pair ? 2u : 1u)) [[unlikely]] {
-            refill();
-            if (head == count)
-                break;
-        }
-
+    while (head < n) {
         // Measurement state is decided at issue-group granularity:
         // the state at the group's first reference governs the whole
         // group (the warm-start boundary has always worked this way).
@@ -507,9 +458,13 @@ System::runLoop(RefSource &source, SimResult &result)
             if (want != measuring) {
                 if (want) {
                     resetStats();
-                    seg_start = now;
+                    progress_.segStart = now;
                 } else {
-                    fold();
+                    progress_.groups = groups;
+                    progress_.reads = reads;
+                    progress_.writes = writes;
+                    foldMeasured(now);
+                    groups = reads = writes = 0;
                 }
                 measuring = want;
             }
@@ -525,7 +480,7 @@ System::runLoop(RefSource &source, SimResult &result)
                                                now);
             ++head;
             ++consumed;
-            if (Pair && head < count && isData(buffer[head].kind)) {
+            if (Pair && head < n && isData(buffer[head].kind)) {
                 const Ref &data = buffer[head];
                 Tick d;
                 if (data.kind == RefKind::Store) {
@@ -565,15 +520,22 @@ System::runLoop(RefSource &source, SimResult &result)
             writes += gwrites;
         }
     }
-    if (measuring)
-        fold();
+
+    progress_.consumed = consumed;
+    progress_.now = now;
+    progress_.measuring = measuring;
+    progress_.segIdx = seg_idx;
+    progress_.boundary = boundary;
+    progress_.groups = groups;
+    progress_.reads = reads;
+    progress_.writes = writes;
     if (Split)
         icacheBusy_ = ibusyLocal;
     dcacheBusy_ = dbusyLocal;
 }
 
-SimResult
-System::run(RefSource &source)
+void
+System::beginRun(const RefSource &source)
 {
     reset();
     CACHETIME_TRACE_EVENT(
@@ -582,31 +544,39 @@ System::run(RefSource &source)
         static_cast<unsigned long long>(source.size()),
         source.warmStart());
 
-    SimResult result;
-    result.traceName = source.name();
-    result.configSummary = config_.describe();
-    result.cycleNs = config_.cycleNs;
-    result.midLevels.resize(midLevels_.size());
-    result.midBuffers.resize(midBuffers_.size());
-    result.physical = tlb_ != nullptr;
+    result_ = SimResult{};
+    result_.traceName = source.name();
+    result_.configSummary = config_.describe();
+    result_.cycleNs = config_.cycleNs;
+    result_.midLevels.resize(midLevels_.size());
+    result_.midBuffers.resize(midBuffers_.size());
+    result_.physical = tlb_ != nullptr;
 
+    progress_ = RunProgress{};
+    runWarmStart_ = source.warmStart();
+    runSegments_ = source.warmSegments();
     // Hoist the per-run decisions out of the reference loop: each
-    // combination dispatches to a dedicated instantiation whose
+    // span dispatches to a dedicated instantiation whose
     // per-reference path re-checks none of them.  The TraceOn=false
     // paths skip even the (cheap) flag loads of the per-reference
     // trace points; results are bit-identical across instantiations.
-    const bool trace_on = trace_debug::flags() != 0;
-    const bool pair = config_.split && config_.cpu.pairIssue;
+    runTraceOn_ = trace_debug::flags() != 0;
+    runPair_ = config_.split && config_.cpu.pairIssue;
+}
+
+void
+System::feedChunk(const Ref *refs, std::size_t n)
+{
     const bool has_tlb = tlb_ != nullptr;
     auto dispatch = [&](auto trace_c, auto pair_c, auto split_c) {
-        has_tlb ? runLoop<trace_c.value, pair_c.value, split_c.value,
-                          true>(source, result)
-                : runLoop<trace_c.value, pair_c.value, split_c.value,
-                          false>(source, result);
+        has_tlb ? consumeChunk<trace_c.value, pair_c.value,
+                               split_c.value, true>(refs, n)
+                : consumeChunk<trace_c.value, pair_c.value,
+                               split_c.value, false>(refs, n);
     };
     using std::bool_constant;
-    if (trace_on) {
-        if (pair)
+    if (runTraceOn_) {
+        if (runPair_)
             dispatch(bool_constant<true>{}, bool_constant<true>{},
                      bool_constant<true>{});
         else if (config_.split)
@@ -616,7 +586,7 @@ System::run(RefSource &source)
             dispatch(bool_constant<true>{}, bool_constant<false>{},
                      bool_constant<false>{});
     } else {
-        if (pair)
+        if (runPair_)
             dispatch(bool_constant<false>{}, bool_constant<true>{},
                      bool_constant<true>{});
         else if (config_.split)
@@ -626,13 +596,31 @@ System::run(RefSource &source)
             dispatch(bool_constant<false>{}, bool_constant<false>{},
                      bool_constant<false>{});
     }
+}
 
+SimResult
+System::endRun()
+{
+    if (progress_.measuring) {
+        foldMeasured(progress_.now);
+        progress_.measuring = false;
+    }
     CACHETIME_TRACE_EVENT(
         trace_debug::Sim, "run end trace=%s cycles=%llu refs=%llu",
-        source.name().c_str(),
-        static_cast<unsigned long long>(result.cycles),
-        static_cast<unsigned long long>(result.refs));
-    return result;
+        result_.traceName.c_str(),
+        static_cast<unsigned long long>(result_.cycles),
+        static_cast<unsigned long long>(result_.refs));
+    return std::move(result_);
+}
+
+SimResult
+System::run(RefSource &source)
+{
+    ChunkFeeder feeder(source);
+    beginRun(source);
+    while (ChunkFeeder::Span span = feeder.next())
+        feedChunk(span.data, span.size);
+    return endRun();
 }
 
 } // namespace cachetime

@@ -61,6 +61,29 @@ class System
      */
     SimResult run(RefSource &source);
 
+    /**
+     * Resumable run interface, the building block of the batched
+     * sweep engine: beginRun() arms the machine for @p source's
+     * stream, feedChunk() replays a span of its references, and
+     * endRun() folds the final measured segment and yields the
+     * result.  run(RefSource&) is exactly beginRun + one feedChunk
+     * per ChunkFeeder span + endRun; feeding the same spans to many
+     * Systems interleaved produces results bit-identical to running
+     * each alone, because a machine's evolution depends only on its
+     * own state and the reference sequence.
+     *
+     * Chunks must partition the stream in order.  When couplet
+     * pairing is on, a chunk may not end on an IFetch unless it is
+     * the last chunk (ChunkFeeder's trim rule guarantees this).
+     */
+    void beginRun(const RefSource &source);
+
+    /** Replay @p n references continuing the armed run. */
+    void feedChunk(const Ref *refs, std::size_t n);
+
+    /** Finish the armed run and return its measurements. */
+    SimResult endRun();
+
     /** @return the configuration this machine was built from. */
     const SystemConfig &config() const { return config_; }
 
@@ -80,17 +103,26 @@ class System
     void resetStats();
 
     /**
-     * The reference-processing engine: pulls chunks from @p source
-     * into a bounded buffer and issues them in place, pairing I/D
-     * couplets inline.  Per-run decisions are hoisted into template
-     * parameters so the per-reference path carries no re-checks:
+     * The reference-processing engine: issues one span of references
+     * in place, pairing I/D couplets inline.  Per-run decisions are
+     * hoisted into template parameters so the per-reference path
+     * carries no re-checks:
      * @tparam TraceOn  emit per-reference debug trace events
      * @tparam Pair     split caches with couplet issue enabled
      * @tparam HasTlb   physical addressing (translate every ref)
-     * run(RefSource&) dispatches to the right instantiation once.
+     * feedChunk() dispatches to the right instantiation per span;
+     * cross-span progress lives in progress_ and is staged through
+     * locals so the steady-state loop still runs out of registers.
      */
     template <bool TraceOn, bool Pair, bool Split, bool HasTlb>
-    void runLoop(RefSource &source, SimResult &result);
+    void consumeChunk(const Ref *refs, std::size_t n);
+
+    /**
+     * Fold the measured span ending at @p now into result_ (counter
+     * accumulators are taken from progress_, which the chunk loop
+     * synchronizes before the call).
+     */
+    void foldMeasured(Tick now);
 
     /**
      * @return completion time of a read issued at @p issue.  The
@@ -150,6 +182,32 @@ class System
     Tick stallRead_ = 0;
     Tick stallWrite_ = 0;
     Tick stallTlb_ = 0;
+
+    /**
+     * Cross-chunk position of an armed run.  Everything the chunk
+     * loop keeps in registers is staged here at span boundaries so
+     * a run can be suspended and resumed between feedChunk() calls.
+     */
+    struct RunProgress
+    {
+        Tick now = 0;            ///< simulated clock
+        Tick segStart = 0;       ///< clock at measure-on
+        bool measuring = false;  ///< inside a measured span
+        std::size_t segIdx = 0;  ///< warm-segment cursor
+        std::size_t boundary = 0; ///< next position state can change
+        std::size_t consumed = 0; ///< references issued so far
+        std::uint64_t groups = 0; ///< measured issue groups pending fold
+        std::uint64_t reads = 0;  ///< measured read refs pending fold
+        std::uint64_t writes = 0; ///< measured write refs pending fold
+    };
+
+    RunProgress progress_;
+    SimResult result_;           ///< accumulating result of the armed run
+    /** Warm metadata captured by beginRun (copied; sources may die). */
+    std::size_t runWarmStart_ = 0;
+    std::vector<WarmSegment> runSegments_;
+    bool runTraceOn_ = false;    ///< dispatch flags hoisted by beginRun
+    bool runPair_ = false;
 };
 
 } // namespace cachetime

@@ -129,6 +129,60 @@ traceIdentityHash(const Trace &trace)
     return hash;
 }
 
+ChunkFeeder::ChunkFeeder(RefSource &source) : source_(source)
+{
+    source_.reset();
+    if (std::size_t n = source_.borrow(&borrowed_)) {
+        borrowedSize_ = n;
+        exhausted_ = true;
+    } else {
+        storage_.resize(refChunkSize);
+    }
+}
+
+ChunkFeeder::Span
+ChunkFeeder::next()
+{
+    if (borrowed_) {
+        Span span{borrowed_, borrowedSize_};
+        borrowed_ = nullptr;
+        borrowedSize_ = 0;
+        return span;
+    }
+    if (storage_.empty())
+        return {};
+
+    std::size_t count = 0;
+    if (hasCarry_) {
+        storage_[0] = carry_;
+        hasCarry_ = false;
+        count = 1;
+    }
+    while (!exhausted_ && count < storage_.size()) {
+        std::size_t n = source_.fill(storage_.data() + count,
+                                     storage_.size() - count);
+        if (n == 0) {
+            exhausted_ = true;
+            break;
+        }
+        count += n;
+    }
+    if (count == 0)
+        return {};
+    if (!exhausted_ &&
+        storage_[count - 1].kind == RefKind::IFetch) {
+        // A continuing stream must not end a chunk on an IFetch:
+        // paired issue wants its data-side lookahead in the same
+        // span.  Hold the fetch back for the next chunk.  count is
+        // the full buffer here (the fill loop only stops short when
+        // the stream ends), so the trimmed span is never empty.
+        carry_ = storage_[count - 1];
+        hasCarry_ = true;
+        --count;
+    }
+    return {storage_.data(), count};
+}
+
 Trace
 materialize(RefSource &source)
 {

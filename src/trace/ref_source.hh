@@ -193,6 +193,52 @@ class TraceRefSource : public RefSource
  */
 Trace materialize(RefSource &source);
 
+/**
+ * Pull-side chunker for the resumable run engine: slices a RefSource
+ * into bounded spans that are safe to feed to any number of System
+ * instances, whatever their issue configuration.
+ *
+ * The one subtlety is couplet pairing: a machine with paired issue
+ * needs one reference of lookahead, so a chunk must never end on an
+ * IFetch while the stream continues.  next() therefore holds back a
+ * trailing IFetch and re-emits it at the head of the following
+ * chunk.  The trim rule depends only on the reference stream, never
+ * on a config, so a single chunk sequence drives a whole batch of
+ * heterogeneous configs and every one of them sees exactly the
+ * reference sequence (and pairing decisions) it would have seen
+ * running alone.
+ *
+ * In-memory sources short-circuit the chunk machinery: borrow()
+ * exposes the remainder of the stream as one span, delivered by the
+ * first next() with no copies.
+ */
+class ChunkFeeder
+{
+  public:
+    /** A view into the feeder's buffer, valid until the next call. */
+    struct Span
+    {
+        const Ref *data = nullptr;
+        std::size_t size = 0;
+        explicit operator bool() const { return size != 0; }
+    };
+
+    /** Rewinds @p source; it must outlive the feeder. */
+    explicit ChunkFeeder(RefSource &source);
+
+    /** @return the next span, or an empty one at end of stream. */
+    Span next();
+
+  private:
+    RefSource &source_;
+    const Ref *borrowed_ = nullptr; ///< whole-stream span, if any
+    std::size_t borrowedSize_ = 0;
+    std::vector<Ref> storage_;      ///< fill() staging buffer
+    Ref carry_{};                   ///< held-back trailing IFetch
+    bool hasCarry_ = false;
+    bool exhausted_ = false;
+};
+
 } // namespace cachetime
 
 #endif // CACHETIME_TRACE_REF_SOURCE_HH

@@ -10,7 +10,9 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "core/experiment.hh"
 #include "core/sim_cache.hh"
+#include "core/sweep.hh"
 #include "sim/system.hh"
 #include "trace/trace_v2.hh"
 #include "util/parallel.hh"
@@ -121,6 +123,86 @@ TEST(Differential, StreamedBitIdenticalAcrossThreadCounts)
         EXPECT_EQ(one[i], eager[i]) << "seed " << base_seed + i;
         EXPECT_EQ(eight[i], eager[i]) << "seed " << base_seed + i;
         std::remove(paths[i].c_str());
+    }
+}
+
+/**
+ * The fused batch replays one trace decode across many machines;
+ * every machine's result must be bit-identical to its own serial
+ * run, whatever configs share the batch.
+ */
+TEST(Differential, FusedBatchMatchesSerialRuns)
+{
+    const std::size_t cases = 8;
+    const std::uint64_t base_seed = 45001;
+    std::vector<verify::FuzzCase> corpus;
+    std::vector<SystemConfig> configs;
+    for (std::size_t i = 0; i < cases; ++i) {
+        corpus.push_back(verify::generateCase(base_seed + i));
+        configs.push_back(corpus.back().config);
+    }
+
+    // Every trace against the full config batch: machines in a
+    // batch need not have anything in common with the trace's
+    // generating config.
+    for (std::size_t t = 0; t < cases; ++t) {
+        TraceRefSource source(corpus[t].trace);
+        std::vector<SimResult> batch = simulateBatch(configs, source);
+        ASSERT_EQ(batch.size(), configs.size());
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            System serial(configs[c]);
+            SimResult expected = serial.run(corpus[t].trace);
+            EXPECT_EQ(fingerprint(batch[c]), fingerprint(expected))
+                << "trace seed " << base_seed + t << " config seed "
+                << base_seed + c;
+        }
+    }
+}
+
+/**
+ * The batched sweep entry point must aggregate to the same doubles
+ * at any thread count (the batch width depends on the pool size, so
+ * this pins width-independence too).
+ */
+TEST(Differential, BatchedSweepBitIdenticalAcrossThreadCounts)
+{
+    const std::uint64_t base_seed = 46001;
+    std::vector<SystemConfig> configs;
+    std::vector<Trace> traces;
+    for (std::size_t i = 0; i < 12; ++i)
+        configs.push_back(
+            verify::generateCase(base_seed + i).config);
+    for (std::size_t t = 0; t < 3; ++t)
+        traces.push_back(
+            verify::generateCase(base_seed + 100 + t).trace);
+
+    bool cache_was_enabled = SimCache::global().enabled();
+    SimCache::global().setEnabled(false);
+
+    auto run_at = [&](unsigned threads) {
+        setParallelThreads(threads);
+        return runGeoMeanMany(configs, traces);
+    };
+    std::vector<AggregateMetrics> one = run_at(1);
+    std::vector<AggregateMetrics> eight = run_at(8);
+
+    setParallelThreads(0);
+    SimCache::global().setEnabled(cache_was_enabled);
+
+    ASSERT_EQ(one.size(), eight.size());
+    for (std::size_t c = 0; c < one.size(); ++c) {
+        EXPECT_EQ(one[c].cyclesPerRef, eight[c].cyclesPerRef);
+        EXPECT_EQ(one[c].execNsPerRef, eight[c].execNsPerRef);
+        EXPECT_EQ(one[c].readMissRatio, eight[c].readMissRatio);
+        EXPECT_EQ(one[c].ifetchMissRatio, eight[c].ifetchMissRatio);
+        EXPECT_EQ(one[c].loadMissRatio, eight[c].loadMissRatio);
+        EXPECT_EQ(one[c].writeMissRatio, eight[c].writeMissRatio);
+        EXPECT_EQ(one[c].readTrafficRatio,
+                  eight[c].readTrafficRatio);
+        EXPECT_EQ(one[c].writeTrafficBlockRatio,
+                  eight[c].writeTrafficBlockRatio);
+        EXPECT_EQ(one[c].writeTrafficWordRatio,
+                  eight[c].writeTrafficWordRatio);
     }
 }
 
