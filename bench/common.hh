@@ -21,6 +21,7 @@
 #include "core/experiment.hh"
 #include "core/stack_sim.hh"
 #include "stats/telemetry.hh"
+#include "stats/trace_event.hh"
 #include "trace/workloads.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
@@ -37,7 +38,9 @@ namespace cachetime::bench
  * Every bench calls this, so run telemetry is armed here: with
  * CACHETIME_MANIFEST=<path> set, a JSON run manifest (phase wall
  * times, pool utilization, SimCache counters) is written to <path>
- * at exit.
+ * at exit, and with CACHETIME_TRACE_OUT=<path> set, a
+ * Chrome/Perfetto trace-event file (phase spans, per-worker pool
+ * chunks, sweep sub-batches) is collected and written at exit.
  */
 inline std::vector<Trace>
 standardTraces(double fallback_scale = 0.20)
@@ -48,6 +51,11 @@ standardTraces(double fallback_scale = 0.20)
 #else
     telemetry::enableManifestAtExit("bench");
 #endif
+    if (const char *path = std::getenv("CACHETIME_TRACE_OUT");
+        path && *path && !trace_event::enabled()) {
+        if (trace_event::beginSession(path))
+            std::atexit([] { trace_event::endSession(); });
+    }
     telemetry::PhaseTimer timer("trace-gen");
     return generateTable1(benchScale(fallback_scale));
 }

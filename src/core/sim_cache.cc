@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "stats/trace_event.hh"
 #include "trace/ref_source.hh" // mix64, traceIdentityHash
 
 namespace cachetime
@@ -173,9 +174,11 @@ SimCache::find(const SimKey &key)
     auto it = s.map.find(key);
     if (it == s.map.end()) {
         misses_.fetch_add(1, std::memory_order_relaxed);
+        trace_event::emitInstant(trace_event::Cat::SimCacheT, "miss");
         return nullptr;
     }
     hits_.fetch_add(1, std::memory_order_relaxed);
+    trace_event::emitInstant(trace_event::Cat::SimCacheT, "hit");
     return it->second;
 }
 

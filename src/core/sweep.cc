@@ -1,6 +1,10 @@
 #include "core/sweep.hh"
 
+#include <string>
+
 #include "core/sim_cache.hh"
+#include "stats/progress.hh"
+#include "stats/trace_event.hh"
 
 namespace cachetime
 {
@@ -43,6 +47,11 @@ simulateBatch(const std::vector<SystemConfig> &configs,
     if (configs.empty())
         return out;
 
+    trace_event::Span batchSpan(
+        trace_event::Cat::Sweep,
+        "batch n=" + std::to_string(configs.size()) +
+            " trace=" + source.name());
+
     // The per-config machine state is a contiguous arena: one
     // vector<System>, each machine's cache arrays allocated
     // back-to-back at construction.
@@ -58,9 +67,13 @@ simulateBatch(const std::vector<SystemConfig> &configs,
     ChunkFeeder feeder(source);
     for (System &system : systems)
         system.beginRun(source);
-    while (ChunkFeeder::Span span = feeder.next())
+    ProgressMeter *meter = progress::global();
+    while (ChunkFeeder::Span span = feeder.next()) {
         for (System &system : systems)
             system.feedChunk(span.data, span.size);
+        if (meter)
+            meter->bump(span.size * systems.size());
+    }
 
     out.reserve(systems.size());
     for (System &system : systems)
@@ -108,7 +121,15 @@ simulateSourceCachedMany(const std::vector<SystemConfig> &configs,
             ++end;
         }
 
-        std::vector<SimResult> results = simulateBatch(batch, source);
+        std::vector<SimResult> results;
+        {
+            trace_event::Span span(
+                trace_event::Cat::Sweep,
+                "sub-batch [" + std::to_string(at) + "," +
+                    std::to_string(end) + ") of " +
+                    std::to_string(missing.size()) + " missing");
+            results = simulateBatch(batch, source);
+        }
         for (std::size_t k = 0; k < results.size(); ++k) {
             std::size_t i = missing[at + k];
             auto result = std::make_shared<const SimResult>(

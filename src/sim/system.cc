@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "stats/interval.hh"
 #include "trace_debug/trace_debug.hh"
 #include "util/logging.hh"
 
@@ -562,10 +563,100 @@ System::beginRun(const RefSource &source)
     // trace points; results are bit-identical across instantiations.
     runTraceOn_ = trace_debug::flags() != 0;
     runPair_ = config_.split && config_.cpu.pairIssue;
+
+    if (interval_) {
+        interval_->beginRun(result_.traceName);
+        nextIntervalBoundary_ = interval_->windowRefs();
+    }
+}
+
+IntervalCounters
+System::captureIntervalCounters() const
+{
+    IntervalCounters c;
+    const bool measuring = progress_.measuring;
+    c.refs = result_.refs + progress_.reads + progress_.writes;
+    c.readRefs = result_.readRefs + progress_.reads;
+    c.writeRefs = result_.writeRefs + progress_.writes;
+    c.groups = result_.groups + progress_.groups;
+    c.cycles =
+        result_.cycles +
+        (measuring ? progress_.now - progress_.segStart : Tick{0});
+
+    // Folded counters plus, inside a measured span, the live
+    // component stats (foldMeasured() has not seen them yet; outside
+    // a span the live structs hold already-folded leftovers that
+    // the next measure-on resetStats() will clear).
+    CacheStats ic = result_.icache;
+    CacheStats dc = result_.dcache;
+    WriteBufferStats wb = result_.l1Buffer;
+    TlbStats tlb = result_.tlb;
+    MainMemoryStats mem = result_.memory;
+    if (measuring) {
+        if (config_.split)
+            ic.merge(icache_->stats());
+        dc.merge(dcache_->stats());
+        wb.merge(l1Buffer_->stats());
+        if (tlb_)
+            tlb.merge(tlb_->stats());
+        mem.merge(memory_->stats());
+    }
+    if (config_.split) {
+        c.ifetchAccesses = ic.readAccesses;
+        c.ifetchMisses = ic.readMisses;
+    }
+    c.readAccesses = dc.readAccesses;
+    c.readMisses = dc.readMisses;
+    c.writeAccesses = dc.writeAccesses;
+    c.writeMisses = dc.writeMisses;
+    c.wbufEnqueued = wb.enqueued;
+    c.wbufFullStalls = wb.fullStalls;
+    c.wbufOccupancyCount = wb.occupancy.count();
+    c.wbufOccupancySum = wb.occupancy.sum();
+    c.tlbAccesses = tlb.accesses;
+    c.tlbMisses = tlb.misses;
+    c.memReads = mem.reads;
+    c.memWrites = mem.writes;
+    return c;
 }
 
 void
 System::feedChunk(const Ref *refs, std::size_t n)
+{
+    if (!interval_) [[likely]] {
+        dispatchChunk(refs, n);
+        return;
+    }
+    while (n != 0) {
+        std::size_t take = n;
+        if (nextIntervalBoundary_ > progress_.consumed) {
+            std::uint64_t room =
+                nextIntervalBoundary_ - progress_.consumed;
+            if (room < take)
+                take = static_cast<std::size_t>(room);
+        }
+        // Never split a couplet: if the cut would separate an
+        // IFetch from the data reference it pairs with, slide the
+        // cut past the data ref so every pairing decision matches
+        // the unsplit stream.
+        if (runPair_ && take < n &&
+            refs[take - 1].kind == RefKind::IFetch &&
+            isData(refs[take].kind))
+            ++take;
+        dispatchChunk(refs, take);
+        refs += take;
+        n -= take;
+        if (progress_.consumed >= nextIntervalBoundary_) {
+            interval_->atBoundary(progress_.consumed,
+                                  captureIntervalCounters());
+            while (nextIntervalBoundary_ <= progress_.consumed)
+                nextIntervalBoundary_ += interval_->windowRefs();
+        }
+    }
+}
+
+void
+System::dispatchChunk(const Ref *refs, std::size_t n)
 {
     const bool has_tlb = tlb_ != nullptr;
     auto dispatch = [&](auto trace_c, auto pair_c, auto split_c) {
@@ -605,6 +696,9 @@ System::endRun()
         foldMeasured(progress_.now);
         progress_.measuring = false;
     }
+    if (interval_)
+        interval_->endRun(progress_.consumed,
+                          captureIntervalCounters());
     CACHETIME_TRACE_EVENT(
         trace_debug::Sim, "run end trace=%s cycles=%llu refs=%llu",
         result_.traceName.c_str(),

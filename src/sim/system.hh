@@ -36,6 +36,9 @@
 namespace cachetime
 {
 
+class IntervalCollector;
+struct IntervalCounters;
+
 /** One simulated machine instance. */
 class System
 {
@@ -84,6 +87,21 @@ class System
     /** Finish the armed run and return its measurements. */
     SimResult endRun();
 
+    /**
+     * Attach @p collector (nullptr to detach): every windowRefs()
+     * issued references the run snapshots its cumulative measured
+     * counters into the collector (stats/interval.hh).  Attaching a
+     * collector never changes a simulated counter - the engine only
+     * splits chunks at window boundaries (already bit-identical by
+     * the resumable-run design) and snapshots read-only; couplets
+     * straddling a boundary are kept whole.  Takes effect at the
+     * next beginRun().
+     */
+    void setIntervalCollector(IntervalCollector *collector)
+    {
+        interval_ = collector;
+    }
+
     /** @return the configuration this machine was built from. */
     const SystemConfig &config() const { return config_; }
 
@@ -116,6 +134,18 @@ class System
      */
     template <bool TraceOn, bool Pair, bool Split, bool HasTlb>
     void consumeChunk(const Ref *refs, std::size_t n);
+
+    /** Dispatch one span to the right consumeChunk instantiation. */
+    void dispatchChunk(const Ref *refs, std::size_t n);
+
+    /**
+     * @return the cumulative measured counters of the armed run at
+     * the current position: the folded result_ plus, mid-span of a
+     * measured segment, the live component stats and pending
+     * progress_ accumulators.  Read-only; the interval snapshots
+     * are built from differences of these.
+     */
+    IntervalCounters captureIntervalCounters() const;
 
     /**
      * Fold the measured span ending at @p now into result_ (counter
@@ -208,6 +238,11 @@ class System
     std::vector<WarmSegment> runSegments_;
     bool runTraceOn_ = false;    ///< dispatch flags hoisted by beginRun
     bool runPair_ = false;
+
+    /** Windowed-snapshot collector; optional and observation-only. */
+    IntervalCollector *interval_ = nullptr;
+    /** Next issued-ref position that closes a window. */
+    std::uint64_t nextIntervalBoundary_ = 0;
 };
 
 } // namespace cachetime

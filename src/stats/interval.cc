@@ -1,0 +1,279 @@
+#include "stats/interval.hh"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "stats/stats.hh"
+#include "stats/telemetry.hh"
+#include "util/logging.hh"
+
+namespace cachetime
+{
+
+IntervalCounters
+IntervalCounters::minus(const IntervalCounters &base) const
+{
+    IntervalCounters d;
+    d.refs = refs - base.refs;
+    d.readRefs = readRefs - base.readRefs;
+    d.writeRefs = writeRefs - base.writeRefs;
+    d.groups = groups - base.groups;
+    d.cycles = cycles - base.cycles;
+    d.ifetchAccesses = ifetchAccesses - base.ifetchAccesses;
+    d.ifetchMisses = ifetchMisses - base.ifetchMisses;
+    d.readAccesses = readAccesses - base.readAccesses;
+    d.readMisses = readMisses - base.readMisses;
+    d.writeAccesses = writeAccesses - base.writeAccesses;
+    d.writeMisses = writeMisses - base.writeMisses;
+    d.wbufEnqueued = wbufEnqueued - base.wbufEnqueued;
+    d.wbufFullStalls = wbufFullStalls - base.wbufFullStalls;
+    d.wbufOccupancyCount =
+        wbufOccupancyCount - base.wbufOccupancyCount;
+    d.wbufOccupancySum = wbufOccupancySum - base.wbufOccupancySum;
+    d.tlbAccesses = tlbAccesses - base.tlbAccesses;
+    d.tlbMisses = tlbMisses - base.tlbMisses;
+    d.memReads = memReads - base.memReads;
+    d.memWrites = memWrites - base.memWrites;
+    return d;
+}
+
+void
+IntervalCounters::add(const IntervalCounters &other)
+{
+    refs += other.refs;
+    readRefs += other.readRefs;
+    writeRefs += other.writeRefs;
+    groups += other.groups;
+    cycles += other.cycles;
+    ifetchAccesses += other.ifetchAccesses;
+    ifetchMisses += other.ifetchMisses;
+    readAccesses += other.readAccesses;
+    readMisses += other.readMisses;
+    writeAccesses += other.writeAccesses;
+    writeMisses += other.writeMisses;
+    wbufEnqueued += other.wbufEnqueued;
+    wbufFullStalls += other.wbufFullStalls;
+    wbufOccupancyCount += other.wbufOccupancyCount;
+    wbufOccupancySum += other.wbufOccupancySum;
+    tlbAccesses += other.tlbAccesses;
+    tlbMisses += other.tlbMisses;
+    memReads += other.memReads;
+    memWrites += other.memWrites;
+}
+
+namespace
+{
+
+double
+ratio(std::uint64_t num, std::uint64_t den)
+{
+    return den == 0 ? 0.0
+                    : static_cast<double>(num) /
+                          static_cast<double>(den);
+}
+
+} // namespace
+
+double
+IntervalRecord::cpi() const
+{
+    return c.refs == 0 ? 0.0
+                       : static_cast<double>(c.cycles) /
+                             static_cast<double>(c.refs);
+}
+
+double
+IntervalRecord::readMissRatio() const
+{
+    return ratio(c.ifetchMisses + c.readMisses,
+                 c.ifetchAccesses + c.readAccesses);
+}
+
+double
+IntervalRecord::ifetchMissRatio() const
+{
+    return ratio(c.ifetchMisses, c.ifetchAccesses);
+}
+
+double
+IntervalRecord::writeMissRatio() const
+{
+    return ratio(c.writeMisses, c.writeAccesses);
+}
+
+double
+IntervalRecord::wbufMeanOccupancy() const
+{
+    return c.wbufOccupancyCount == 0
+               ? 0.0
+               : c.wbufOccupancySum /
+                     static_cast<double>(c.wbufOccupancyCount);
+}
+
+double
+IntervalRecord::refsPerSec() const
+{
+    return wallSeconds <= 0.0
+               ? 0.0
+               : static_cast<double>(endRef - beginRef) /
+                     wallSeconds;
+}
+
+IntervalCollector::IntervalCollector(std::uint64_t window_refs)
+    : window_(window_refs)
+{
+    if (window_ == 0)
+        panic("IntervalCollector needs a nonzero window");
+}
+
+void
+IntervalCollector::beginRun(const std::string &trace_name)
+{
+    trace_ = trace_name;
+    indexInRun_ = 0;
+    lastRef_ = 0;
+    lastCum_ = IntervalCounters{};
+    lastWall_ = telemetry::processWallSeconds();
+}
+
+void
+IntervalCollector::emit(std::uint64_t end_ref,
+                        const IntervalCounters &cumulative,
+                        bool final)
+{
+    double wall = telemetry::processWallSeconds();
+    IntervalRecord record;
+    record.trace = trace_;
+    record.index = indexInRun_++;
+    record.beginRef = lastRef_;
+    record.endRef = end_ref;
+    record.final = final;
+    record.c = cumulative.minus(lastCum_);
+    record.wallSeconds = wall - lastWall_;
+    records_.push_back(std::move(record));
+    lastRef_ = end_ref;
+    lastCum_ = cumulative;
+    lastWall_ = wall;
+}
+
+void
+IntervalCollector::atBoundary(std::uint64_t consumed,
+                              const IntervalCounters &cumulative)
+{
+    emit(consumed, cumulative, false);
+}
+
+void
+IntervalCollector::endRun(std::uint64_t consumed,
+                          const IntervalCounters &cumulative)
+{
+    // A trailing partial window exists whenever references were
+    // issued past the last boundary (or the run was shorter than
+    // one window and never reached a boundary at all).
+    if (consumed > lastRef_ || indexInRun_ == 0)
+        emit(consumed, cumulative, true);
+}
+
+void
+IntervalCollector::clear()
+{
+    records_.clear();
+    indexInRun_ = 0;
+    lastRef_ = 0;
+    lastCum_ = IntervalCounters{};
+}
+
+namespace
+{
+
+std::string
+num(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+void
+IntervalCollector::dumpCsv(std::ostream &os) const
+{
+    os << "trace,window,begin_ref,end_ref,final,refs,reads,writes,"
+          "groups,cycles,cpi,read_miss_ratio,ifetch_miss_ratio,"
+          "write_miss_ratio,ifetch_accesses,ifetch_misses,"
+          "read_accesses,read_misses,write_accesses,write_misses,"
+          "wbuf_enqueued,wbuf_full_stalls,wbuf_mean_occupancy,"
+          "tlb_accesses,tlb_misses,mem_reads,mem_writes,"
+          "wall_seconds,refs_per_sec\n";
+    for (const IntervalRecord &r : records_) {
+        os << r.trace << ',' << r.index << ',' << r.beginRef << ','
+           << r.endRef << ',' << (r.final ? 1 : 0) << ',' << r.c.refs
+           << ',' << r.c.readRefs << ',' << r.c.writeRefs << ','
+           << r.c.groups << ',' << r.c.cycles << ',' << num(r.cpi())
+           << ',' << num(r.readMissRatio()) << ','
+           << num(r.ifetchMissRatio()) << ','
+           << num(r.writeMissRatio()) << ',' << r.c.ifetchAccesses
+           << ',' << r.c.ifetchMisses << ',' << r.c.readAccesses
+           << ',' << r.c.readMisses << ',' << r.c.writeAccesses
+           << ',' << r.c.writeMisses << ',' << r.c.wbufEnqueued
+           << ',' << r.c.wbufFullStalls << ','
+           << num(r.wbufMeanOccupancy()) << ',' << r.c.tlbAccesses
+           << ',' << r.c.tlbMisses << ',' << r.c.memReads << ','
+           << r.c.memWrites << ',' << num(r.wallSeconds) << ','
+           << num(r.refsPerSec()) << '\n';
+    }
+}
+
+void
+IntervalCollector::dumpJson(std::ostream &os) const
+{
+    os << '[';
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        const IntervalRecord &r = records_[i];
+        if (i)
+            os << ',';
+        os << "{\"trace\":\"" << stats::jsonEscape(r.trace)
+           << "\",\"window\":" << r.index
+           << ",\"begin_ref\":" << r.beginRef
+           << ",\"end_ref\":" << r.endRef
+           << ",\"final\":" << (r.final ? "true" : "false")
+           << ",\"refs\":" << r.c.refs
+           << ",\"reads\":" << r.c.readRefs
+           << ",\"writes\":" << r.c.writeRefs
+           << ",\"groups\":" << r.c.groups
+           << ",\"cycles\":" << r.c.cycles
+           << ",\"cpi\":" << num(r.cpi())
+           << ",\"read_miss_ratio\":" << num(r.readMissRatio())
+           << ",\"ifetch_miss_ratio\":" << num(r.ifetchMissRatio())
+           << ",\"write_miss_ratio\":" << num(r.writeMissRatio())
+           << ",\"ifetch_accesses\":" << r.c.ifetchAccesses
+           << ",\"ifetch_misses\":" << r.c.ifetchMisses
+           << ",\"read_accesses\":" << r.c.readAccesses
+           << ",\"read_misses\":" << r.c.readMisses
+           << ",\"write_accesses\":" << r.c.writeAccesses
+           << ",\"write_misses\":" << r.c.writeMisses
+           << ",\"wbuf_enqueued\":" << r.c.wbufEnqueued
+           << ",\"wbuf_full_stalls\":" << r.c.wbufFullStalls
+           << ",\"wbuf_mean_occupancy\":"
+           << num(r.wbufMeanOccupancy())
+           << ",\"tlb_accesses\":" << r.c.tlbAccesses
+           << ",\"tlb_misses\":" << r.c.tlbMisses
+           << ",\"mem_reads\":" << r.c.memReads
+           << ",\"mem_writes\":" << r.c.memWrites
+           << ",\"wall_seconds\":" << num(r.wallSeconds)
+           << ",\"refs_per_sec\":" << num(r.refsPerSec()) << '}';
+    }
+    os << ']';
+}
+
+std::string
+IntervalCollector::json() const
+{
+    std::ostringstream ss;
+    dumpJson(ss);
+    return ss.str();
+}
+
+} // namespace cachetime

@@ -77,7 +77,9 @@ jsonHistogram(std::ostream &os, const Histogram &h)
 {
     os << "{\"count\":" << h.count()
        << ",\"mean\":" << numberToString(h.mean())
-       << ",\"max\":" << h.max() << ",\"overflow\":" << h.overflow()
+       << ",\"p50\":" << h.p50() << ",\"p95\":" << h.p95()
+       << ",\"p99\":" << h.p99() << ",\"max\":" << h.max()
+       << ",\"overflow\":" << h.overflow()
        << ",\"binWidth\":" << (h.bins() ? h.binStart(1) : 1)
        << ",\"bins\":[";
     for (std::size_t i = 0; i < h.bins(); ++i) {
@@ -279,6 +281,9 @@ Registry::dumpCsv(std::ostream &os) const
             os << stat.name << ".count," << h.count() << '\n'
                << stat.name << ".mean," << numberToString(h.mean())
                << '\n'
+               << stat.name << ".p50," << h.p50() << '\n'
+               << stat.name << ".p95," << h.p95() << '\n'
+               << stat.name << ".p99," << h.p99() << '\n'
                << stat.name << ".max," << h.max() << '\n'
                << stat.name << ".overflow," << h.overflow() << '\n';
             continue;

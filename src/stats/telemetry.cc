@@ -8,6 +8,7 @@
 
 #include "core/sim_cache.hh"
 #include "stats/stats.hh"
+#include "stats/trace_event.hh"
 #include "trace_debug/trace_debug.hh"
 #include "util/parallel.hh"
 
@@ -64,6 +65,17 @@ PhaseTimer::~PhaseTimer()
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - start_)
             .count();
+    if (trace_event::enabled()) {
+        // Span export shares the scope's own clock reads: the end
+        // stamp is "now", the start stamp is now minus the scope's
+        // duration, both on the session timebase.
+        std::uint64_t dur_us =
+            static_cast<std::uint64_t>(seconds * 1e6);
+        std::uint64_t end_us = trace_event::nowMicros();
+        trace_event::emitComplete(
+            trace_event::Cat::Phase, name_,
+            end_us >= dur_us ? end_us - dur_us : 0, dur_us);
+    }
     std::lock_guard<std::mutex> lock(phaseMutex);
     for (PhaseRecord &record : phaseTable) {
         if (record.name == name_) {

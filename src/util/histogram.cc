@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdio>
 
 #include "util/logging.hh"
@@ -56,6 +57,32 @@ Histogram::mean() const
     return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
+std::uint64_t
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 1.0)
+        p = 1.0;
+    // Rank of the k-th smallest sample, k = ceil(p * count), with
+    // k >= 1 so p = 0 reports the smallest populated bin.
+    std::uint64_t k = static_cast<std::uint64_t>(
+        std::ceil(p * static_cast<double>(count_)));
+    if (k == 0)
+        k = 1;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        cumulative += counts_[i];
+        if (cumulative >= k)
+            return binStart(i);
+    }
+    // The k-th sample fell past the last bin; the best bound the
+    // histogram still holds is the largest sample seen.
+    return max_;
+}
+
 void
 Histogram::reset()
 {
@@ -87,12 +114,17 @@ Histogram::merge(const Histogram &other)
 std::string
 Histogram::summary() const
 {
-    char buf[96];
-    std::snprintf(buf, sizeof(buf),
-                  "n=%llu mean=%.2f max=%llu overflow=%llu",
-                  static_cast<unsigned long long>(count_), mean(),
-                  static_cast<unsigned long long>(max_),
-                  static_cast<unsigned long long>(overflow_));
+    char buf[160];
+    std::snprintf(
+        buf, sizeof(buf),
+        "n=%llu mean=%.2f p50=%llu p95=%llu p99=%llu max=%llu "
+        "overflow=%llu",
+        static_cast<unsigned long long>(count_), mean(),
+        static_cast<unsigned long long>(p50()),
+        static_cast<unsigned long long>(p95()),
+        static_cast<unsigned long long>(p99()),
+        static_cast<unsigned long long>(max_),
+        static_cast<unsigned long long>(overflow_));
     return buf;
 }
 

@@ -47,8 +47,26 @@ class Histogram
     /** @return mean of all samples (including overflow values). */
     double mean() const;
 
+    /** @return sum of all samples (exact below 2^53). */
+    double sum() const { return sum_; }
+
     /** @return largest sample seen. */
     std::uint64_t max() const { return max_; }
+
+    /**
+     * @return the @p p quantile (p in [0,1]) estimated from the
+     * bins: the lower edge of the bin holding the k-th smallest
+     * sample, k = ceil(p * count).  Exact for width-1 histograms;
+     * otherwise within one bin width below the true sample
+     * quantile.  Samples in the overflow region report max(), and
+     * an empty histogram reports 0.
+     */
+    std::uint64_t percentile(double p) const;
+
+    /** Convenience quantiles for dumps and reports. */
+    std::uint64_t p50() const { return percentile(0.50); }
+    std::uint64_t p95() const { return percentile(0.95); }
+    std::uint64_t p99() const { return percentile(0.99); }
 
     /** @return smallest value of bin @p index's range. */
     std::uint64_t

@@ -5,8 +5,10 @@
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 
+#include "stats/trace_event.hh"
 #include "util/logging.hh"
 
 namespace cachetime
@@ -114,7 +116,7 @@ class ThreadPool
     {
         stop_ = false;
         for (unsigned i = 1; i < threads_; ++i)
-            workers_.emplace_back([this] { workerLoop(); });
+            workers_.emplace_back([this, i] { workerLoop(i); });
     }
 
     void
@@ -131,9 +133,13 @@ class ThreadPool
     }
 
     void
-    workerLoop()
+    workerLoop(unsigned index)
     {
         isPoolWorker = true;
+        // Name the worker's span track up front so a trace session
+        // opened at any later point labels it correctly.
+        trace_event::setThreadName("pool-worker-" +
+                                   std::to_string(index));
         std::uint64_t seen = 0;
         std::unique_lock<std::mutex> lock(mutex_);
         for (;;) {
@@ -167,6 +173,11 @@ class ThreadPool
             if (end > taskSize_)
                 end = taskSize_;
             executed += end - begin;
+            // One exported span per chunk: the pool's balance (and
+            // every straggler) becomes visible as a per-worker
+            // timeline when a trace-event session is open.
+            const bool spans = trace_event::enabled();
+            std::uint64_t t0 = spans ? trace_event::nowMicros() : 0;
             try {
                 for (std::size_t i = begin; i < end; ++i)
                     (*body_)(i);
@@ -174,6 +185,13 @@ class ThreadPool
                 std::lock_guard<std::mutex> lock(mutex_);
                 if (!error_)
                     error_ = std::current_exception();
+            }
+            if (spans) {
+                trace_event::emitComplete(
+                    trace_event::Cat::Pool,
+                    "chunk [" + std::to_string(begin) + "," +
+                        std::to_string(end) + ")",
+                    t0, trace_event::nowMicros() - t0);
             }
         }
         inPoolWork = saved;

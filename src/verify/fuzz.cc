@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "sim/system.hh"
+#include "stats/progress.hh"
 #include "trace/trace_io.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -642,11 +643,15 @@ FuzzReport
 runFuzz(const FuzzOptions &options)
 {
     FuzzReport report;
+    if (options.progress)
+        options.progress->setTotal(options.cases, "cases");
     for (std::uint64_t i = 0; i < options.cases; ++i) {
         std::uint64_t seed = options.seed + i;
         FuzzCase fuzz_case = generateCase(seed);
         CaseOutcome outcome = checkCase(fuzz_case);
         ++report.casesRun;
+        if (options.progress)
+            options.progress->update(report.casesRun);
         if (options.progressEvery != 0 &&
             report.casesRun % options.progressEvery == 0) {
             std::fprintf(stderr, "fuzz: %llu/%llu cases ok\n",
@@ -672,6 +677,8 @@ runFuzz(const FuzzOptions &options)
                        formatDiffs(shrunk_outcome.diffs));
         break; // one shrunk failure beats a count of raw ones
     }
+    if (options.progress)
+        options.progress->finish();
     return report;
 }
 

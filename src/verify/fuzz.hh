@@ -29,6 +29,9 @@
 
 namespace cachetime
 {
+
+class ProgressMeter;
+
 namespace verify
 {
 
@@ -84,6 +87,8 @@ struct FuzzOptions
     bool minimize = true;        ///< shrink before writing the repro
     /** Print a progress line every this many cases (0 = quiet). */
     std::uint64_t progressEvery = 0;
+    /** NDJSON progress sink, one update per case (optional). */
+    ProgressMeter *progress = nullptr;
 };
 
 /** Campaign result; `mismatches == 0` means the property held. */

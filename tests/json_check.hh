@@ -1,0 +1,348 @@
+/**
+ * @file
+ * A minimal recursive-descent JSON parser for tests.
+ *
+ * The repo emits JSON from several writers (the run manifest, the
+ * stats registry, the interval series, trace-event files, progress
+ * records) and none of them may depend on a third-party parser to be
+ * checked.  This header gives tests a real end-to-end check: parse
+ * the emitted text, then assert on structure and values, instead of
+ * substring matching that balanced braces cannot catch.
+ *
+ * Supports the full JSON grammar the writers use: objects, arrays,
+ * strings with escapes, numbers (including exponents, NaN/Inf are
+ * rejected as the writers emit null for those), true/false/null.
+ * Parsing is strict: trailing garbage, unterminated values and bad
+ * escapes all fail with a position-carrying error message.
+ */
+
+#ifndef CACHETIME_TESTS_JSON_CHECK_HH
+#define CACHETIME_TESTS_JSON_CHECK_HH
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cachetime
+{
+namespace json_check
+{
+
+/** One parsed JSON value; a small ordered-member DOM. */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text; ///< String payload
+    std::vector<JsonValue> items; ///< Array elements
+    std::vector<std::pair<std::string, JsonValue>> members; ///< Object
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isBool() const { return kind == Kind::Bool; }
+
+    /** @return the member named @p key, or nullptr. */
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &[name, value] : members)
+            if (name == key)
+                return &value;
+        return nullptr;
+    }
+
+    /** @return the value at dotted @p path ("pool.threads"), or null. */
+    const JsonValue *
+    path(const std::string &dotted) const
+    {
+        const JsonValue *at = this;
+        std::size_t begin = 0;
+        while (begin <= dotted.size()) {
+            std::size_t dot = dotted.find('.', begin);
+            std::string key = dotted.substr(
+                begin, dot == std::string::npos ? std::string::npos
+                                                : dot - begin);
+            if (!at->isObject())
+                return nullptr;
+            at = at->find(key);
+            if (!at)
+                return nullptr;
+            if (dot == std::string::npos)
+                return at;
+            begin = dot + 1;
+        }
+        return nullptr;
+    }
+};
+
+/** Strict single-pass parser over a complete JSON document. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    /** @return true and fill @p out when @p text_ is valid JSON. */
+    bool
+    parse(JsonValue *out)
+    {
+        pos_ = 0;
+        error_.clear();
+        if (!parseValue(out))
+            return false;
+        skipSpace();
+        if (pos_ != text_.size())
+            return fail("trailing characters");
+        return true;
+    }
+
+    /** @return "<message> at offset N" for the first failure. */
+    const std::string &error() const { return error_; }
+
+  private:
+    bool
+    fail(const char *message)
+    {
+        if (error_.empty())
+            error_ = std::string(message) + " at offset " +
+                     std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) != 0)
+            return fail("bad literal");
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        if (text_[pos_] != '"')
+            return fail("expected string");
+        ++pos_;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out->push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out->push_back('"'); break;
+              case '\\': out->push_back('\\'); break;
+              case '/': out->push_back('/'); break;
+              case 'b': out->push_back('\b'); break;
+              case 'f': out->push_back('\f'); break;
+              case 'n': out->push_back('\n'); break;
+              case 'r': out->push_back('\r'); break;
+              case 't': out->push_back('\t'); break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int k = 0; k < 4; ++k) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                // The writers only escape control characters; keep
+                // the test DOM simple with a byte-truncated code.
+                out->push_back(static_cast<char>(code & 0xff));
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue *out)
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        auto digits = [&] {
+            std::size_t before = pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+            return pos_ > before;
+        };
+        if (!digits())
+            return fail("expected digits");
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (!digits())
+                return fail("expected fraction digits");
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (!digits())
+                return fail("expected exponent digits");
+        }
+        out->kind = JsonValue::Kind::Number;
+        out->number =
+            std::strtod(text_.substr(start, pos_ - start).c_str(),
+                        nullptr);
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue *out)
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            out->kind = JsonValue::Kind::Object;
+            skipSpace();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                skipSpace();
+                std::string key;
+                if (!parseString(&key))
+                    return false;
+                skipSpace();
+                if (pos_ >= text_.size() || text_[pos_] != ':')
+                    return fail("expected ':'");
+                ++pos_;
+                JsonValue value;
+                if (!parseValue(&value))
+                    return false;
+                out->members.emplace_back(std::move(key),
+                                          std::move(value));
+                skipSpace();
+                if (pos_ >= text_.size())
+                    return fail("unterminated object");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == '}') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            out->kind = JsonValue::Kind::Array;
+            skipSpace();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                JsonValue value;
+                if (!parseValue(&value))
+                    return false;
+                out->items.push_back(std::move(value));
+                skipSpace();
+                if (pos_ >= text_.size())
+                    return fail("unterminated array");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == ']') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            out->kind = JsonValue::Kind::String;
+            return parseString(&out->text);
+        }
+        if (c == 't') {
+            out->kind = JsonValue::Kind::Bool;
+            out->boolean = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out->kind = JsonValue::Kind::Bool;
+            out->boolean = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            out->kind = JsonValue::Kind::Null;
+            return literal("null");
+        }
+        return parseNumber(out);
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+/** One-call form: parse @p text, return success, surface the error. */
+inline bool
+parseJson(const std::string &text, JsonValue *out,
+          std::string *error = nullptr)
+{
+    Parser parser(text);
+    bool ok = parser.parse(out);
+    if (!ok && error)
+        *error = parser.error();
+    return ok;
+}
+
+} // namespace json_check
+} // namespace cachetime
+
+#endif // CACHETIME_TESTS_JSON_CHECK_HH

@@ -14,6 +14,9 @@
 #include "core/sim_cache.hh"
 #include "core/sweep.hh"
 #include "sim/system.hh"
+#include "stats/interval.hh"
+#include "stats/progress.hh"
+#include "stats/trace_event.hh"
 #include "trace/trace_v2.hh"
 #include "util/parallel.hh"
 #include "verify/fuzz.hh"
@@ -76,6 +79,72 @@ TEST(Differential, BitIdenticalAcrossThreadCounts)
     ASSERT_EQ(one.size(), eight.size());
     for (std::size_t i = 0; i < one.size(); ++i)
         EXPECT_EQ(one[i], eight[i]) << "seed " << base_seed + i;
+}
+
+/**
+ * The observability hard invariant: running with every time-resolved
+ * instrument live — an interval collector slicing the stream, an
+ * open trace-event session, and a global progress meter fed by the
+ * pool — must not change a single simulated counter, at any thread
+ * count.  The window width is co-prime with the chunk size so
+ * interval cuts land at arbitrary stream offsets.
+ */
+TEST(Differential, InstrumentedRunsBitIdenticalAcrossThreadCounts)
+{
+    const std::size_t cases = 32;
+    const std::uint64_t base_seed = 90001;
+    bool cache_was_enabled = SimCache::global().enabled();
+    SimCache::global().setEnabled(false);
+
+    std::vector<verify::FuzzCase> corpus;
+    std::vector<std::string> plain;
+    for (std::size_t i = 0; i < cases; ++i) {
+        corpus.push_back(verify::generateCase(base_seed + i));
+        System system(corpus[i].config);
+        plain.push_back(fingerprint(system.run(corpus[i].trace)));
+    }
+
+    std::string trace_path =
+        ::testing::TempDir() + "/instrumented_diff_trace.json";
+    ProgressMeter meter;
+    ASSERT_TRUE(meter.openSpec("/dev/null"));
+    meter.setTotal(cases * 2, "cases");
+
+    auto run_instrumented = [&](unsigned threads) {
+        setParallelThreads(threads);
+        return parallelMap<std::string>(cases, [&](std::size_t i) {
+            IntervalCollector collector(97);
+            System system(corpus[i].config);
+            system.setIntervalCollector(&collector);
+            SimResult result = system.run(corpus[i].trace);
+            // The windows must still sum to the aggregate run.
+            IntervalCounters sum;
+            for (const IntervalRecord &record : collector.records())
+                sum.add(record.c);
+            EXPECT_EQ(sum.refs, result.refs);
+            EXPECT_EQ(sum.cycles,
+                      static_cast<std::uint64_t>(result.cycles));
+            meter.bump(1);
+            return fingerprint(result);
+        });
+    };
+
+    ASSERT_TRUE(trace_event::beginSession(trace_path));
+    progress::setGlobal(&meter);
+    std::vector<std::string> one = run_instrumented(1);
+    std::vector<std::string> eight = run_instrumented(8);
+    progress::setGlobal(nullptr);
+    ASSERT_TRUE(trace_event::endSession());
+    meter.finish();
+    std::remove(trace_path.c_str());
+
+    setParallelThreads(0);
+    SimCache::global().setEnabled(cache_was_enabled);
+
+    for (std::size_t i = 0; i < cases; ++i) {
+        EXPECT_EQ(one[i], plain[i]) << "seed " << base_seed + i;
+        EXPECT_EQ(eight[i], plain[i]) << "seed " << base_seed + i;
+    }
 }
 
 /**
@@ -257,9 +326,10 @@ TEST(Differential, MissClassInclusion)
             // for retired falling short of enqueued; entries that
             // straddle the warm-start stats reset can push it the
             // other way, so only cold runs pin the inequality.
-            if (fuzz_case.trace.warmStart() == 0)
+            if (fuzz_case.trace.warmStart() == 0) {
                 EXPECT_LE(stats.retired,
                           stats.enqueued - stats.coalesced);
+            }
         }
     }
 }

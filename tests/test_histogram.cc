@@ -6,13 +6,34 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "sim/system.hh"
 #include "util/histogram.hh"
+#include "util/rng.hh"
 
 namespace cachetime
 {
 namespace
 {
+
+/** The exact sample quantile percentile() estimates: k-th smallest
+ * value, k = max(1, ceil(p * n)). */
+std::uint64_t
+bruteQuantile(std::vector<std::uint64_t> values, double p)
+{
+    std::sort(values.begin(), values.end());
+    std::uint64_t k = static_cast<std::uint64_t>(
+        std::ceil(p * static_cast<double>(values.size())));
+    if (k == 0)
+        k = 1;
+    return values[k - 1];
+}
+
+const double kQuantiles[] = {0.0, 0.01, 0.25, 0.5,
+                             0.9, 0.95, 0.99, 1.0};
 
 TEST(Histogram, BinsAndOverflow)
 {
@@ -73,6 +94,90 @@ TEST(Histogram, SummaryMentionsCount)
     Histogram h(4, 1);
     h.sample(2);
     EXPECT_NE(h.summary().find("n=1"), std::string::npos);
+    EXPECT_NE(h.summary().find("p50="), std::string::npos);
+}
+
+TEST(Histogram, SumTracksSamples)
+{
+    Histogram h(4, 1);
+    h.sample(1);
+    h.sample(2, 3);
+    h.sample(100); // overflow still contributes to the sum
+    EXPECT_DOUBLE_EQ(h.sum(), 107.0);
+}
+
+TEST(HistogramPercentile, EmptyReportsZero)
+{
+    Histogram h(4, 1);
+    for (double p : kQuantiles)
+        EXPECT_EQ(h.percentile(p), 0u);
+}
+
+TEST(HistogramPercentile, ExactAtWidthOne)
+{
+    // Width-1 bins lose nothing: the estimate must equal the true
+    // sample quantile for every p and every sample set.
+    Rng rng(42);
+    for (int round = 0; round < 20; ++round) {
+        Histogram h(64, 1);
+        std::vector<std::uint64_t> values;
+        std::size_t n = 1 + rng.below(200);
+        for (std::size_t i = 0; i < n; ++i) {
+            std::uint64_t v = rng.below(64);
+            h.sample(v);
+            values.push_back(v);
+        }
+        for (double p : kQuantiles)
+            EXPECT_EQ(h.percentile(p), bruteQuantile(values, p))
+                << "round " << round << " p=" << p << " n=" << n;
+    }
+}
+
+TEST(HistogramPercentile, WithinOneBinWidth)
+{
+    // Wider bins floor the estimate to the bin's lower edge:
+    // est <= true quantile < est + width.
+    constexpr std::uint64_t width = 8;
+    Rng rng(7);
+    for (int round = 0; round < 20; ++round) {
+        Histogram h(16, width);
+        std::vector<std::uint64_t> values;
+        std::size_t n = 1 + rng.below(300);
+        for (std::size_t i = 0; i < n; ++i) {
+            std::uint64_t v = rng.below(16 * width);
+            h.sample(v);
+            values.push_back(v);
+        }
+        for (double p : kQuantiles) {
+            std::uint64_t est = h.percentile(p);
+            std::uint64_t truth = bruteQuantile(values, p);
+            EXPECT_LE(est, truth) << "p=" << p;
+            EXPECT_LT(truth, est + width) << "p=" << p;
+        }
+    }
+}
+
+TEST(HistogramPercentile, OverflowRegionReportsMax)
+{
+    Histogram h(2, 1);
+    h.sample(0);
+    h.sample(50);
+    h.sample(100);
+    // k=2 and above land past the binned range; max() is the only
+    // bound the histogram still holds.
+    EXPECT_EQ(h.percentile(0.0), 0u); // k=1: bin 0
+    EXPECT_EQ(h.p50(), 100u);
+    EXPECT_EQ(h.percentile(0.99), 100u);
+    EXPECT_EQ(h.percentile(1.0), 100u);
+}
+
+TEST(HistogramPercentile, WeightedSamplesCountPerWeight)
+{
+    Histogram h(8, 1);
+    h.sample(1, 9);
+    h.sample(7, 1);
+    EXPECT_EQ(h.p50(), 1u);
+    EXPECT_EQ(h.percentile(0.95), 7u);
 }
 
 TEST(HistogramIntegration, MissPenaltyDistributionPopulated)

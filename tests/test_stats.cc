@@ -11,6 +11,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "json_check.hh"
 #include "sim/system.hh"
 #include "stats/stats.hh"
 #include "stats/telemetry.hh"
@@ -262,6 +263,94 @@ TEST(StatsTelemetry, ManifestFileIsWellFormed)
     // The quote in the summary must have been escaped.
     EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
     std::remove(path.c_str());
+}
+
+TEST(JsonCheck, AcceptsValidAndRejectsMalformed)
+{
+    json_check::JsonValue v;
+    EXPECT_TRUE(json_check::parseJson(
+        " {\"a\":[1,2.5e-3,true,null,\"x\\n\"],\"b\":{}} ", &v));
+    EXPECT_DOUBLE_EQ(v.path("a")->items[1].number, 2.5e-3);
+    // A substring check cannot catch any of these; the parser must.
+    EXPECT_FALSE(json_check::parseJson("{\"a\":1", &v));
+    EXPECT_FALSE(json_check::parseJson("{\"a\":1}}", &v));
+    EXPECT_FALSE(json_check::parseJson("[1,2,", &v));
+    EXPECT_FALSE(json_check::parseJson("{\"a\" 1}", &v));
+    EXPECT_FALSE(json_check::parseJson("{\"a\":01x}", &v));
+}
+
+TEST(StatsTelemetry, ManifestParsesEndToEnd)
+{
+    // A manifest carrying a real per-trace stats registry, written
+    // through the production writer and then actually parsed - the
+    // balanced-brace and typed-field check substring matching can't
+    // give.
+    Trace trace = smallTrace(4000);
+    SimResult r = System(SystemConfig::paperDefault()).run(trace);
+    stats::Registry registry;
+    r.regStats(registry);
+
+    telemetry::RunManifest manifest;
+    manifest.tool = "unit-test";
+    manifest.configHash =
+        telemetry::configHash(SystemConfig::paperDefault());
+    manifest.configSummary = "end \"to\" end";
+    manifest.traces.push_back(r.traceName);
+    std::stringstream registry_json;
+    registry.dumpJson(registry_json);
+    manifest.extra.emplace_back("trace_stats", registry_json.str());
+
+    std::string path = testing::TempDir() + "manifest_e2e.json";
+    ASSERT_TRUE(telemetry::writeManifestFile(path, manifest));
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::remove(path.c_str());
+
+    json_check::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(json_check::parseJson(ss.str(), &doc, &error))
+        << error;
+    ASSERT_TRUE(doc.isObject());
+
+    // Required keys, with their types and values.
+    ASSERT_NE(doc.find("tool"), nullptr);
+    EXPECT_EQ(doc.find("tool")->text, "unit-test");
+    ASSERT_NE(doc.find("trace_flags"), nullptr);
+    EXPECT_TRUE(doc.find("trace_flags")->isString());
+    ASSERT_NE(doc.find("wall_seconds"), nullptr);
+    EXPECT_TRUE(doc.find("wall_seconds")->isNumber());
+    EXPECT_GT(doc.find("wall_seconds")->number, 0.0);
+    ASSERT_NE(doc.find("phases"), nullptr);
+    EXPECT_TRUE(doc.find("phases")->isObject());
+    ASSERT_NE(doc.path("config.hash"), nullptr);
+    EXPECT_EQ(doc.path("config.hash")->text.size(), 32u);
+    ASSERT_TRUE(doc.find("traces") && doc.find("traces")->isArray());
+    ASSERT_EQ(doc.find("traces")->items.size(), 1u);
+    EXPECT_EQ(doc.find("traces")->items[0].text, r.traceName);
+
+    for (const char *key :
+         {"pool.threads", "pool.dispatches", "pool.tasks",
+          "pool.worker_share", "sim_cache.hits",
+          "sim_cache.misses", "sim_cache.entries"}) {
+        const json_check::JsonValue *v = doc.path(key);
+        ASSERT_NE(v, nullptr) << key;
+        EXPECT_TRUE(v->isNumber()) << key;
+    }
+    ASSERT_NE(doc.path("sim_cache.enabled"), nullptr);
+    EXPECT_TRUE(doc.path("sim_cache.enabled")->isBool());
+    EXPECT_GE(doc.path("pool.worker_share")->number, 0.0);
+    EXPECT_LE(doc.path("pool.worker_share")->number, 1.0);
+
+    // The embedded registry survived the round trip as real JSON.
+    const json_check::JsonValue *refs =
+        doc.path("trace_stats.system.refs");
+    ASSERT_NE(refs, nullptr);
+    EXPECT_DOUBLE_EQ(refs->number, static_cast<double>(r.refs));
+    const json_check::JsonValue *p95 =
+        doc.path("trace_stats.system.missPenaltyCycles.p95");
+    ASSERT_NE(p95, nullptr);
+    EXPECT_TRUE(p95->isNumber());
 }
 
 TEST(StatsTelemetry, PoolCountersAdvance)

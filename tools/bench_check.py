@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Compare fresh BENCH_*.json results against the pinned baselines.
+
+The repo pins one manifest per perf bench (BENCH_sweep.json,
+BENCH_simulator.json, ...) at the repo root.  This script takes a
+directory of freshly generated manifests and reports, per bench:
+
+* correctness booleans (``*_bit_identical``) — compared exactly; a
+  flip is always a failure, whatever the tolerance,
+* throughput fields (``*_per_sec``, ``speedup_*``, ``seconds``) —
+  compared within a loose relative tolerance (default 50%), because
+  CI machines vary wildly; out-of-tolerance values are reported but
+  only fail the run under ``--strict``,
+* everything else (trace scales, grid shapes, workload names) —
+  informational; a shape change is reported as a note.
+
+Exit status: 1 if a correctness boolean flipped (or, with
+``--strict``, if any throughput field left its tolerance band),
+0 otherwise.  CI runs this non-blocking (continue-on-error), so the
+numbers land in the log without gating merges on machine speed.
+
+Usage:
+    tools/bench_check.py --current-dir build [--baseline-dir .]
+                         [--tolerance 0.5] [--strict]
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def is_perf_key(key):
+    """Throughput-ish fields that depend on the machine running them."""
+    return (
+        key.endswith("_per_sec")
+        or key.startswith("speedup_")
+        or key == "seconds"
+    )
+
+
+def is_correctness_key(key):
+    return key.endswith("_bit_identical")
+
+
+def walk(baseline, current, path, findings):
+    """Recursively diff two JSON trees, classifying each leaf."""
+    if isinstance(baseline, dict):
+        if not isinstance(current, dict):
+            findings.append(("note", path, "shape changed"))
+            return
+        for key, base_value in baseline.items():
+            if key not in current:
+                findings.append(("note", path + key, "missing in current"))
+                continue
+            walk(base_value, current[key], path + key + ".", findings)
+        return
+    if isinstance(baseline, list):
+        if not isinstance(current, list) or len(baseline) != len(current):
+            findings.append(
+                ("note", path.rstrip("."), "list shape changed")
+            )
+            return
+        for i, (b, c) in enumerate(zip(baseline, current)):
+            walk(b, c, path + "%d." % i, findings)
+        return
+
+    key = path.rstrip(".").rsplit(".", 1)[-1]
+    leaf = path.rstrip(".")
+    if is_correctness_key(key):
+        if bool(baseline) != bool(current):
+            findings.append(
+                ("fail", leaf, "%r -> %r" % (baseline, current))
+            )
+        return
+    if is_perf_key(key) and isinstance(baseline, (int, float)):
+        if not isinstance(current, (int, float)) or baseline == 0:
+            findings.append(("note", leaf, "not comparable"))
+            return
+        rel = abs(current - baseline) / abs(baseline)
+        findings.append(
+            (
+                "perf" if rel > ARGS.tolerance else "ok",
+                leaf,
+                "%.4g -> %.4g (%+.1f%%)"
+                % (baseline, current, 100.0 * (current / baseline - 1)),
+            )
+        )
+        return
+    if baseline != current:
+        findings.append(("note", leaf, "%r -> %r" % (baseline, current)))
+
+
+def check_bench(baseline_path, current_path):
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    with open(current_path) as f:
+        current = json.load(f)
+    findings = []
+    walk(baseline, current, "", findings)
+    return findings
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff fresh bench manifests against pinned baselines"
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default=os.path.join(os.path.dirname(__file__), ".."),
+        help="directory with the pinned BENCH_*.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--current-dir",
+        required=True,
+        help="directory with freshly generated BENCH_*.json",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="relative tolerance for *_per_sec/speedup_* (default 0.5)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail when throughput leaves the tolerance band",
+    )
+    global ARGS
+    ARGS = parser.parse_args()
+
+    pinned = sorted(
+        glob.glob(os.path.join(ARGS.baseline_dir, "BENCH_*.json"))
+    )
+    if not pinned:
+        print("bench_check: no pinned BENCH_*.json in", ARGS.baseline_dir)
+        return 1
+
+    failed = False
+    compared = 0
+    for baseline_path in pinned:
+        name = os.path.basename(baseline_path)
+        current_path = os.path.join(ARGS.current_dir, name)
+        if not os.path.exists(current_path):
+            print("SKIP %s: not generated in this run" % name)
+            continue
+        compared += 1
+        print("== %s ==" % name)
+        for kind, leaf, detail in check_bench(baseline_path, current_path):
+            if kind == "fail":
+                failed = True
+                print("  FAIL %s: %s" % (leaf, detail))
+            elif kind == "perf":
+                if ARGS.strict:
+                    failed = True
+                print("  PERF %s: %s (outside %.0f%%)"
+                      % (leaf, detail, 100 * ARGS.tolerance))
+            elif kind == "ok":
+                print("  ok   %s: %s" % (leaf, detail))
+            else:
+                print("  note %s: %s" % (leaf, detail))
+    if compared == 0:
+        print("bench_check: nothing to compare")
+    print("bench_check:", "FAILED" if failed else "passed",
+          "(%d manifest(s) compared)" % compared)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,11 +24,22 @@
  *     --stats-json FILE   write a JSON run manifest with the full
  *                         per-trace stats registry to FILE
  *     --stats             dump the full stats registry per trace
+ *     --interval-stats N  collect a windowed time series: snapshot
+ *                         the measured counters every N issued
+ *                         references (embedded in --stats-json as
+ *                         "interval_stats"; bit-identical runs)
+ *     --interval-csv FILE write the interval series as CSV
+ *     --trace-out FILE    export a Chrome/Perfetto trace-event file
+ *                         (phases, pool workers, sweep batches)
+ *     --progress SPEC     stream NDJSON progress records to SPEC:
+ *                         "-" = stderr, "fd:N" = inherited fd,
+ *                         otherwise a file path
  *     --trace-flags LIST  enable event tracing (cache,wb,tlb,mem,
  *                         sim or all; same syntax as CACHETIME_TRACE)
  *     --quiet             suppress informational output (default)
  *     --verbose           informational output + distributions
  *
+ * Every --opt VALUE may also be written --opt=VALUE.
  * With no --trace/--workloads, runs the Table 1 set at scale 0.1.
  */
 
@@ -41,8 +52,11 @@
 
 #include "core/experiment.hh"
 #include "sim/system.hh"
+#include "stats/interval.hh"
+#include "stats/progress.hh"
 #include "stats/stats.hh"
 #include "stats/telemetry.hh"
+#include "stats/trace_event.hh"
 #include "trace_debug/trace_debug.hh"
 #include "trace/ref_source.hh"
 #include "trace/trace_io.hh"
@@ -116,6 +130,41 @@ printResult(const SimResult &r, bool csv, bool verbose)
     std::cout << '\n';
 }
 
+/**
+ * Drive one run feeding bounded slices so @p meter sees per-chunk
+ * updates.  Slices follow the same couplet rule as ChunkFeeder (a
+ * cut never separates an IFetch from the data reference it pairs
+ * with), so the run is bit-identical to System::run().
+ */
+SimResult
+runWithProgress(System &system, RefSource &source,
+                ProgressMeter &meter)
+{
+    meter.setLabel(source.name());
+    meter.setTotal(source.size(), "refs");
+    ChunkFeeder feeder(source);
+    system.beginRun(source);
+    while (ChunkFeeder::Span span = feeder.next()) {
+        const Ref *refs = span.data;
+        std::size_t left = span.size;
+        while (left != 0) {
+            std::size_t take =
+                left < refChunkSize ? left : refChunkSize;
+            if (take < left &&
+                refs[take - 1].kind == RefKind::IFetch &&
+                isData(refs[take].kind))
+                ++take;
+            system.feedChunk(refs, take);
+            refs += take;
+            left -= take;
+            meter.bump(take);
+        }
+    }
+    SimResult result = system.endRun();
+    meter.finish();
+    return result;
+}
+
 /** One element of the manifest's "traces" array. */
 std::string
 traceStatsJson(const SimResult &r)
@@ -142,10 +191,27 @@ main(int argc, char **argv)
     double workload_scale = 0.0;
     bool csv = false, verbose = false, dump_stats = false;
     std::string stats_json_path;
+    std::uint64_t interval_refs = 0;
+    std::string interval_csv_path;
+    std::string trace_out_path;
+    std::string progress_spec;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
+        // Accept --opt=VALUE alongside --opt VALUE.
+        std::string inline_value;
+        bool has_inline = false;
+        if (arg.rfind("--", 0) == 0) {
+            std::size_t eq = arg.find('=');
+            if (eq != std::string::npos) {
+                inline_value = arg.substr(eq + 1);
+                arg.resize(eq);
+                has_inline = true;
+            }
+        }
         auto need = [&](const char *what) -> std::string {
+            if (has_inline)
+                return inline_value;
             if (i + 1 >= argc)
                 fatal("cachetime_sim: %s needs an argument", what);
             return argv[++i];
@@ -166,6 +232,17 @@ main(int argc, char **argv)
             stats_json_path = need("--stats-json");
         } else if (arg == "--stats") {
             dump_stats = true;
+        } else if (arg == "--interval-stats") {
+            interval_refs = std::stoull(need("--interval-stats"));
+            if (interval_refs == 0)
+                fatal("cachetime_sim: --interval-stats needs a "
+                      "window of at least 1 reference");
+        } else if (arg == "--interval-csv") {
+            interval_csv_path = need("--interval-csv");
+        } else if (arg == "--trace-out") {
+            trace_out_path = need("--trace-out");
+        } else if (arg == "--progress") {
+            progress_spec = need("--progress");
         } else if (arg == "--trace-flags") {
             std::string spec = need("--trace-flags");
             std::string error;
@@ -189,6 +266,19 @@ main(int argc, char **argv)
     }
 
     config.validate();
+    if (!interval_csv_path.empty() && interval_refs == 0)
+        fatal("cachetime_sim: --interval-csv needs "
+              "--interval-stats N");
+    if (!trace_out_path.empty() &&
+        !trace_event::beginSession(trace_out_path))
+        fatal("cachetime_sim: cannot start a trace session");
+    ProgressMeter meter;
+    if (!progress_spec.empty()) {
+        if (!meter.openSpec(progress_spec))
+            fatal("cachetime_sim: cannot open progress sink '%s'",
+                  progress_spec.c_str());
+        meter.setTool("cachetime_sim");
+    }
     std::cout << "machine: " << config.describe() << "\n\n";
     if (csv)
         std::cout << "trace,refs,cycles,cycles_per_ref,"
@@ -235,19 +325,40 @@ main(int argc, char **argv)
             }
             manifest.traces.push_back(r.traceName);
         };
+        IntervalCollector collector(
+            interval_refs ? interval_refs : 1);
+        auto runOne = [&](RefSource &source) {
+            System system(config);
+            if (interval_refs)
+                system.setIntervalCollector(&collector);
+            auto r = std::make_shared<const SimResult>(
+                meter.active() ? runWithProgress(system, source, meter)
+                               : system.run(source));
+            consume(*r);
+            results.push_back(std::move(r));
+        };
         for (const Trace &trace : traces) {
-            System system(config);
-            auto r = std::make_shared<const SimResult>(
-                system.run(trace));
-            consume(*r);
-            results.push_back(std::move(r));
+            TraceRefSource source(trace);
+            runOne(source);
         }
-        for (auto &source : sources) {
-            System system(config);
-            auto r = std::make_shared<const SimResult>(
-                system.run(*source));
-            consume(*r);
-            results.push_back(std::move(r));
+        for (auto &source : sources)
+            runOne(*source);
+
+        if (interval_refs) {
+            if (!interval_csv_path.empty()) {
+                std::ofstream out(interval_csv_path);
+                if (!out)
+                    fatal("cachetime_sim: cannot write '%s'",
+                          interval_csv_path.c_str());
+                collector.dumpCsv(out);
+                inform("wrote interval series to %s",
+                       interval_csv_path.c_str());
+            }
+            if (!stats_json_path.empty())
+                manifest.extra.emplace_back("interval_stats",
+                                            collector.json());
+            if (verbose)
+                collector.dumpCsv(std::cout);
         }
     }
     trace_stats_json += ']';
@@ -271,6 +382,13 @@ main(int argc, char **argv)
             fatal("cachetime_sim: cannot write '%s'",
                   stats_json_path.c_str());
         inform("wrote run manifest to %s", stats_json_path.c_str());
+    }
+
+    if (!trace_out_path.empty()) {
+        if (!trace_event::endSession())
+            fatal("cachetime_sim: cannot write '%s'",
+                  trace_out_path.c_str());
+        inform("wrote trace events to %s", trace_out_path.c_str());
     }
     return 0;
 }

@@ -17,6 +17,9 @@
  *     --case SEED     run one generated case verbosely
  *     --repro-dir DIR where failure repros are written (default .)
  *     --progress N    progress line every N cases (default 0: quiet)
+ *     --progress-out SPEC stream NDJSON progress records per case to
+ *                     SPEC: "-" = stderr, "fd:N" = inherited fd,
+ *                     otherwise a file path
  *     --no-minimize   dump the raw failing case without shrinking
  *     --load-one FILE (internal) drain one trace file and exit;
  *                     the I/O fuzzer re-execs itself with this
@@ -29,6 +32,7 @@
 #include <cstring>
 #include <string>
 
+#include "stats/progress.hh"
 #include "util/logging.hh"
 #include "verify/diff.hh"
 #include "verify/fuzz.hh"
@@ -71,6 +75,7 @@ main(int argc, char **argv)
     bool io_fuzz = false;
     std::uint64_t io_cases = 0;
     std::uint64_t single_seed = 0;
+    std::string progress_spec;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -99,6 +104,8 @@ main(int argc, char **argv)
         else if (arg == "--progress")
             options.progressEvery =
                 std::strtoull(value(), nullptr, 0);
+        else if (arg == "--progress-out")
+            progress_spec = value();
         else if (arg == "--no-minimize")
             options.minimize = false;
         else
@@ -109,6 +116,15 @@ main(int argc, char **argv)
     if (!load_one_path.empty()) {
         verify::drainTraceFile(load_one_path);
         return 0;
+    }
+    ProgressMeter meter;
+    if (!progress_spec.empty()) {
+        if (!meter.openSpec(progress_spec))
+            fatal("cachetime_verify: cannot open progress sink "
+                  "'%s'", progress_spec.c_str());
+        meter.setTool("cachetime_verify");
+        meter.setLabel(io_fuzz ? "io-fuzz" : "fuzz");
+        options.progress = &meter;
     }
     if (io_fuzz) {
         verify::IoFuzzOptions io_options;
