@@ -6,6 +6,7 @@
 #include "stats/stats.hh"
 #include "util/logging.hh"
 #include "util/mathutil.hh"
+#include "util/serialize.hh"
 
 namespace cachetime
 {
@@ -492,6 +493,119 @@ Cache::validBlocks() const
            "incremental valid-block counter out of sync");
 #endif
     return validBlocks_;
+}
+
+void
+Cache::saveState(StateWriter &w) const
+{
+    w.u64(seq_);
+    std::uint64_t rng[4];
+    replRng_.state(rng);
+    for (int i = 0; i < 4; ++i)
+        w.u64(rng[i]);
+
+    w.u64(lines_.size());
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+        const Line &line = lines_[i];
+        w.b(line.present);
+        // The fast-hit flag is part of the trajectory: a flagged
+        // line skips lastUse updates, so restoring it cold would
+        // make the continuation's recency bytes drift from the
+        // uninterrupted run's even though behaviour is unchanged.
+        w.b(fastFlags_[i] != 0);
+        if (!line.present)
+            continue;
+        w.u64(line.tag);
+        w.u64(line.pid);
+        w.u64(line.lastUse);
+        w.u64(line.fillSeq);
+        w.u64(line.valid.lo);
+        w.u64(line.valid.hi);
+        w.u64(line.dirty.lo);
+        w.u64(line.dirty.hi);
+        w.b(line.prefetched);
+    }
+
+    w.u64(victims_.size());
+    for (const VictimEntry &entry : victims_) {
+        w.b(entry.occupied);
+        if (!entry.occupied)
+            continue;
+        w.u64(entry.blockAddr);
+        w.u64(entry.pid);
+        w.u64(entry.valid.lo);
+        w.u64(entry.valid.hi);
+        w.u64(entry.dirty.lo);
+        w.u64(entry.dirty.hi);
+        w.u64(entry.lastUse);
+    }
+}
+
+void
+Cache::loadState(StateReader &r)
+{
+    seq_ = r.u64();
+    std::uint64_t rng[4];
+    for (int i = 0; i < 4; ++i)
+        rng[i] = r.u64();
+    replRng_.setState(rng);
+
+    std::uint64_t n_lines = r.u64();
+    if (n_lines != lines_.size())
+        fatal("%s: checkpoint has %llu lines, this cache has %zu "
+              "(config mismatch)",
+              name_.c_str(), static_cast<unsigned long long>(n_lines),
+              lines_.size());
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+        Line &line = lines_[i];
+        line.present = r.b();
+        bool fast = r.b();
+        if (!line.present) {
+            line.tag = 0;
+            line.pid = 0;
+            line.lastUse = 0;
+            line.fillSeq = 0;
+            line.valid.clear();
+            line.dirty.clear();
+            line.prefetched = false;
+        } else {
+            line.tag = r.u64();
+            line.pid = static_cast<Pid>(r.u64());
+            line.lastUse = r.u64();
+            line.fillSeq = r.u64();
+            line.valid.lo = r.u64();
+            line.valid.hi = r.u64();
+            line.dirty.lo = r.u64();
+            line.dirty.hi = r.u64();
+            line.prefetched = r.b();
+        }
+        syncKey(line); // also maintains validBlocks_
+        // After syncKey's conservative clear: the saved flag was
+        // sound when captured, so it is sound to restore verbatim.
+        fastFlags_[i] = fast ? 1 : 0;
+    }
+
+    std::uint64_t n_victims = r.u64();
+    if (n_victims != victims_.size())
+        fatal("%s: checkpoint has %llu victim slots, this cache has "
+              "%zu (config mismatch)",
+              name_.c_str(),
+              static_cast<unsigned long long>(n_victims),
+              victims_.size());
+    for (VictimEntry &entry : victims_) {
+        entry.occupied = r.b();
+        if (!entry.occupied) {
+            entry = VictimEntry{};
+            continue;
+        }
+        entry.blockAddr = r.u64();
+        entry.pid = static_cast<Pid>(r.u64());
+        entry.valid.lo = r.u64();
+        entry.valid.hi = r.u64();
+        entry.dirty.lo = r.u64();
+        entry.dirty.hi = r.u64();
+        entry.lastUse = r.u64();
+    }
 }
 
 } // namespace cachetime

@@ -48,6 +48,9 @@ namespace stats
 class Registry;
 }
 
+class StateReader;
+class StateWriter;
+
 /** Everything the timing layer needs to know about one access. */
 struct AccessOutcome
 {
@@ -248,6 +251,24 @@ class Cache
      * builds assert it against a full scan).
      */
     std::uint64_t validBlocks() const;
+
+    /**
+     * Serialize the organizational state - every line's tag, valid
+     * and dirty masks and replacement metadata, the victim buffer,
+     * the access sequence and the replacement RNG stream - so a
+     * restored cache continues bit-identically (live-points
+     * checkpoints, DESIGN.md section 12).  Statistics are not state:
+     * the measurement boundary resets them anyway.
+     */
+    void saveState(StateWriter &w) const;
+
+    /**
+     * Restore state written by saveState() on a cache with the same
+     * configuration.  The probe keys and fast-hit flags are derived
+     * state and are rebuilt here; fatal()s on a shape mismatch or a
+     * corrupt record.
+     */
+    void loadState(StateReader &r);
 
 
   private:

@@ -18,6 +18,7 @@
 #include "cache/cache.hh"
 #include "memory/mem_level.hh"
 #include "memory/memory_timing.hh"
+#include "util/serialize.hh"
 
 namespace cachetime
 {
@@ -63,6 +64,22 @@ class CacheLevel : public MemLevel
 
     /** Reset statistics at the warm-start boundary. */
     void resetStats() { cache_.resetStats(); }
+
+    /** Serialize cache contents + port horizon (checkpoints). */
+    void
+    saveState(StateWriter &w) const
+    {
+        w.u64(static_cast<std::uint64_t>(freeAt_));
+        cache_.saveState(w);
+    }
+
+    /** Restore state written by saveState() on an identical config. */
+    void
+    loadState(StateReader &r)
+    {
+        freeAt_ = static_cast<Tick>(r.u64());
+        cache_.loadState(r);
+    }
 
   private:
     /** Handle a fill, including any dirty-victim write-back. */

@@ -147,6 +147,42 @@ simKey(const SystemConfig &config, const Trace &trace)
     return simKey(config, traceIdentityHash(trace));
 }
 
+SimKey
+warmStateKey(const SystemConfig &config)
+{
+    KeyBuilder kb;
+    kb.u64(0x7761726d6b657931ULL); // "warmkey1": domain-separate
+                                   // from simKey
+    bool physical = config.addressing == AddressMode::Physical;
+    kb.u64(static_cast<std::uint64_t>(config.addressing));
+    if (physical) {
+        kb.u64(config.tlb.entries);
+        kb.u64(config.tlb.assoc);
+        kb.u64(config.tlb.pageWords);
+        kb.u64(config.tlb.physFrames);
+        // missPenaltyCycles is timing-only: it never changes which
+        // entry is installed or evicted, so it stays out.
+    }
+    kb.b(config.split);
+    // System's constructor forces physical caches to physical tags;
+    // mirror that so pre- and post-construction configs agree.
+    auto appendL1 = [&](CacheConfig cache) {
+        if (physical)
+            cache.virtualTags = false;
+        appendCache(kb, cache);
+    };
+    if (config.split)
+        appendL1(config.icache);
+    appendL1(config.dcache);
+    return kb.key();
+}
+
+SimKey
+exactStateKey(const SystemConfig &config, std::uint64_t trace_hash)
+{
+    return simKey(config, trace_hash);
+}
+
 SimCache &
 SimCache::global()
 {

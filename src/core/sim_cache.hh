@@ -65,6 +65,27 @@ SimKey simKey(const SystemConfig &config, std::uint64_t trace_hash);
 /** Convenience overload hashing @p trace on the spot. */
 SimKey simKey(const SystemConfig &config, const Trace &trace);
 
+/**
+ * @return the key of @p config's *warming-relevant* subset: the
+ * fields that determine how L1 cache and TLB contents evolve under a
+ * given reference stream - addressing mode (+ TLB organization when
+ * physical), split, and the organizational L1 cache config(s).
+ * Timing fields (latencies, buffers, L2, memory) deliberately do not
+ * enter: two configs with equal warmStateKey grow bit-identical L1
+ * tag/LRU state from the same stream, so a live-points checkpoint
+ * taken under one can warm-restore the other (System::
+ * restoreWarmState()).
+ */
+SimKey warmStateKey(const SystemConfig &config);
+
+/**
+ * @return the key under which a full-state checkpoint is valid:
+ * equal keys mean restoreState() continues bit-identically.  This is
+ * simKey(config, trace_hash) - every timing field matters.
+ */
+SimKey exactStateKey(const SystemConfig &config,
+                     std::uint64_t trace_hash);
+
 /** Process-wide memoization table for simulation results. */
 class SimCache
 {

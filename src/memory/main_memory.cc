@@ -5,6 +5,7 @@
 #include "stats/stats.hh"
 #include "trace_debug/trace_debug.hh"
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace cachetime
 {
@@ -163,6 +164,28 @@ MainMemory::writeBlock(Tick when, Addr addr, unsigned words, Pid pid)
         static_cast<unsigned long long>(addr), words,
         static_cast<unsigned long long>(release));
     return release;
+}
+
+void
+MainMemory::saveState(StateWriter &w) const
+{
+    w.u64(static_cast<std::uint64_t>(busFreeAt_));
+    w.u64(bankFreeAt_.size());
+    for (Tick t : bankFreeAt_)
+        w.u64(static_cast<std::uint64_t>(t));
+}
+
+void
+MainMemory::loadState(StateReader &r)
+{
+    busFreeAt_ = static_cast<Tick>(r.u64());
+    std::uint64_t n = r.u64();
+    if (n != bankFreeAt_.size())
+        fatal("memory: checkpoint has %llu banks, this memory has "
+              "%zu (config mismatch)",
+              static_cast<unsigned long long>(n), bankFreeAt_.size());
+    for (Tick &t : bankFreeAt_)
+        t = static_cast<Tick>(r.u64());
 }
 
 } // namespace cachetime

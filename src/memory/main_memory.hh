@@ -28,6 +28,9 @@ namespace stats
 class Registry;
 }
 
+class StateReader;
+class StateWriter;
+
 /** Counters for main-memory activity (reset at warm start). */
 struct MainMemoryStats
 {
@@ -86,6 +89,12 @@ class MainMemory : public MemLevel
 
     const MainMemoryStats &stats() const { return stats_; }
     void resetStats() { stats_.reset(); }
+
+    /** Serialize the bus and bank busy horizons (checkpoints). */
+    void saveState(StateWriter &w) const;
+
+    /** Restore state written by saveState() on an identical config. */
+    void loadState(StateReader &r);
 
   private:
     /** @return when every bank touched by [addr, addr+words) frees. */

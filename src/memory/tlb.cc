@@ -4,6 +4,7 @@
 #include "trace_debug/trace_debug.hh"
 #include "util/logging.hh"
 #include "util/mathutil.hh"
+#include "util/serialize.hh"
 
 namespace cachetime
 {
@@ -104,6 +105,44 @@ Tlb::flush()
 {
     for (Entry &entry : entries_)
         entry.valid = false;
+}
+
+void
+Tlb::saveState(StateWriter &w) const
+{
+    w.u64(seq_);
+    w.u64(entries_.size());
+    for (const Entry &entry : entries_) {
+        w.b(entry.valid);
+        if (!entry.valid)
+            continue;
+        w.u64(entry.vpage);
+        w.u64(entry.pid);
+        w.u64(entry.frame);
+        w.u64(entry.lastUse);
+    }
+}
+
+void
+Tlb::loadState(StateReader &r)
+{
+    seq_ = r.u64();
+    std::uint64_t n = r.u64();
+    if (n != entries_.size())
+        fatal("tlb: checkpoint has %llu entries, this TLB has %zu "
+              "(config mismatch)",
+              static_cast<unsigned long long>(n), entries_.size());
+    for (Entry &entry : entries_) {
+        entry.valid = r.b();
+        if (!entry.valid) {
+            entry = Entry{};
+            continue;
+        }
+        entry.vpage = r.u64();
+        entry.pid = static_cast<Pid>(r.u64());
+        entry.frame = r.u64();
+        entry.lastUse = r.u64();
+    }
 }
 
 } // namespace cachetime

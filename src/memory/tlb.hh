@@ -35,6 +35,9 @@ namespace stats
 class Registry;
 }
 
+class StateReader;
+class StateWriter;
+
 /** Organizational and timing parameters of a TLB. */
 struct TlbConfig
 {
@@ -112,6 +115,12 @@ class Tlb
     const TlbConfig &config() const { return config_; }
     const TlbStats &stats() const { return stats_; }
     void resetStats() { stats_.reset(); }
+
+    /** Serialize entries and the LRU sequence (checkpoints). */
+    void saveState(StateWriter &w) const;
+
+    /** Restore state written by saveState() on an identical config. */
+    void loadState(StateReader &r);
 
   private:
     struct Entry

@@ -7,6 +7,7 @@
 #include "stats/stats.hh"
 #include "trace_debug/trace_debug.hh"
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace cachetime
 {
@@ -224,6 +225,39 @@ WriteBuffer::drain(Tick when)
     if (!queue_.empty())
         release = forceDrain(queue_.size() - 1, when);
     return down_->drain(std::max(when, release));
+}
+
+void
+WriteBuffer::saveState(StateWriter &w) const
+{
+    w.u64(queue_.size());
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+        const Entry &entry = queue_[i];
+        w.u64(entry.addr);
+        w.u64(entry.words);
+        w.u64(static_cast<std::uint64_t>(entry.ready));
+        w.u64(entry.pid);
+    }
+}
+
+void
+WriteBuffer::loadState(StateReader &r)
+{
+    std::uint64_t n = r.u64();
+    if (n > config_.depth)
+        fatal("%s: checkpoint has %llu queued writes, depth is %u "
+              "(config mismatch)",
+              name_.c_str(), static_cast<unsigned long long>(n),
+              config_.depth);
+    queue_.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Entry entry;
+        entry.addr = r.u64();
+        entry.words = static_cast<unsigned>(r.u64());
+        entry.ready = static_cast<Tick>(r.u64());
+        entry.pid = static_cast<Pid>(r.u64());
+        queue_.push_back(entry);
+    }
 }
 
 } // namespace cachetime

@@ -31,6 +31,9 @@ namespace stats
 class Registry;
 }
 
+class StateReader;
+class StateWriter;
+
 /** The eight write-buffer knobs. */
 struct WriteBufferConfig
 {
@@ -138,6 +141,12 @@ class WriteBuffer : public MemLevel
     const WriteBufferStats &stats() const { return stats_; }
     void resetStats() { stats_.reset(); }
 
+    /** Serialize the queued entries in FIFO order (checkpoints). */
+    void saveState(StateWriter &w) const;
+
+    /** Restore state written by saveState() on an identical config. */
+    void loadState(StateReader &r);
+
   private:
     struct Entry
     {
@@ -195,6 +204,14 @@ class WriteBuffer : public MemLevel
         {
             head_ = (head_ + 1) & mask_;
             --count_;
+        }
+
+        /** Empty the queue (checkpoint restore). */
+        void
+        clear()
+        {
+            head_ = 0;
+            count_ = 0;
         }
 
       private:

@@ -1,11 +1,13 @@
 #include "sim/system.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 
 #include "stats/interval.hh"
 #include "trace_debug/trace_debug.hh"
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace cachetime
 {
@@ -566,7 +568,7 @@ System::beginRun(const RefSource &source)
 
     if (interval_) {
         interval_->beginRun(result_.traceName);
-        nextIntervalBoundary_ = interval_->windowRefs();
+        nextIntervalBoundary_ = interval_->firstBoundaryAfter(0);
     }
 }
 
@@ -649,8 +651,8 @@ System::feedChunk(const Ref *refs, std::size_t n)
         if (progress_.consumed >= nextIntervalBoundary_) {
             interval_->atBoundary(progress_.consumed,
                                   captureIntervalCounters());
-            while (nextIntervalBoundary_ <= progress_.consumed)
-                nextIntervalBoundary_ += interval_->windowRefs();
+            nextIntervalBoundary_ =
+                interval_->firstBoundaryAfter(progress_.consumed);
         }
     }
 }
@@ -715,6 +717,142 @@ System::run(RefSource &source)
     while (ChunkFeeder::Span span = feeder.next())
         feedChunk(span.data, span.size);
     return endRun();
+}
+
+namespace
+{
+
+/** @return true when @p tag (4 raw bytes) equals literal @p want. */
+bool
+tagIs(const std::string &tag, const char want[4])
+{
+    return tag.size() == 4 && std::memcmp(tag.data(), want, 4) == 0;
+}
+
+/** beginSection and fatal() unless the tag is @p want. */
+void
+expectSection(StateReader &r, const char want[4])
+{
+    std::string tag = r.beginSection();
+    if (!tagIs(tag, want))
+        fatal("checkpoint state: expected section '%s', found '%s'",
+              want, tag.c_str());
+}
+
+} // namespace
+
+void
+System::captureState(StateWriter &w) const
+{
+    w.beginSection("CLK");
+    w.u64(static_cast<std::uint64_t>(progress_.now));
+    w.u64(static_cast<std::uint64_t>(icacheBusy_));
+    w.u64(static_cast<std::uint64_t>(dcacheBusy_));
+    w.endSection();
+    if (config_.split) {
+        w.beginSection("L1I");
+        icache_->saveState(w);
+        w.endSection();
+    }
+    w.beginSection("L1D");
+    dcache_->saveState(w);
+    w.endSection();
+    if (tlb_) {
+        w.beginSection("TLB");
+        tlb_->saveState(w);
+        w.endSection();
+    }
+    w.beginSection("WB1");
+    l1Buffer_->saveState(w);
+    w.endSection();
+    w.beginSection("MID");
+    w.u64(midLevels_.size());
+    for (std::size_t i = 0; i < midLevels_.size(); ++i) {
+        midBuffers_[i]->saveState(w);
+        midLevels_[i]->saveState(w);
+    }
+    w.endSection();
+    w.beginSection("MEM");
+    memory_->saveState(w);
+    w.endSection();
+}
+
+void
+System::restoreState(StateReader &r)
+{
+    expectSection(r, "CLK");
+    progress_.now = static_cast<Tick>(r.u64());
+    icacheBusy_ = static_cast<Tick>(r.u64());
+    dcacheBusy_ = static_cast<Tick>(r.u64());
+    r.endSection();
+    if (config_.split) {
+        expectSection(r, "L1I");
+        icache_->loadState(r);
+        r.endSection();
+    }
+    expectSection(r, "L1D");
+    dcache_->loadState(r);
+    r.endSection();
+    if (tlb_) {
+        expectSection(r, "TLB");
+        tlb_->loadState(r);
+        r.endSection();
+    }
+    expectSection(r, "WB1");
+    l1Buffer_->loadState(r);
+    r.endSection();
+    expectSection(r, "MID");
+    std::uint64_t mids = r.u64();
+    if (mids != midLevels_.size())
+        fatal("checkpoint state: %llu intermediate levels, this "
+              "machine has %zu (config mismatch)",
+              static_cast<unsigned long long>(mids),
+              midLevels_.size());
+    for (std::size_t i = 0; i < midLevels_.size(); ++i) {
+        midBuffers_[i]->loadState(r);
+        midLevels_[i]->loadState(r);
+    }
+    r.endSection();
+    expectSection(r, "MEM");
+    memory_->loadState(r);
+    r.endSection();
+}
+
+void
+System::restoreWarmState(StateReader &r)
+{
+    bool saw_d = false;
+    bool saw_i = false;
+    bool saw_tlb = false;
+    while (r.remaining() > 0) {
+        std::string tag = r.beginSection();
+        if (tagIs(tag, "L1I")) {
+            if (!config_.split)
+                fatal("checkpoint warm state has a split L1, this "
+                      "machine is unified (warm-key mismatch)");
+            icache_->loadState(r);
+            r.endSection();
+            saw_i = true;
+        } else if (tagIs(tag, "L1D")) {
+            dcache_->loadState(r);
+            r.endSection();
+            saw_d = true;
+        } else if (tagIs(tag, "TLB")) {
+            if (!tlb_)
+                fatal("checkpoint warm state has a TLB, this machine "
+                      "is virtually addressed (warm-key mismatch)");
+            tlb_->loadState(r);
+            r.endSection();
+            saw_tlb = true;
+        } else {
+            // Timing-entangled sections (clock, buffers, L2, memory)
+            // are deliberately not restored across configs.
+            r.skipSection();
+        }
+    }
+    if (!saw_d || (config_.split && !saw_i) || (tlb_ && !saw_tlb))
+        fatal("checkpoint warm state is missing a cache/TLB section "
+              "(corrupt or warm-key mismatch)");
 }
 
 } // namespace cachetime

@@ -38,6 +38,8 @@ namespace cachetime
 
 class IntervalCollector;
 struct IntervalCounters;
+class StateReader;
+class StateWriter;
 
 /** One simulated machine instance. */
 class System
@@ -101,6 +103,38 @@ class System
     {
         interval_ = collector;
     }
+
+    /**
+     * Serialize the machine's complete warm state - simulated clock,
+     * L1 busy horizons, cache contents (tags, LRU, dirty bits,
+     * victim buffers, replacement streams), TLB, write-buffer
+     * queues, intermediate levels and memory bank horizons - into
+     * tagged sections (live-points checkpoints, DESIGN.md section
+     * 12).  Valid between feedChunk() calls of an armed run.
+     * Statistics are not captured: the measurement boundary resets
+     * them on restore anyway.
+     */
+    void captureState(StateWriter &w) const;
+
+    /**
+     * Restore everything captureState() wrote.  Must be called
+     * after beginRun() and before the first feedChunk(); the config
+     * must equal the capturing machine's (exactStateKey() match).
+     * The continued run is bit-identical to the uninterrupted one.
+     */
+    void restoreState(StateReader &r);
+
+    /**
+     * Restore only the timing-independent warm state: L1 cache(s)
+     * and TLB.  Their evolution depends only on the reference
+     * stream and their own organizational config (warmStateKey()),
+     * so a checkpoint taken under one timing configuration seeds
+     * them for any other.  Timing-entangled state - clock, write
+     * buffers, L2 contents, busy horizons - stays cold; the sampling
+     * engine's detailed warm-up before each measurement unit exists
+     * to re-warm exactly that remainder.
+     */
+    void restoreWarmState(StateReader &r);
 
     /** @return the configuration this machine was built from. */
     const SystemConfig &config() const { return config_; }

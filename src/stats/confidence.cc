@@ -1,0 +1,174 @@
+#include "stats/confidence.hh"
+
+#include <cmath>
+#include <cstddef>
+
+#include "util/logging.hh"
+
+namespace cachetime
+{
+
+namespace
+{
+
+/**
+ * Regularized incomplete beta I_x(a, b) by the Lentz continued
+ * fraction, using the symmetry transform so the fraction is always
+ * evaluated in its fast-converging region.
+ */
+double
+betaContinuedFraction(double a, double b, double x)
+{
+    constexpr double kTiny = 1e-300;
+    constexpr double kEps = 1e-15;
+    double qab = a + b;
+    double qap = a + 1.0;
+    double qam = a - 1.0;
+    double c = 1.0;
+    double d = 1.0 - qab * x / qap;
+    if (std::fabs(d) < kTiny)
+        d = kTiny;
+    d = 1.0 / d;
+    double h = d;
+    for (int m = 1; m <= 300; ++m) {
+        double m2 = 2.0 * m;
+        double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < kTiny)
+            d = kTiny;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < kTiny)
+            c = kTiny;
+        d = 1.0 / d;
+        h *= d * c;
+        aa = -(a + m) * (qab + m) * x /
+             ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < kTiny)
+            d = kTiny;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < kTiny)
+            c = kTiny;
+        d = 1.0 / d;
+        double del = d * c;
+        h *= del;
+        if (std::fabs(del - 1.0) < kEps)
+            break;
+    }
+    return h;
+}
+
+double
+regularizedIncompleteBeta(double a, double b, double x)
+{
+    if (x <= 0.0)
+        return 0.0;
+    if (x >= 1.0)
+        return 1.0;
+    double lnFront = std::lgamma(a + b) - std::lgamma(a) -
+                     std::lgamma(b) + a * std::log(x) +
+                     b * std::log1p(-x);
+    double front = std::exp(lnFront);
+    if (x < (a + 1.0) / (a + b + 2.0))
+        return front * betaContinuedFraction(a, b, x) / a;
+    return 1.0 - front * betaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+/** CDF of Student's t with @p dof degrees of freedom at @p t. */
+double
+studentTCdf(double t, double dof)
+{
+    double x = dof / (dof + t * t);
+    double tail = 0.5 * regularizedIncompleteBeta(dof / 2.0, 0.5, x);
+    return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+} // namespace
+
+double
+studentTQuantile(double p, std::size_t dof)
+{
+    if (p <= 0.0 || p >= 1.0)
+        panic("studentTQuantile: p=%g out of (0,1)", p);
+    if (dof == 0)
+        panic("studentTQuantile: zero degrees of freedom");
+    if (p == 0.5)
+        return 0.0;
+    // The quantile is odd in p around 0.5; solve in the upper half.
+    bool flip = p < 0.5;
+    double q = flip ? 1.0 - p : p;
+    double lo = 0.0;
+    double hi = 2.0;
+    while (studentTCdf(hi, static_cast<double>(dof)) < q)
+        hi *= 2.0;
+    for (int i = 0; i < 200; ++i) {
+        double mid = 0.5 * (lo + hi);
+        if (studentTCdf(mid, static_cast<double>(dof)) < q)
+            lo = mid;
+        else
+            hi = mid;
+        if (hi - lo < 1e-12 * (1.0 + hi))
+            break;
+    }
+    double t = 0.5 * (lo + hi);
+    return flip ? -t : t;
+}
+
+double
+MeanCI::relativeError() const
+{
+    return mean == 0.0 ? 0.0 : halfWidth / std::fabs(mean);
+}
+
+MeanCI
+meanConfidence(const std::vector<double> &samples, double confidence)
+{
+    MeanCI ci;
+    ci.n = samples.size();
+    ci.confidence = confidence;
+    if (ci.n == 0)
+        return ci;
+    double sum = 0.0;
+    for (double s : samples)
+        sum += s;
+    ci.mean = sum / static_cast<double>(ci.n);
+    if (ci.n < 2)
+        return ci;
+    double ss = 0.0;
+    for (double s : samples) {
+        double d = s - ci.mean;
+        ss += d * d;
+    }
+    ci.stddev = std::sqrt(ss / static_cast<double>(ci.n - 1));
+    double t = studentTQuantile(0.5 + confidence / 2.0, ci.n - 1);
+    ci.halfWidth =
+        t * ci.stddev / std::sqrt(static_cast<double>(ci.n));
+    return ci;
+}
+
+std::size_t
+requiredUnits(double cv, double targetRelError, double confidence)
+{
+    if (targetRelError <= 0.0)
+        panic("requiredUnits: target relative error must be > 0");
+    if (cv <= 0.0)
+        return 2;
+    // t depends on n, so iterate the fixed point; it converges in a
+    // few steps because t(n) flattens quickly.
+    std::size_t n = 2;
+    for (int i = 0; i < 32; ++i) {
+        double t = studentTQuantile(0.5 + confidence / 2.0,
+                                    n > 1 ? n - 1 : 1);
+        double want = t * cv / targetRelError;
+        std::size_t next =
+            static_cast<std::size_t>(std::ceil(want * want));
+        if (next < 2)
+            next = 2;
+        if (next == n)
+            break;
+        n = next;
+    }
+    return n;
+}
+
+} // namespace cachetime

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Student-t confidence intervals for sampled-simulation estimates.
+ *
+ * The SMARTS-style sampling engine (core/smarts.hh) measures a small
+ * systematic sample of units from a long reference stream and reports
+ * the sample mean as its estimate.  The machinery here quantifies how
+ * much to trust that mean: a two-sided Student-t interval around it,
+ * and the inverse question - how many units a pilot sample says are
+ * needed for a target relative half-width.
+ *
+ * Everything is self-contained (no libm beyond lgamma/exp/log): the
+ * t quantile comes from bisecting the CDF, which is evaluated through
+ * the regularized incomplete beta function via a Lentz continued
+ * fraction.  Accuracy is far beyond what sampled-simulation error
+ * bars need (~1e-10 in the quantile).
+ */
+
+#ifndef CACHETIME_STATS_CONFIDENCE_HH
+#define CACHETIME_STATS_CONFIDENCE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace cachetime
+{
+
+/**
+ * @return the @p p quantile of Student's t distribution with
+ * @p dof degrees of freedom (p in (0,1), dof >= 1).  E.g.
+ * studentTQuantile(0.975, 10) ~= 2.2281 gives the multiplier of a
+ * two-sided 95% interval from 11 samples.
+ */
+double studentTQuantile(double p, std::size_t dof);
+
+/** A sample mean with its two-sided Student-t confidence interval. */
+struct MeanCI
+{
+    std::size_t n = 0;      ///< sample size
+    double mean = 0.0;      ///< sample mean
+    double stddev = 0.0;    ///< sample standard deviation (n-1)
+    double halfWidth = 0.0; ///< t * stddev / sqrt(n)
+    double confidence = 0.0; ///< e.g. 0.95
+
+    double lo() const { return mean - halfWidth; }
+    double hi() const { return mean + halfWidth; }
+
+    /** @return true when @p value lies inside [lo, hi]. */
+    bool contains(double value) const
+    {
+        return value >= lo() && value <= hi();
+    }
+
+    /** @return halfWidth / |mean| (0 when the mean is 0). */
+    double relativeError() const;
+};
+
+/**
+ * @return the mean of @p samples with its two-sided @p confidence
+ * Student-t interval.  With fewer than two samples the half-width is
+ * 0 (no variance estimate exists); callers should treat such an
+ * interval as meaningless rather than tight.
+ */
+MeanCI meanConfidence(const std::vector<double> &samples,
+                      double confidence);
+
+/**
+ * @return the number of units a pilot with coefficient of variation
+ * @p cv says are needed so the @p confidence interval's relative
+ * half-width falls below @p targetRelError: n = (t * cv / e)^2,
+ * iterated since t itself depends on n.  Clamped to at least 2.
+ */
+std::size_t requiredUnits(double cv, double targetRelError,
+                          double confidence);
+
+} // namespace cachetime
+
+#endif // CACHETIME_STATS_CONFIDENCE_HH

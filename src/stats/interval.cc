@@ -1,5 +1,6 @@
 #include "stats/interval.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <ostream>
 #include <sstream>
@@ -125,6 +126,27 @@ IntervalCollector::IntervalCollector(std::uint64_t window_refs)
 {
     if (window_ == 0)
         panic("IntervalCollector needs a nonzero window");
+}
+
+IntervalCollector::IntervalCollector(
+    std::vector<std::uint64_t> boundaries)
+    : window_(0), schedule_(std::move(boundaries))
+{
+    for (std::size_t i = 1; i < schedule_.size(); ++i) {
+        if (schedule_[i] <= schedule_[i - 1])
+            panic("IntervalCollector: boundary schedule must be "
+                  "strictly increasing");
+    }
+}
+
+std::uint64_t
+IntervalCollector::firstBoundaryAfter(std::uint64_t pos) const
+{
+    if (window_ != 0)
+        return (pos / window_ + 1) * window_;
+    auto it =
+        std::upper_bound(schedule_.begin(), schedule_.end(), pos);
+    return it == schedule_.end() ? kNoBoundary : *it;
 }
 
 void

@@ -122,6 +122,28 @@ class IntervalCollector
     /** @param window_refs window length in issued references. */
     explicit IntervalCollector(std::uint64_t window_refs);
 
+    /**
+     * Explicit-schedule mode: emit a window ending at each position
+     * in @p boundaries (issued-ref positions, strictly increasing).
+     * The sampling engine uses this to make windows coincide with
+     * its measurement units, so a unit's counter deltas fall out of
+     * the same bit-exact machinery as the fixed-width series.
+     */
+    explicit IntervalCollector(std::vector<std::uint64_t> boundaries);
+
+    /** firstBoundaryAfter() result when no boundary remains. */
+    static constexpr std::uint64_t kNoBoundary = ~std::uint64_t{0};
+
+    /**
+     * @return the first window boundary strictly after position
+     * @p pos: the next multiple of windowRefs in fixed mode, the
+     * next scheduled position in explicit mode (kNoBoundary once the
+     * schedule is exhausted).  The System re-queries this after each
+     * emission, so both modes share one engine-side path.
+     */
+    std::uint64_t firstBoundaryAfter(std::uint64_t pos) const;
+
+    /** @return the fixed window length (0 in explicit mode). */
     std::uint64_t windowRefs() const { return window_; }
 
     // -- hooks called by System --------------------------------------
@@ -169,6 +191,8 @@ class IntervalCollector
               const IntervalCounters &cumulative, bool final);
 
     std::uint64_t window_;
+    /** Explicit boundary schedule (empty in fixed mode). */
+    std::vector<std::uint64_t> schedule_;
     std::string trace_;
     std::size_t indexInRun_ = 0;
     std::uint64_t lastRef_ = 0;

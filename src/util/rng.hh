@@ -74,6 +74,22 @@ class Rng
     /** Fork a statistically independent child stream. */
     Rng split();
 
+    /** Copy the four state words out (checkpoint serialization). */
+    void
+    state(std::uint64_t out[4]) const
+    {
+        for (int i = 0; i < 4; ++i)
+            out[i] = s_[i];
+    }
+
+    /** Restore a state captured by state(). */
+    void
+    setState(const std::uint64_t in[4])
+    {
+        for (int i = 0; i < 4; ++i)
+            s_[i] = in[i];
+    }
+
   private:
     std::uint64_t s_[4];
 };

@@ -1,0 +1,163 @@
+#include "util/serialize.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace cachetime
+{
+
+void
+StateWriter::f64(double v)
+{
+    u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void
+StateWriter::bytes(const void *data, std::size_t n)
+{
+    buf_.append(static_cast<const char *>(data), n);
+}
+
+void
+StateWriter::beginSection(const char tag[4])
+{
+    if (inSection_)
+        panic("StateWriter: sections do not nest");
+    buf_.append(tag, 4);
+    sectionStart_ = buf_.size();
+    u64(0); // placeholder length, patched by endSection()
+    inSection_ = true;
+}
+
+void
+StateWriter::endSection()
+{
+    if (!inSection_)
+        panic("StateWriter: endSection without beginSection");
+    std::uint64_t len = buf_.size() - sectionStart_ - 8;
+    for (int i = 0; i < 8; ++i)
+        buf_[sectionStart_ + i] =
+            static_cast<char>(static_cast<std::uint8_t>(len >> (8 * i)));
+    inSection_ = false;
+}
+
+StateReader::StateReader(const void *data, std::size_t size,
+                         std::string what)
+    : data_(static_cast<const unsigned char *>(data)), size_(size),
+      what_(std::move(what))
+{
+}
+
+void
+StateReader::need(std::size_t n) const
+{
+    std::size_t limit = inSection_ ? sectionEnd_ : size_;
+    if (pos_ + n > limit || pos_ + n < pos_)
+        fatal("%s: truncated state (need %zu bytes at offset %zu of "
+              "%zu)",
+              what_.c_str(), n, pos_, limit);
+}
+
+std::uint8_t
+StateReader::u8()
+{
+    need(1);
+    return data_[pos_++];
+}
+
+std::uint32_t
+StateReader::u32()
+{
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+}
+
+std::uint64_t
+StateReader::u64()
+{
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+}
+
+double
+StateReader::f64()
+{
+    return std::bit_cast<double>(u64());
+}
+
+bool
+StateReader::b()
+{
+    std::uint8_t v = u8();
+    if (v > 1)
+        fatal("%s: corrupt state (bool byte %u at offset %zu)",
+              what_.c_str(), v, pos_ - 1);
+    return v != 0;
+}
+
+void
+StateReader::bytes(void *out, std::size_t n)
+{
+    need(n);
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+}
+
+std::string
+StateReader::beginSection()
+{
+    if (inSection_)
+        panic("StateReader: sections do not nest");
+    need(12);
+    std::string tag(reinterpret_cast<const char *>(data_ + pos_), 4);
+    pos_ += 4;
+    std::uint64_t len = u64();
+    if (len > size_ - pos_)
+        fatal("%s: corrupt state (section '%s' claims %llu bytes, "
+              "%zu remain)",
+              what_.c_str(), tag.c_str(),
+              static_cast<unsigned long long>(len), size_ - pos_);
+    sectionEnd_ = pos_ + static_cast<std::size_t>(len);
+    inSection_ = true;
+    return tag;
+}
+
+std::size_t
+StateReader::sectionRemaining() const
+{
+    if (!inSection_)
+        panic("StateReader: no open section");
+    return sectionEnd_ - pos_;
+}
+
+void
+StateReader::endSection()
+{
+    if (!inSection_)
+        panic("StateReader: endSection without beginSection");
+    if (pos_ != sectionEnd_)
+        fatal("%s: corrupt state (section has %zu unread bytes)",
+              what_.c_str(), sectionEnd_ - pos_);
+    inSection_ = false;
+}
+
+void
+StateReader::skipSection()
+{
+    if (!inSection_)
+        panic("StateReader: skipSection without beginSection");
+    pos_ = sectionEnd_;
+    inSection_ = false;
+}
+
+} // namespace cachetime

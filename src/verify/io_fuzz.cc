@@ -12,6 +12,7 @@
 #include <sstream>
 #include <vector>
 
+#include "sim/checkpoint.hh"
 #include "trace/ref_source.hh"
 #include "trace/trace.hh"
 #include "trace/trace_io.hh"
@@ -45,10 +46,45 @@ randomTrace(Rng &rng)
     return Trace("iofuzz", std::move(refs), warm);
 }
 
-/** Serialize @p trace to @p path in one of the four disk formats. */
+/** A structurally valid checkpoint with random plan and blobs. */
 void
-writeCase(const Trace &trace, const std::string &path, unsigned format)
+writeCheckpointCase(const std::string &path, Rng &rng)
 {
+    CheckpointFile cp;
+    cp.traceHash = rng.next();
+    cp.warmKey = {rng.next(), rng.next()};
+    cp.exactKey = {rng.next(), rng.next()};
+    cp.unitRefs = 1 + rng.below(500);
+    cp.warmupRefs = 1 + rng.below(1000);
+    cp.streamRefs = 10'000 + rng.below(100'000);
+    cp.periodRefs = cp.unitRefs + cp.warmupRefs + rng.below(2000);
+    std::uint64_t n_units = 1 + rng.below(6);
+    std::uint64_t pos = rng.below(1000);
+    for (std::uint64_t i = 0; i < n_units; ++i) {
+        CheckpointUnit unit;
+        unit.cpPos = pos;
+        unit.beginPos = unit.cpPos + cp.warmupRefs;
+        unit.endPos = unit.beginPos + cp.unitRefs;
+        if (unit.endPos > cp.streamRefs)
+            break;
+        unit.state.resize(rng.below(300));
+        for (char &c : unit.state)
+            c = static_cast<char>(rng.below(256));
+        cp.units.push_back(std::move(unit));
+        pos += cp.periodRefs;
+    }
+    writeCheckpoint(cp, path);
+}
+
+/** Serialize @p trace to @p path in one of the five disk formats. */
+void
+writeCase(const Trace &trace, const std::string &path, unsigned format,
+          Rng &rng)
+{
+    if (format == 4) {
+        writeCheckpointCase(path, rng);
+        return;
+    }
     if (format == 3) {
         writeV2(trace, path);
         return;
@@ -162,6 +198,15 @@ loadInChild(const std::string &path)
 void
 drainTraceFile(const std::string &path)
 {
+    // Checkpoint files share the fuzz harness with the trace
+    // formats: sniff the magic and route to the checkpoint loader,
+    // which must likewise accept or die with a clean fatal().
+    std::string head = slurpBytes(path);
+    if (looksLikeCheckpoint(head.data(), head.size())) {
+        CheckpointFile cp = loadCheckpoint(path);
+        (void)cp;
+        return;
+    }
     Trace trace = loadFile(path);
     (void)trace;
     std::unique_ptr<RefSource> source = openRefSource(path);
@@ -181,7 +226,8 @@ runIoFuzz(const IoFuzzOptions &options)
                            std::to_string(seed) + ".trace";
 
         Trace trace = randomTrace(rng);
-        writeCase(trace, path, static_cast<unsigned>(rng.below(4)));
+        writeCase(trace, path, static_cast<unsigned>(rng.below(5)),
+                  rng);
         mutateFile(path, rng);
 
         ChildResult result = loadInChild(path);

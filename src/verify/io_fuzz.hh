@@ -2,14 +2,16 @@
  * @file
  * Robustness fuzzing of the trace I/O layer.
  *
- * Each case writes a small random trace in one of the on-disk
- * formats (text, din, binary v1, binary v2), then mutilates the
- * bytes - truncation, bit flips, garbage splices, or nothing at all
- * - and loads the result in a forked child through both loadFile()
- * and openRefSource() (draining the stream to the end).  The loaders
- * must either accept the file (exit 0) or reject it with fatal()
- * (exit 1); any signal, sanitizer abort or other exit status is a
- * loader bug and the offending file is kept as a repro.
+ * Each case writes a small random file in one of the on-disk
+ * formats (text, din, binary v1, binary v2 traces, or a live-points
+ * checkpoint), then mutilates the bytes - truncation, bit flips,
+ * garbage splices, or nothing at all - and loads the result in a
+ * forked child: checkpoints through loadCheckpoint(), traces
+ * through both loadFile() and openRefSource() (draining the stream
+ * to the end).  The loaders must either accept the file (exit 0) or
+ * reject it with fatal() (exit 1); any signal, sanitizer abort or
+ * other exit status is a loader bug and the offending file is kept
+ * as a repro.
  */
 
 #ifndef CACHETIME_VERIFY_IO_FUZZ_HH

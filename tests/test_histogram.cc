@@ -195,6 +195,36 @@ TEST(HistogramIntegration, MissPenaltyDistributionPopulated)
     EXPECT_GE(r.missPenaltyCycles.mean(), 10.0);
 }
 
+TEST(HistogramPercentile, SingleBucketReportsItsBinStart)
+{
+    // Every sample in one bucket: the estimate is that bin's lower
+    // edge for every p, including the extremes.
+    Histogram h(1, 8); // one bin [0,8), everything else overflows
+    h.sample(3);
+    h.sample(5);
+    h.sample(7);
+    for (double p : kQuantiles)
+        EXPECT_EQ(h.percentile(p), 0u) << "p=" << p;
+
+    Histogram wide(16, 4);
+    wide.sample(41, 5); // all mass in bin [40,44)
+    for (double p : kQuantiles)
+        EXPECT_EQ(wide.percentile(p), 40u) << "p=" << p;
+}
+
+TEST(HistogramPercentile, AllMassInOverflowReportsMax)
+{
+    Histogram h(2, 1); // binned range [0,2); samples all beyond it
+    h.sample(50);
+    h.sample(90, 3);
+    h.sample(70);
+    // No binned mass at all: max() is the only value the histogram
+    // still knows, for every p.
+    for (double p : kQuantiles)
+        EXPECT_EQ(h.percentile(p), 90u) << "p=" << p;
+    EXPECT_EQ(h.count(), 5u);
+}
+
 TEST(HistogramIntegration, BufferOccupancyObserved)
 {
     SystemConfig config = SystemConfig::paperDefault();

@@ -196,3 +196,109 @@ TEST(IntervalStats, DumpsAreWellFormed)
     collector.clear();
     EXPECT_TRUE(collector.records().empty());
 }
+
+// --- boundary schedules and partial-window flagging ----------------
+
+TEST(IntervalStats, FirstBoundaryAfterFixedMode)
+{
+    IntervalCollector collector(1000);
+    EXPECT_EQ(collector.firstBoundaryAfter(0), 1000u);
+    EXPECT_EQ(collector.firstBoundaryAfter(999), 1000u);
+    // Strictly after: standing on a boundary yields the next one.
+    EXPECT_EQ(collector.firstBoundaryAfter(1000), 2000u);
+    EXPECT_EQ(collector.firstBoundaryAfter(2500), 3000u);
+}
+
+TEST(IntervalStats, FirstBoundaryAfterExplicitMode)
+{
+    IntervalCollector collector(
+        std::vector<std::uint64_t>{100, 250, 600});
+    EXPECT_EQ(collector.windowRefs(), 0u);
+    EXPECT_EQ(collector.firstBoundaryAfter(0), 100u);
+    EXPECT_EQ(collector.firstBoundaryAfter(99), 100u);
+    EXPECT_EQ(collector.firstBoundaryAfter(100), 250u);
+    EXPECT_EQ(collector.firstBoundaryAfter(599), 600u);
+    EXPECT_EQ(collector.firstBoundaryAfter(600),
+              IntervalCollector::kNoBoundary);
+}
+
+TEST(IntervalStats, BadSchedulesDie)
+{
+    EXPECT_DEATH(IntervalCollector(std::uint64_t{0}), "nonzero");
+    EXPECT_DEATH(
+        IntervalCollector(std::vector<std::uint64_t>{100, 100}),
+        "strictly increasing");
+    EXPECT_DEATH(
+        IntervalCollector(std::vector<std::uint64_t>{200, 100}),
+        "strictly increasing");
+}
+
+TEST(IntervalStats, EndRunFlagsOnlyTrailingPartialWindow)
+{
+    // Drive the hooks directly so the layout is exact.  A run that
+    // issues past the last boundary gets a trailing window flagged
+    // final...
+    IntervalCollector partial(100);
+    partial.beginRun("t");
+    IntervalCounters cum;
+    cum.refs = 100;
+    cum.cycles = 500;
+    partial.atBoundary(100, cum);
+    IntervalCounters cum2 = cum;
+    cum2.refs = 150;
+    cum2.cycles = 900;
+    partial.endRun(150, cum2);
+    ASSERT_EQ(partial.records().size(), 2u);
+    EXPECT_FALSE(partial.records()[0].final);
+    EXPECT_TRUE(partial.records()[1].final);
+    EXPECT_EQ(partial.records()[1].beginRef, 100u);
+    EXPECT_EQ(partial.records()[1].endRef, 150u);
+    EXPECT_EQ(partial.records()[1].c.refs, 50u);
+    EXPECT_EQ(partial.records()[1].c.cycles, 400u);
+
+    // ...a run ending exactly on a boundary has nothing open, so no
+    // final record is emitted...
+    IntervalCollector exact(100);
+    exact.beginRun("t");
+    exact.atBoundary(100, cum);
+    exact.endRun(100, cum);
+    ASSERT_EQ(exact.records().size(), 1u);
+    EXPECT_FALSE(exact.records()[0].final);
+
+    // ...and a run shorter than one window still reports its single
+    // (final) window, even with zero references.
+    IntervalCollector tiny(100);
+    tiny.beginRun("t");
+    IntervalCounters few;
+    few.refs = 7;
+    tiny.endRun(7, few);
+    ASSERT_EQ(tiny.records().size(), 1u);
+    EXPECT_TRUE(tiny.records()[0].final);
+    EXPECT_EQ(tiny.records()[0].c.refs, 7u);
+}
+
+TEST(IntervalStats, ExplicitScheduleWindowsEndAtBoundaries)
+{
+    Trace trace = workload(1000);
+    IntervalCollector collector(
+        std::vector<std::uint64_t>{100, 250, 600});
+    System system(SystemConfig::paperDefault());
+    system.setIntervalCollector(&collector);
+    SimResult r = system.run(trace);
+
+    const std::vector<IntervalRecord> &records = collector.records();
+    ASSERT_EQ(records.size(), 4u);
+    const std::uint64_t wanted[] = {100, 250, 600};
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_FALSE(records[i].final);
+        // A boundary may slide one reference to keep a couplet whole.
+        EXPECT_GE(records[i].endRef, wanted[i]);
+        EXPECT_LE(records[i].endRef, wanted[i] + 1);
+    }
+    EXPECT_TRUE(records[3].final);
+    EXPECT_EQ(records[3].endRef, trace.size());
+    // Window deltas partition the run's measured counters exactly.
+    IntervalCounters sum = sumWindows(collector);
+    EXPECT_EQ(sum.refs, r.refs);
+    EXPECT_EQ(sum.cycles, static_cast<std::uint64_t>(r.cycles));
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Empirical validation of the SMARTS confidence intervals.
+ *
+ * A confidence interval is only as good as its coverage: across many
+ * independent (workload, machine) combinations, the reported 95% CI
+ * must actually contain the full-run truth in at least ~95% of
+ * cases.  This suite runs a few hundred combinations (small
+ * synthetic workloads x a spread of machines from the paper's
+ * design space), compares each sampled estimate against the full
+ * detailed run of the same trace, and requires >= 90% empirical
+ * coverage - the slack absorbs the systematic component (unit means
+ * estimate the unit-mean CPI, the full run reports the ref-weighted
+ * CPI) on top of ordinary sampling variation.
+ *
+ * Runs under `ctest -L stats`.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "core/smarts.hh"
+#include "sim/system.hh"
+#include "sim/system_config.hh"
+#include "trace/ref_source.hh"
+#include "trace/workloads.hh"
+#include "util/parallel.hh"
+
+namespace cachetime
+{
+namespace
+{
+
+/** Machines to rotate through: paper-space points that differ in
+ *  the dimensions the sampler must be indifferent to. */
+std::vector<SystemConfig>
+coverageConfigs()
+{
+    std::vector<SystemConfig> configs;
+
+    configs.push_back(SystemConfig::paperDefault());
+
+    SystemConfig small = SystemConfig::paperDefault();
+    small.icache.sizeWords /= 4;
+    small.dcache.sizeWords /= 4;
+    configs.push_back(small);
+
+    SystemConfig slow = SystemConfig::paperDefault();
+    slow.cycleNs *= 2;
+    slow.dcache.assoc = 2;
+    configs.push_back(slow);
+
+    SystemConfig big = SystemConfig::paperDefault();
+    big.icache.sizeWords *= 2;
+    big.dcache.sizeWords *= 2;
+    big.dcache.replPolicy = ReplPolicy::LRU;
+    configs.push_back(big);
+
+    return configs;
+}
+
+/** One small deterministic workload per seed (~12k refs). */
+Trace
+coverageTrace(std::uint64_t seed)
+{
+    WorkloadSpec spec;
+    spec.name = "cov" + std::to_string(seed);
+    spec.processes = 1 + static_cast<unsigned>(seed % 3);
+    spec.lengthRefs = 11'000;
+    spec.warmStartRefs = 1'000;
+    spec.risc = seed % 2 == 0;
+    spec.seed = 7000 + seed;
+    spec.footprintScale = 0.5;
+    return generate(spec);
+}
+
+SmartsConfig
+coverageSmartsConfig()
+{
+    SmartsConfig cfg;
+    cfg.unitRefs = 100;
+    cfg.warmupRefs = 200;
+    cfg.periodRefs = 500;
+    cfg.pilotUnits = 8;
+    cfg.targetRelError = 0.02;
+    cfg.confidence = 0.95;
+    return cfg;
+}
+
+struct CoverageOutcome
+{
+    bool cpiCovered = false;
+    bool missCovered = false;
+};
+
+CoverageOutcome
+runCombo(std::uint64_t seed, const SystemConfig &config)
+{
+    Trace trace = coverageTrace(seed);
+
+    System machine(config);
+    SimResult truth = machine.run(trace);
+
+    SmartsRunResult sampled =
+        runSmartsFullPass(config, trace, coverageSmartsConfig(),
+                          nullptr);
+
+    CoverageOutcome outcome;
+    outcome.cpiCovered =
+        sampled.estimate.cpi.contains(truth.cyclesPerRef());
+    outcome.missCovered = sampled.estimate.readMissRatio.contains(
+        truth.readMissRatio());
+    return outcome;
+}
+
+TEST(StatsCoverage, ConfidenceIntervalsCoverFullRunTruth)
+{
+    const std::vector<SystemConfig> configs = coverageConfigs();
+    const std::size_t seeds = 52;
+    const std::size_t combos = seeds * configs.size(); // 208
+
+    std::vector<CoverageOutcome> outcomes =
+        parallelMap<CoverageOutcome>(combos, [&](std::size_t i) {
+            return runCombo(i / configs.size(),
+                            configs[i % configs.size()]);
+        });
+
+    std::size_t cpi_hits = 0;
+    std::size_t miss_hits = 0;
+    for (const CoverageOutcome &outcome : outcomes) {
+        cpi_hits += outcome.cpiCovered ? 1 : 0;
+        miss_hits += outcome.missCovered ? 1 : 0;
+    }
+    double cpi_coverage =
+        static_cast<double>(cpi_hits) / static_cast<double>(combos);
+    double miss_coverage =
+        static_cast<double>(miss_hits) / static_cast<double>(combos);
+    std::printf("coverage over %zu combos: cpi %.3f, "
+                "read-miss-ratio %.3f\n",
+                combos, cpi_coverage, miss_coverage);
+
+    EXPECT_GE(cpi_coverage, 0.90)
+        << cpi_hits << " of " << combos << " CPI intervals covered";
+    EXPECT_GE(miss_coverage, 0.90)
+        << miss_hits << " of " << combos
+        << " miss-ratio intervals covered";
+}
+
+} // namespace
+} // namespace cachetime

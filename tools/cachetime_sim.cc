@@ -36,6 +36,15 @@
  *                         otherwise a file path
  *     --trace-flags LIST  enable event tracing (cache,wb,tlb,mem,
  *                         sim or all; same syntax as CACHETIME_TRACE)
+ *     --sample SPEC       SMARTS sampled simulation instead of full
+ *                         runs: "smarts" for the defaults or
+ *                         "smarts:U=1000,W=2000,period=50000" with
+ *                         optional pilot=N, rel=R (target relative
+ *                         error), conf=C keys; reports mean +- CI
+ *     --checkpoint-dir D  with --sample: store/reuse live-points
+ *                         checkpoints in directory D, so repeated
+ *                         runs over the same trace replay only the
+ *                         measurement units
  *     --quiet             suppress informational output (default)
  *     --verbose           informational output + distributions
  *
@@ -51,6 +60,7 @@
 #include <vector>
 
 #include "core/experiment.hh"
+#include "core/smarts.hh"
 #include "sim/system.hh"
 #include "stats/interval.hh"
 #include "stats/progress.hh"
@@ -165,6 +175,127 @@ runWithProgress(System &system, RefSource &source,
     return result;
 }
 
+/** Parse a --sample spec: "smarts[:U=..,W=..,period=..,...]". */
+SmartsConfig
+parseSampleSpec(const std::string &spec)
+{
+    SmartsConfig cfg;
+    std::string rest;
+    if (spec == "smarts")
+        return cfg;
+    if (spec.rfind("smarts:", 0) == 0)
+        rest = spec.substr(7);
+    else
+        fatal("cachetime_sim: --sample expects 'smarts' or "
+              "'smarts:KEY=VALUE,...', got '%s'",
+              spec.c_str());
+    std::istringstream ss(rest);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        std::size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            fatal("cachetime_sim: bad --sample item '%s'",
+                  item.c_str());
+        std::string key = item.substr(0, eq);
+        std::string value = item.substr(eq + 1);
+        if (key == "U")
+            cfg.unitRefs = std::stoull(value);
+        else if (key == "W")
+            cfg.warmupRefs = std::stoull(value);
+        else if (key == "period")
+            cfg.periodRefs = std::stoull(value);
+        else if (key == "pilot")
+            cfg.pilotUnits = std::stoull(value);
+        else if (key == "rel")
+            cfg.targetRelError = std::stod(value);
+        else if (key == "conf")
+            cfg.confidence = std::stod(value);
+        else
+            fatal("cachetime_sim: unknown --sample key '%s'",
+                  key.c_str());
+    }
+    return cfg;
+}
+
+void
+printSampled(const std::string &name, const SmartsRunResult &run,
+             bool csv)
+{
+    const MeanCI &cpi = run.estimate.cpi;
+    const MeanCI &miss = run.estimate.readMissRatio;
+    if (csv) {
+        std::cout << name << ',' << smartsModeName(run.mode) << ','
+                  << run.selectedCount << ','
+                  << TablePrinter::fmt(cpi.mean, 6) << ','
+                  << TablePrinter::fmt(cpi.halfWidth, 6) << ','
+                  << TablePrinter::fmt(miss.mean, 6) << ','
+                  << TablePrinter::fmt(miss.halfWidth, 6) << ','
+                  << TablePrinter::fmt(run.replayFraction(), 4)
+                  << '\n';
+        return;
+    }
+    TablePrinter table({"metric", name});
+    table.addRow({"mode", smartsModeName(run.mode)});
+    table.addRow({"units (selected/planned)",
+                  std::to_string(run.selectedCount) + "/" +
+                      std::to_string(run.plan.units.size())});
+    table.addRow({"pilot cv", TablePrinter::fmt(run.pilotCv, 4)});
+    table.addRow({"cycles/ref",
+                  TablePrinter::fmt(cpi.mean, 4) + " +- " +
+                      TablePrinter::fmt(cpi.halfWidth, 4)});
+    table.addRow({"read miss ratio",
+                  TablePrinter::fmt(miss.mean, 5) + " +- " +
+                      TablePrinter::fmt(miss.halfWidth, 5)});
+    table.addRow({"confidence",
+                  TablePrinter::fmt(cpi.confidence, 2)});
+    table.addRow({"replay fraction",
+                  TablePrinter::fmt(run.replayFraction(), 4)});
+    table.print(std::cout);
+    std::cout << '\n';
+}
+
+std::string
+jsonNum(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+meanCiJson(const MeanCI &ci)
+{
+    std::ostringstream ss;
+    ss << "{\"mean\":" << jsonNum(ci.mean)
+       << ",\"half_width\":" << jsonNum(ci.halfWidth)
+       << ",\"confidence\":" << jsonNum(ci.confidence)
+       << ",\"n\":" << ci.n << '}';
+    return ss.str();
+}
+
+/** One element of the manifest's "sampling" array. */
+std::string
+sampledJson(const std::string &name, const SmartsRunResult &run)
+{
+    std::ostringstream ss;
+    ss << "{\"name\":\"" << stats::jsonEscape(name)
+       << "\",\"mode\":\"" << smartsModeName(run.mode)
+       << "\",\"unit_refs\":" << run.plan.cfg.unitRefs
+       << ",\"warmup_refs\":" << run.plan.cfg.warmupRefs
+       << ",\"period_refs\":" << run.plan.cfg.periodRefs
+       << ",\"planned_units\":" << run.plan.units.size()
+       << ",\"selected_units\":" << run.selectedCount
+       << ",\"pilot_cv\":" << jsonNum(run.pilotCv)
+       << ",\"cpi\":" << meanCiJson(run.estimate.cpi)
+       << ",\"read_miss_ratio\":"
+       << meanCiJson(run.estimate.readMissRatio)
+       << ",\"stream_refs\":" << run.plan.streamRefs
+       << ",\"simulated_refs\":" << run.simulatedRefs
+       << ",\"replay_fraction\":"
+       << jsonNum(run.replayFraction()) << '}';
+    return ss.str();
+}
+
 /** One element of the manifest's "traces" array. */
 std::string
 traceStatsJson(const SimResult &r)
@@ -195,6 +326,8 @@ main(int argc, char **argv)
     std::string interval_csv_path;
     std::string trace_out_path;
     std::string progress_spec;
+    std::string sample_spec;
+    std::string checkpoint_dir;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -243,6 +376,10 @@ main(int argc, char **argv)
             trace_out_path = need("--trace-out");
         } else if (arg == "--progress") {
             progress_spec = need("--progress");
+        } else if (arg == "--sample") {
+            sample_spec = need("--sample");
+        } else if (arg == "--checkpoint-dir") {
+            checkpoint_dir = need("--checkpoint-dir");
         } else if (arg == "--trace-flags") {
             std::string spec = need("--trace-flags");
             std::string error;
@@ -269,6 +406,20 @@ main(int argc, char **argv)
     if (!interval_csv_path.empty() && interval_refs == 0)
         fatal("cachetime_sim: --interval-csv needs "
               "--interval-stats N");
+    SmartsOptions sample_options;
+    bool sampled = !sample_spec.empty();
+    if (sampled) {
+        sample_options.cfg = parseSampleSpec(sample_spec);
+        sample_options.cfg.validate();
+        sample_options.checkpointDir = checkpoint_dir;
+        // Sampled runs skip most of the stream; the aggregate stats
+        // and interval series a full run produces do not exist.
+        if (interval_refs || dump_stats)
+            fatal("cachetime_sim: --sample cannot combine with "
+                  "--stats or --interval-stats");
+    } else if (!checkpoint_dir.empty()) {
+        fatal("cachetime_sim: --checkpoint-dir needs --sample");
+    }
     if (!trace_out_path.empty() &&
         !trace_event::beginSession(trace_out_path))
         fatal("cachetime_sim: cannot start a trace session");
@@ -280,9 +431,15 @@ main(int argc, char **argv)
         meter.setTool("cachetime_sim");
     }
     std::cout << "machine: " << config.describe() << "\n\n";
-    if (csv)
-        std::cout << "trace,refs,cycles,cycles_per_ref,"
-                     "exec_ns_per_ref,read_miss_ratio\n";
+    if (csv) {
+        if (sampled)
+            std::cout << "trace,mode,units,cpi,cpi_half,"
+                         "read_miss_ratio,miss_half,"
+                         "replay_fraction\n";
+        else
+            std::cout << "trace,refs,cycles,cycles_per_ref,"
+                         "exec_ns_per_ref,read_miss_ratio\n";
+    }
 
     std::vector<Trace> traces;
     std::vector<std::unique_ptr<RefSource>> sources;
@@ -308,6 +465,7 @@ main(int argc, char **argv)
 
     std::vector<std::shared_ptr<const SimResult>> results;
     std::string trace_stats_json = "[";
+    std::string sampling_json = "[";
     {
         telemetry::PhaseTimer timer("simulate");
         auto consume = [&](const SimResult &r) {
@@ -327,7 +485,22 @@ main(int argc, char **argv)
         };
         IntervalCollector collector(
             interval_refs ? interval_refs : 1);
+        auto runSampled = [&](RefSource &source) {
+            SmartsRunResult run =
+                runSmarts(config, source, sample_options);
+            printSampled(source.name(), run, csv);
+            if (!stats_json_path.empty()) {
+                if (manifest.traces.size())
+                    sampling_json += ',';
+                sampling_json += sampledJson(source.name(), run);
+            }
+            manifest.traces.push_back(source.name());
+        };
         auto runOne = [&](RefSource &source) {
+            if (sampled) {
+                runSampled(source);
+                return;
+            }
             System system(config);
             if (interval_refs)
                 system.setIntervalCollector(&collector);
@@ -362,6 +535,7 @@ main(int argc, char **argv)
         }
     }
     trace_stats_json += ']';
+    sampling_json += ']';
 
     if (results.size() > 1 && !csv) {
         telemetry::PhaseTimer timer("report");
@@ -378,6 +552,8 @@ main(int argc, char **argv)
     if (!stats_json_path.empty()) {
         manifest.traceFlags = trace_debug::flags();
         manifest.extra.emplace_back("trace_stats", trace_stats_json);
+        if (sampled)
+            manifest.extra.emplace_back("sampling", sampling_json);
         if (!telemetry::writeManifestFile(stats_json_path, manifest))
             fatal("cachetime_sim: cannot write '%s'",
                   stats_json_path.c_str());

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Line-coverage report + threshold check over a gcov build tree.
+
+Workflow (see .github/workflows/ci.yml's coverage job):
+
+    cmake -B build -S . -DCACHETIME_COVERAGE=ON
+    cmake --build build -j
+    ctest --test-dir build
+    python3 tools/coverage_check.py --build-dir build
+
+The script finds every .gcda file the tests left behind, asks gcov
+for JSON intermediate records (--json-format, GCC >= 9), aggregates
+executed/executable lines per source file under src/, and prints a
+per-directory table plus the total.  With --output it also writes
+the per-file numbers as a machine-readable JSON artifact.
+
+The threshold is *non-blocking* by default: falling below it prints
+a warning but exits 0, so coverage drift never turns CI red on its
+own.  Pass --strict to turn the threshold into a real gate.
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import collections
+import gzip
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+
+def find_gcda(build_dir):
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                yield os.path.join(root, name)
+
+
+def run_gcov(gcda_paths, scratch):
+    """Run gcov over all .gcda files, return parsed JSON records."""
+    records = []
+    # Batch to keep command lines bounded.
+    batch = 64
+    for i in range(0, len(gcda_paths), batch):
+        chunk = gcda_paths[i:i + batch]
+        proc = subprocess.run(
+            ["gcov", "--json-format", "--branch-probabilities"]
+            + [os.path.abspath(p) for p in chunk],
+            cwd=scratch,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            check=False,
+        )
+        if proc.returncode != 0:
+            print(f"warning: gcov exited {proc.returncode} on a "
+                  "batch; continuing", file=sys.stderr)
+    for name in os.listdir(scratch):
+        if not name.endswith(".gcov.json.gz"):
+            continue
+        with gzip.open(os.path.join(scratch, name), "rt") as fh:
+            try:
+                records.append(json.load(fh))
+            except json.JSONDecodeError:
+                print(f"warning: unparseable {name}", file=sys.stderr)
+    return records
+
+
+def aggregate(records, repo_root, prefixes):
+    """Merge gcov records into {relpath: (covered_set, seen_set)}."""
+    per_file = collections.defaultdict(lambda: (set(), set()))
+    for record in records:
+        for unit in record.get("files", []):
+            path = os.path.normpath(
+                os.path.join(record.get("current_working_directory",
+                                        ""), unit["file"])
+                if not os.path.isabs(unit["file"]) else unit["file"])
+            try:
+                rel = os.path.relpath(path, repo_root)
+            except ValueError:
+                continue
+            if rel.startswith("..") or not rel.startswith(
+                    tuple(prefixes)):
+                continue
+            covered, seen = per_file[rel]
+            for line in unit.get("lines", []):
+                number = line.get("line_number")
+                if number is None:
+                    continue
+                seen.add(number)
+                if line.get("count", 0) > 0:
+                    covered.add(number)
+    return per_file
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build tree with .gcda files")
+    parser.add_argument("--source-prefix", action="append",
+                        default=None,
+                        help="repo-relative prefix to include "
+                             "(default: src/, tools/)")
+    parser.add_argument("--threshold", type=float, default=70.0,
+                        help="line-coverage %% the check expects")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when below the threshold "
+                             "(default: warn only)")
+    parser.add_argument("--output", default="",
+                        help="write per-file JSON report here")
+    args = parser.parse_args()
+
+    repo_root = os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    prefixes = args.source_prefix or ["src" + os.sep,
+                                      "tools" + os.sep]
+
+    if shutil.which("gcov") is None:
+        print("coverage_check: gcov not found; skipping",
+              file=sys.stderr)
+        return 0
+    gcda = sorted(find_gcda(args.build_dir))
+    if not gcda:
+        print(f"coverage_check: no .gcda files under "
+              f"{args.build_dir}; build with -DCACHETIME_COVERAGE=ON "
+              "and run the tests first", file=sys.stderr)
+        return 1
+
+    with tempfile.TemporaryDirectory() as scratch:
+        records = run_gcov(gcda, scratch)
+    per_file = aggregate(records, repo_root, prefixes)
+    if not per_file:
+        print("coverage_check: gcov produced no records for the "
+              "requested prefixes", file=sys.stderr)
+        return 1
+
+    per_dir = collections.defaultdict(lambda: [0, 0])
+    total_covered = total_seen = 0
+    report = {}
+    for rel in sorted(per_file):
+        covered, seen = per_file[rel]
+        report[rel] = {"covered": len(covered), "lines": len(seen)}
+        directory = os.path.dirname(rel)
+        per_dir[directory][0] += len(covered)
+        per_dir[directory][1] += len(seen)
+        total_covered += len(covered)
+        total_seen += len(seen)
+
+    width = max(len(d) for d in per_dir)
+    print(f"{'directory':<{width}}  covered/lines   %")
+    for directory in sorted(per_dir):
+        covered, seen = per_dir[directory]
+        pct = 100.0 * covered / seen if seen else 0.0
+        print(f"{directory:<{width}}  {covered:>7}/{seen:<7}"
+              f"{pct:6.1f}")
+    total_pct = (100.0 * total_covered / total_seen
+                 if total_seen else 0.0)
+    print(f"{'TOTAL':<{width}}  {total_covered:>7}/{total_seen:<7}"
+          f"{total_pct:6.1f}")
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump({"total_line_coverage_pct": total_pct,
+                       "threshold_pct": args.threshold,
+                       "files": report}, fh, indent=1, sort_keys=True)
+        print(f"wrote {args.output}")
+
+    if total_pct < args.threshold:
+        print(f"coverage_check: total line coverage {total_pct:.1f}% "
+              f"is below the {args.threshold:.1f}% threshold"
+              + ("" if args.strict else " (non-blocking)"),
+              file=sys.stderr)
+        return 1 if args.strict else 0
+    print(f"coverage_check: {total_pct:.1f}% >= "
+          f"{args.threshold:.1f}% threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
