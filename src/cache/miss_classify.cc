@@ -1,6 +1,10 @@
 #include "cache/miss_classify.hh"
 
+#include <algorithm>
+#include <vector>
+
 #include "util/logging.hh"
+#include "util/serialize.hh"
 
 namespace cachetime
 {
@@ -35,11 +39,76 @@ MissClassifier::observe(Addr addr, Pid pid)
         }
     }
 
-    if (first_touch)
+    if (first_touch) {
+        invalidated_.erase(key);
         return MissClass::Compulsory;
+    }
+    if (auto mark = invalidated_.find(key);
+        mark != invalidated_.end()) {
+        invalidated_.erase(mark);
+        return MissClass::Coherence;
+    }
     if (fa_hit)
         return MissClass::Conflict;
     return MissClass::Capacity;
+}
+
+void
+MissClassifier::invalidate(Addr addr, Pid pid)
+{
+    invalidated_.insert(keyOf(addr / blockWords_, pid));
+}
+
+void
+MissClassifier::saveState(StateWriter &w) const
+{
+    w.beginSection("MCLS");
+    // Unordered sets serialize sorted so equal logical state always
+    // produces equal bytes; the LRU list serializes in list order
+    // (front = MRU), which *is* its logical state.
+    auto sorted = [](const std::unordered_set<std::uint64_t> &set) {
+        std::vector<std::uint64_t> keys(set.begin(), set.end());
+        std::sort(keys.begin(), keys.end());
+        return keys;
+    };
+    w.u64(touched_.size());
+    for (std::uint64_t key : sorted(touched_))
+        w.u64(key);
+    w.u64(invalidated_.size());
+    for (std::uint64_t key : sorted(invalidated_))
+        w.u64(key);
+    w.u64(lru_.size());
+    for (std::uint64_t key : lru_)
+        w.u64(key);
+    w.endSection();
+}
+
+void
+MissClassifier::loadState(StateReader &r)
+{
+    if (r.beginSection() != "MCLS")
+        fatal("miss classifier: bad checkpoint section");
+    touched_.clear();
+    invalidated_.clear();
+    lru_.clear();
+    where_.clear();
+    std::uint64_t touched = r.u64();
+    for (std::uint64_t i = 0; i < touched; ++i)
+        touched_.insert(r.u64());
+    std::uint64_t invalidated = r.u64();
+    for (std::uint64_t i = 0; i < invalidated; ++i)
+        invalidated_.insert(r.u64());
+    std::uint64_t depth = r.u64();
+    if (depth > capacityBlocks_)
+        fatal("miss classifier: corrupt checkpoint (stack depth "
+              "%llu exceeds capacity %llu)",
+              static_cast<unsigned long long>(depth),
+              static_cast<unsigned long long>(capacityBlocks_));
+    for (std::uint64_t i = 0; i < depth; ++i) {
+        lru_.push_back(r.u64());
+        where_[lru_.back()] = std::prev(lru_.end());
+    }
+    r.endSection();
 }
 
 } // namespace cachetime

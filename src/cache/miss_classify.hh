@@ -26,6 +26,9 @@
 namespace cachetime
 {
 
+class StateReader;
+class StateWriter;
+
 /** Result of classifying one read. */
 enum class MissClass : std::uint8_t
 {
@@ -33,6 +36,7 @@ enum class MissClass : std::uint8_t
     Compulsory, ///< first touch of the block ever
     Capacity,   ///< missed even fully-associatively
     Conflict,   ///< placement-induced (hits fully-associatively)
+    Coherence,  ///< first re-touch after a peer invalidated the copy
 };
 
 /** Counts per class (reset at warm start). */
@@ -41,14 +45,24 @@ struct MissClassStats
     std::uint64_t compulsory = 0;
     std::uint64_t capacity = 0;
     std::uint64_t conflict = 0;
+    std::uint64_t coherence = 0;
 
     std::uint64_t
     total() const
     {
-        return compulsory + capacity + conflict;
+        return compulsory + capacity + conflict + coherence;
     }
 
     void reset() { *this = MissClassStats(); }
+
+    void
+    merge(const MissClassStats &other)
+    {
+        compulsory += other.compulsory;
+        capacity += other.capacity;
+        conflict += other.conflict;
+        coherence += other.coherence;
+    }
 };
 
 /**
@@ -76,6 +90,16 @@ class MissClassifier
      */
     MissClass observe(Addr addr, Pid pid);
 
+    /**
+     * A peer invalidated this core's copy of @p addr's block: mark
+     * it so the next miss of the block classifies as Coherence (the
+     * standard first-re-touch approximation; the mark takes
+     * precedence over capacity/conflict but not over compulsory,
+     * which cannot co-occur).  The shadow structures are left
+     * untouched so classification of *other* blocks is unaffected.
+     */
+    void invalidate(Addr addr, Pid pid);
+
     /** Account a real miss of class @p cls. */
     void
     account(MissClass cls)
@@ -92,11 +116,26 @@ class MissClassifier
           case MissClass::Conflict:
             ++stats_.conflict;
             break;
+          case MissClass::Coherence:
+            ++stats_.coherence;
+            break;
         }
     }
 
     const MissClassStats &stats() const { return stats_; }
     void resetStats() { stats_.reset(); }
+
+    /**
+     * Serialize the shadow structures - first-touch filter, the
+     * fully-associative LRU stack in recency order, and the pending
+     * invalidation marks - so a restored classifier continues
+     * bit-identically (statistics are not state; the measurement
+     * boundary resets them).
+     */
+    void saveState(StateWriter &w) const;
+
+    /** Restore saveState() output; fatal() on corruption. */
+    void loadState(StateReader &r);
 
   private:
     /** Key combining pid and block address. */
@@ -110,6 +149,9 @@ class MissClassifier
     unsigned blockWords_;
 
     std::unordered_set<std::uint64_t> touched_; ///< ever-seen blocks
+
+    /** Blocks whose next miss is a coherence miss. */
+    std::unordered_set<std::uint64_t> invalidated_;
 
     // Fully-associative LRU shadow: list front = MRU, plus an index.
     std::list<std::uint64_t> lru_;

@@ -4,6 +4,7 @@
 
 #include "core/sim_cache.hh"
 #include "core/sweep.hh"
+#include "sim/coherent.hh"
 #include "stats/telemetry.hh"
 #include "util/logging.hh"
 #include "util/mathutil.hh"
@@ -95,6 +96,10 @@ aggregateResults(const SystemConfig &config,
 SimResult
 simulateOne(const SystemConfig &config, const Trace &trace)
 {
+    if (config.coherent()) {
+        CoherentSystem system(config);
+        return system.run(trace);
+    }
     System system(config);
     return system.run(trace);
 }
@@ -108,7 +113,12 @@ simulateOneCached(const SystemConfig &config, const Trace &trace)
 SimResultPtr
 simulateSourceCached(const SystemConfig &config, RefSource &source)
 {
-    auto simulate = [&]() {
+    auto simulate = [&]() -> std::shared_ptr<const SimResult> {
+        if (config.coherent()) {
+            CoherentSystem system(config);
+            return std::make_shared<const SimResult>(
+                system.run(source));
+        }
         System system(config);
         return std::make_shared<const SimResult>(system.run(source));
     };

@@ -137,6 +137,10 @@ simKey(const SystemConfig &config, std::uint64_t trace_hash)
     kb.b(config.memory.loadForwarding);
     kb.b(config.memory.streaming);
 
+    kb.u64(config.cores);
+    kb.u64(static_cast<std::uint64_t>(config.protocol));
+    kb.u64(static_cast<std::uint64_t>(config.coreMap));
+
     kb.u64(trace_hash);
     return kb.key();
 }

@@ -232,6 +232,9 @@ runSmartsFullPass(const SystemConfig &config, const Trace &trace,
                  const SmartsConfig &cfg,
                  CheckpointFile *checkpoint_out)
 {
+    if (config.coherent())
+        fatal("runSmarts: sampling is not supported in coherent "
+              "mode (run the full stream)");
     SmartsRunResult out;
     out.mode = SmartsMode::FullPass;
     out.plan = planSmarts(trace.size(), trace.warmStart(), cfg);
@@ -423,6 +426,9 @@ runSmarts(const SystemConfig &config, RefSource &source,
           const SmartsOptions &options)
 {
     options.cfg.validate();
+    if (config.coherent())
+        fatal("runSmarts: sampling is not supported in coherent "
+              "mode (run the full stream)");
     Trace trace = materialize(source);
     if (options.checkpointDir.empty())
         return runSmartsFullPass(config, trace, options.cfg,

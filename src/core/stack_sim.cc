@@ -213,6 +213,10 @@ missRatioKey(const SystemConfig &config, std::uint64_t trace_hash)
 bool
 stackEligible(const SystemConfig &config)
 {
+    // Coherent runs depend on cross-core invalidation order; no
+    // single-pass stack can answer them.
+    if (config.coherent())
+        return false;
     if (config.addressing != AddressMode::Virtual)
         return false;
     if (config.split && !l1Eligible(config.icache))

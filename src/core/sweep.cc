@@ -3,6 +3,7 @@
 #include <string>
 
 #include "core/sim_cache.hh"
+#include "sim/coherent.hh"
 #include "stats/progress.hh"
 #include "stats/trace_event.hh"
 
@@ -54,11 +55,29 @@ simulateBatch(const std::vector<SystemConfig> &configs,
 
     // The per-config machine state is a contiguous arena: one
     // vector<System>, each machine's cache arrays allocated
-    // back-to-back at construction.
+    // back-to-back at construction.  Coherent configs ride the same
+    // feeder through their own engine (their resumable interface is
+    // span-split-invariant like System's), kept in a side vector so
+    // the classic machines stay contiguous.
     std::vector<System> systems;
-    systems.reserve(configs.size());
-    for (const SystemConfig &config : configs)
-        systems.emplace_back(config);
+    std::vector<std::unique_ptr<CoherentSystem>> coherents;
+    struct Slot
+    {
+        bool coherent;
+        std::size_t index;
+    };
+    std::vector<Slot> slots;
+    slots.reserve(configs.size());
+    for (const SystemConfig &config : configs) {
+        if (config.coherent()) {
+            slots.push_back({true, coherents.size()});
+            coherents.push_back(
+                std::make_unique<CoherentSystem>(config));
+        } else {
+            slots.push_back({false, systems.size()});
+            systems.emplace_back(config);
+        }
+    }
 
     // One decode, many replays: every span the feeder produces is
     // fed to each machine before the next span is pulled, so stream
@@ -67,17 +86,24 @@ simulateBatch(const std::vector<SystemConfig> &configs,
     ChunkFeeder feeder(source);
     for (System &system : systems)
         system.beginRun(source);
+    for (auto &coherent : coherents)
+        coherent->beginRun(source);
     ProgressMeter *meter = progress::global();
     while (ChunkFeeder::Span span = feeder.next()) {
         for (System &system : systems)
             system.feedChunk(span.data, span.size);
+        for (auto &coherent : coherents)
+            coherent->feedChunk(span.data, span.size);
         if (meter)
-            meter->bump(span.size * systems.size());
+            meter->bump(span.size * configs.size());
     }
 
-    out.reserve(systems.size());
-    for (System &system : systems)
-        out.push_back(system.endRun());
+    out.reserve(configs.size());
+    for (const Slot &slot : slots) {
+        out.push_back(slot.coherent
+                          ? coherents[slot.index]->endRun()
+                          : systems[slot.index].endRun());
+    }
     return out;
 }
 

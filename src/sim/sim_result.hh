@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "cache/cache.hh"
+#include "cache/coherence.hh"
+#include "cache/miss_classify.hh"
 #include "memory/main_memory.hh"
 #include "memory/tlb.hh"
 #include "util/histogram.hh"
@@ -52,6 +54,22 @@ struct SimResult
     MainMemoryStats memory;
     TlbStats tlb;
     bool physical = false; ///< TLB stats valid only when physical
+
+    // --- coherent multi-core mode only ------------------------------
+
+    /** Core count the run modeled (1 for the classic engine). */
+    unsigned cores = 1;
+    /** True when the coherent engine produced this result. */
+    bool coherent = false;
+    /** Per-core private L1 stats (icache empty when unified); the
+     * aggregate icache/dcache fields above hold their sums. */
+    std::vector<CacheStats> coreIcache;
+    std::vector<CacheStats> coreDcache;
+    /** Bus-side coherence traffic, measured. */
+    CoherenceStats coherenceStats;
+    /** 3C + coherence decomposition of every L1 miss, summed over
+     * cores and both sides; total() equals the L1 miss count. */
+    MissClassStats missClasses;
 
     /** @return true when the machine had an intermediate level. */
     bool hasL2() const { return !midLevels.empty(); }

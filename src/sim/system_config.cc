@@ -1,6 +1,7 @@
 #include "sim/system_config.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <sstream>
 
@@ -61,6 +62,112 @@ SystemConfig::validate() const
     }
     if (memory.rate.words == 0 || memory.rate.cycles == 0)
         fatal("system: memory transfer rate must be nonzero");
+
+    if (!coherent()) {
+        if (cores != 1)
+            fatal("system: cores > 1 requires a coherence protocol");
+        return;
+    }
+
+    // Coherent mode: the snooping engine models write-back
+    // write-allocate whole-block caches over one shared L2 and a
+    // single shared (physical) address space.
+    constexpr unsigned kMaxCores = 64;
+    if (cores == 0 || cores > kMaxCores)
+        fatal("system: cores must be in [1, %u], got %u", kMaxCores,
+              cores);
+    if (addressing != AddressMode::Virtual)
+        fatal("system: coherent mode models no TLB; use virtual "
+              "addressing");
+    if (resolvedMidLevels().size() != 1)
+        fatal("system: coherent mode requires exactly one shared L2");
+    auto checkCoherentCache = [](const CacheConfig &cache,
+                                 const char *what) {
+        if (cache.writePolicy != WritePolicy::WriteBack ||
+            cache.allocPolicy != AllocPolicy::WriteAllocate)
+            fatal("system: coherent %s must be write-back "
+                  "write-allocate", what);
+        if (cache.fetchWords != 0 &&
+            cache.fetchWords != cache.blockWords)
+            fatal("system: coherent %s must fetch whole blocks",
+                  what);
+        if (cache.victimEntries != 0)
+            fatal("system: coherent %s cannot have a victim cache",
+                  what);
+        if (cache.prefetchPolicy != PrefetchPolicy::None)
+            fatal("system: coherent %s cannot prefetch", what);
+        if (cache.virtualTags)
+            fatal("system: coherent %s must be physically tagged "
+                  "(the cores share one address space)", what);
+    };
+    if (split)
+        checkCoherentCache(icache, "icache");
+    checkCoherentCache(dcache, split ? "dcache" : "unified cache");
+    checkCoherentCache(resolvedMidLevels().front().cache, "L2");
+    // Flushes and fills move whole L1 blocks through the L2, so an
+    // L1 block must fit inside one L2 block (both are powers of two,
+    // so fitting implies alignment).
+    unsigned l2Block = resolvedMidLevels().front().cache.blockWords;
+    if (dcache.blockWords > l2Block ||
+        (split && icache.blockWords > l2Block))
+        fatal("system: coherent L1 blocks (%u/%u words) cannot "
+              "exceed the L2 block (%u words)",
+              split ? icache.blockWords : dcache.blockWords,
+              dcache.blockWords, l2Block);
+    if (l1Buffer.enabled || resolvedMidLevels().front().buffer.enabled)
+        fatal("system: coherent mode models no write buffers");
+    if (cpu.pairIssue || cpu.earlyContinuation)
+        fatal("system: coherent mode is single-issue without early "
+              "continuation");
+    if (memory.addressCycles == 0)
+        fatal("system: the coherent bus needs memory.address_cycles "
+              ">= 1 (the snoop/arbitration cost)");
+}
+
+void
+SystemConfig::applyCoherenceDefaults()
+{
+    addressing = AddressMode::Virtual;
+    cpu.pairIssue = false;
+    cpu.earlyContinuation = false;
+    l1Buffer.enabled = false;
+    auto coerce = [](CacheConfig &cache) {
+        cache.writePolicy = WritePolicy::WriteBack;
+        cache.allocPolicy = AllocPolicy::WriteAllocate;
+        cache.fetchWords = 0;
+        cache.victimEntries = 0;
+        cache.prefetchPolicy = PrefetchPolicy::None;
+        cache.virtualTags = false;
+    };
+    coerce(icache);
+    coerce(dcache);
+    unsigned l1Block = std::max(dcache.blockWords,
+                                split ? icache.blockWords : 0u);
+    if (midLevels.empty() && !hasL2) {
+        hasL2 = true;
+        l2cache = dcache;
+        l2cache.sizeWords = std::bit_ceil(
+            std::max<std::uint64_t>(4 * totalL1Words(),
+                                    4 * dcache.blockWords));
+        l2cache.replSeed = 0x12cace;
+    }
+    // The shared L2 moves whole L1 blocks: its block must contain
+    // them, and its capacity must stay legal once the block grows.
+    if (!midLevels.empty()) {
+        midLevels.resize(1);
+        midLevels.front().buffer.enabled = false;
+    } else {
+        l2Buffer.enabled = false;
+    }
+    CacheConfig &shared =
+        midLevels.empty() ? l2cache : midLevels.front().cache;
+    coerce(shared);
+    shared.blockWords = std::max(shared.blockWords, l1Block);
+    shared.sizeWords = std::max<std::uint64_t>(
+        shared.sizeWords,
+        2ULL * shared.blockWords * shared.assoc);
+    if (memory.addressCycles == 0)
+        memory.addressCycles = 1;
 }
 
 std::uint64_t
@@ -97,7 +204,7 @@ SystemConfig::setL1Assoc(unsigned assoc)
 std::string
 SystemConfig::describe() const
 {
-    char buf[160];
+    char buf[192];
     std::snprintf(buf, sizeof(buf),
                   "%s L1 %s+%s, %uW blocks, %u-way, %.0fns cycle%s",
                   split ? "split" : "unified",
@@ -107,7 +214,13 @@ SystemConfig::describe() const
                   TablePrinter::fmtSizeWords(dcache.sizeWords).c_str(),
                   dcache.blockWords, dcache.assoc, cycleNs,
                   hasL2 ? ", +L2" : "");
-    return buf;
+    std::string text = buf;
+    if (coherent()) {
+        std::snprintf(buf, sizeof(buf), ", %ux %s",
+                      cores, coherenceProtocolName(protocol));
+        text += buf;
+    }
+    return text;
 }
 
 SystemConfig
@@ -303,6 +416,12 @@ applyKeyValues(SystemConfig &config, const std::string &text)
             config.tlb.physFrames = std::stoull(value);
         } else if (key == "split") {
             config.split = parseBool(value, key);
+        } else if (key == "cores") {
+            config.cores = static_cast<unsigned>(std::stoul(value));
+        } else if (key == "protocol") {
+            config.protocol = parseCoherenceProtocol(value);
+        } else if (key == "core_map") {
+            config.coreMap = parseCoreMapPolicy(value);
         } else if (key == "has_l2") {
             config.hasL2 = parseBool(value, key);
         } else if (key == "cpu.read_hit_cycles") {

@@ -24,10 +24,12 @@
 
 #include "cache/cache_config.hh"
 #include "cache/cache_level.hh"
+#include "cache/coherence.hh"
 #include "cpu/cpu.hh"
 #include "memory/memory_timing.hh"
 #include "memory/tlb.hh"
 #include "memory/write_buffer.hh"
+#include "sim/core_map.hh"
 
 namespace cachetime
 {
@@ -98,6 +100,43 @@ struct SystemConfig
     std::vector<MidLevelConfig> resolvedMidLevels() const;
 
     MainMemoryConfig memory;
+
+    // --- coherent multi-core mode (ROADMAP item 1) ------------------
+
+    /**
+     * Number of cores; above 1 requires a coherence protocol.  Each
+     * core owns private L1s (split or unified per `split`) in front
+     * of the shared L2, and trace pids pick their core via coreMap.
+     */
+    unsigned cores = 1;
+
+    /**
+     * Snooping protocol between the private L1 data caches; None
+     * selects the classic single-requester engine.  Coherent mode
+     * constrains the configuration (validate() enforces it): a
+     * single shared L2, write-back write-allocate whole-block-fetch
+     * caches with physical tags, no write buffers, no victim cache
+     * or prefetching, virtual addressing, and single-issue timing.
+     * applyCoherenceDefaults() rewrites a config into that shape.
+     */
+    CoherenceProtocol protocol = CoherenceProtocol::None;
+
+    /** How trace pids map onto cores. */
+    CoreMapPolicy coreMap = CoreMapPolicy::Modulo;
+
+    /** @return true when the coherent multi-core engine runs. */
+    bool coherent() const { return protocol != CoherenceProtocol::None; }
+
+    /**
+     * Force the constraints of coherent mode onto this config: both
+     * L1s and the L2 become write-back, write-allocate, whole-block
+     * fetch, physically tagged, without victim buffers or prefetch;
+     * write buffers, pair issue and early continuation turn off;
+     * addressing reverts to Virtual.  A missing L2 is synthesized at
+     * 4x the total L1 capacity.  Size/assoc/block and every timing
+     * parameter are preserved.
+     */
+    void applyCoherenceDefaults();
 
     /** Fatal-exit unless the whole configuration is consistent. */
     void validate() const;

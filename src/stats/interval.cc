@@ -36,6 +36,9 @@ IntervalCounters::minus(const IntervalCounters &base) const
     d.tlbMisses = tlbMisses - base.tlbMisses;
     d.memReads = memReads - base.memReads;
     d.memWrites = memWrites - base.memWrites;
+    d.cohInvalidations = cohInvalidations - base.cohInvalidations;
+    d.cohUpgrades = cohUpgrades - base.cohUpgrades;
+    d.cohBusBusyCycles = cohBusBusyCycles - base.cohBusBusyCycles;
     return d;
 }
 
@@ -61,6 +64,9 @@ IntervalCounters::add(const IntervalCounters &other)
     tlbMisses += other.tlbMisses;
     memReads += other.memReads;
     memWrites += other.memWrites;
+    cohInvalidations += other.cohInvalidations;
+    cohUpgrades += other.cohUpgrades;
+    cohBusBusyCycles += other.cohBusBusyCycles;
 }
 
 namespace
@@ -228,6 +234,7 @@ IntervalCollector::dumpCsv(std::ostream &os) const
           "read_accesses,read_misses,write_accesses,write_misses,"
           "wbuf_enqueued,wbuf_full_stalls,wbuf_mean_occupancy,"
           "tlb_accesses,tlb_misses,mem_reads,mem_writes,"
+          "coh_invalidations,coh_upgrades,coh_bus_busy_cycles,"
           "wall_seconds,refs_per_sec\n";
     for (const IntervalRecord &r : records_) {
         os << r.trace << ',' << r.index << ',' << r.beginRef << ','
@@ -243,7 +250,9 @@ IntervalCollector::dumpCsv(std::ostream &os) const
            << ',' << r.c.wbufFullStalls << ','
            << num(r.wbufMeanOccupancy()) << ',' << r.c.tlbAccesses
            << ',' << r.c.tlbMisses << ',' << r.c.memReads << ','
-           << r.c.memWrites << ',' << num(r.wallSeconds) << ','
+           << r.c.memWrites << ',' << r.c.cohInvalidations << ','
+           << r.c.cohUpgrades << ',' << r.c.cohBusBusyCycles << ','
+           << num(r.wallSeconds) << ','
            << num(r.refsPerSec()) << '\n';
     }
 }
@@ -284,6 +293,9 @@ IntervalCollector::dumpJson(std::ostream &os) const
            << ",\"tlb_misses\":" << r.c.tlbMisses
            << ",\"mem_reads\":" << r.c.memReads
            << ",\"mem_writes\":" << r.c.memWrites
+           << ",\"coh_invalidations\":" << r.c.cohInvalidations
+           << ",\"coh_upgrades\":" << r.c.cohUpgrades
+           << ",\"coh_bus_busy_cycles\":" << r.c.cohBusBusyCycles
            << ",\"wall_seconds\":" << num(r.wallSeconds)
            << ",\"refs_per_sec\":" << num(r.refsPerSec()) << '}';
     }

@@ -73,6 +73,11 @@ struct IntervalCounters
     std::uint64_t memReads = 0;
     std::uint64_t memWrites = 0;
 
+    // Coherent multi-core mode only (zero elsewhere).
+    std::uint64_t cohInvalidations = 0; ///< peer copies invalidated
+    std::uint64_t cohUpgrades = 0;      ///< S->M ownership requests
+    std::uint64_t cohBusBusyCycles = 0; ///< cycles the bus was held
+
     /** @return *this - @p base, field-wise (cumulative -> window). */
     IntervalCounters minus(const IntervalCounters &base) const;
 

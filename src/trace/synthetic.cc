@@ -17,6 +17,10 @@ namespace
 constexpr Addr codeRegionBase = 0x0000'0400;   // ~4KB into the space
 constexpr Addr dataRegionBase = 0x0010'0000;
 constexpr Addr stackRegionBase = 0x1fff'0000;
+// The shared segment is mapped at the *same* address in every
+// process (no per-pid scatter): references from different pids hit
+// the same blocks, which is what makes them shared.
+constexpr Addr sharedRegionBase = 0x0800'0000;
 
 // Per-process placement offsets.  Real multiprogrammed address
 // spaces overlap partially: segments start at similar-but-not-equal
@@ -140,11 +144,15 @@ ProcessModel::ProcessModel(const ProcessProfile &profile, Pid pid,
 std::vector<ProcessModel::Region>
 ProcessModel::footprint() const
 {
-    return {
+    std::vector<Region> regions = {
         {codeBase_, profile_.codeWords, RefKind::IFetch},
         {dataBase_, profile_.dataWords, RefKind::Load},
         {stackBase_, profile_.stackWords, RefKind::Load},
     };
+    if (profile_.sharedFraction > 0)
+        regions.push_back(
+            {sharedRegionBase, profile_.sharedWords, RefKind::Load});
+    return regions;
 }
 
 void
@@ -255,6 +263,24 @@ ProcessModel::nextData()
         if (zeroPtr_ >= dataBase_ + profile_.dataWords)
             zeroPtr_ = dataBase_;
         return ref;
+    }
+
+    // Shared-segment references: Zipf-popular objects in the region
+    // every process maps at the same address, so the hot head is
+    // contended across cores while the tail gives each visit some
+    // spatial spread.
+    if (profile_.sharedFraction > 0 &&
+        rng_.chance(profile_.sharedFraction)) {
+        std::uint64_t objects = std::max<std::uint64_t>(
+            1, profile_.sharedWords / profile_.objectWords);
+        std::uint64_t object = rng_.zipf(objects, 0.6);
+        Addr addr = sharedRegionBase +
+                    static_cast<Addr>(object) * profile_.objectWords +
+                    rng_.below(profile_.objectWords);
+        RefKind kind = rng_.chance(profile_.sharedStoreFraction)
+                           ? RefKind::Store
+                           : RefKind::Load;
+        return {addr, kind, pid_};
     }
 
     RefKind kind = rng_.chance(profile_.storeFraction) ? RefKind::Store

@@ -90,6 +90,21 @@ struct ProcessProfile
     double meanScanLen = 16;              ///< mean sequential scan length
     std::uint64_t stackWords = 512;       ///< active stack window
 
+    /**
+     * --- sharing (multi-core workloads) ---
+     *
+     * Fraction of data references steered into a *shared* region
+     * that sits at the same virtual address in every process (no
+     * per-pid scatter).  With processes mapped onto different cores
+     * this is what creates cross-core read sharing and, through
+     * sharedStoreFraction, the invalidation traffic the coherence
+     * protocols differ on.  Zero (the default) keeps every process's
+     * footprint fully private.
+     */
+    double sharedFraction = 0.0;
+    std::uint64_t sharedWords = 4 * 1024; ///< shared-region footprint
+    double sharedStoreFraction = 0.30;    ///< stores / shared refs
+
     // --- start-up behaviour ---
     std::uint64_t zeroingWords = 0;       ///< stores issued at start
 

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -103,11 +104,17 @@ readText(std::istream &is, const std::string &name)
                   line.c_str());
         // The pid column is optional (the classic din dialect has
         // none); only a present-but-unparseable pid is malformed.
-        unsigned pid = 0;
+        std::uint64_t pid = 0;
         ss >> std::ws;
         if (!ss.eof() && !(ss >> pid))
             fatal("trace_io: malformed pid on trace line %zu: '%s'",
                   lineno, line.c_str());
+        // The fused probe key reserves exactly 16 bits for the pid,
+        // so a wider pid would silently alias another process.
+        if (pid > std::numeric_limits<Pid>::max())
+            fatal("trace_io: pid %llu on trace line %zu exceeds the "
+                  "16-bit pid limit",
+                  static_cast<unsigned long long>(pid), lineno);
         refs.push_back({addr, kindFromChar(kind[0]),
                         static_cast<Pid>(pid)});
     }
@@ -155,8 +162,28 @@ readDinero(std::istream &is, const std::string &name)
 }
 
 void
-writeDinero(const Trace &trace, std::ostream &os)
+writeDinero(const Trace &trace, std::ostream &os, bool strict_pids)
 {
+    bool multi_pid = false;
+    if (!trace.refs().empty()) {
+        Pid first = trace.refs().front().pid;
+        for (const Ref &ref : trace.refs()) {
+            if (ref.pid != first) {
+                multi_pid = true;
+                break;
+            }
+        }
+    }
+    if (multi_pid) {
+        if (strict_pids)
+            fatal("trace_io: trace '%s' has more than one pid; the "
+                  "din format is uniprocess and cannot represent it",
+                  trace.name().c_str());
+        warn("trace_io: trace '%s' has more than one pid; the din "
+             "format is uniprocess, so pids are dropped and the "
+             "trace will not round-trip",
+             trace.name().c_str());
+    }
     for (const Ref &ref : trace.refs()) {
         unsigned label = 0;
         switch (ref.kind) {

@@ -50,8 +50,14 @@ Trace readText(std::istream &is, const std::string &name = "trace");
  */
 Trace readDinero(std::istream &is, const std::string &name = "din");
 
-/** Write @p trace in the Dinero din format (pids are dropped). */
-void writeDinero(const Trace &trace, std::ostream &os);
+/**
+ * Write @p trace in the Dinero din format.  The format is
+ * uniprocess: pids are dropped.  A trace carrying more than one
+ * distinct pid draws a warning, or a fatal error when
+ * @p strict_pids is set, because it cannot round-trip.
+ */
+void writeDinero(const Trace &trace, std::ostream &os,
+                 bool strict_pids = false);
 
 /** Write @p trace to @p os in the binary format. */
 void writeBinary(const Trace &trace, std::ostream &os);

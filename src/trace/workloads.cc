@@ -60,6 +60,10 @@ buildProcesses(const WorkloadSpec &spec)
             profile.codeWords = 256;
         if (profile.dataWords < 256)
             profile.dataWords = 256;
+        // The shared segment is common to all processes, so its size
+        // is not jittered with the private footprints.
+        profile.sharedFraction = spec.sharedFraction;
+        profile.sharedWords = spec.sharedWords;
         if (spec.zeroingProcs > 0 &&
             p >= spec.processes - spec.zeroingProcs) {
             // grep/egrep-style start-up: zero the data space first.

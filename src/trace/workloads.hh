@@ -34,6 +34,15 @@ struct WorkloadSpec
     unsigned zeroingProcs = 0;    ///< processes that zero their data
     std::uint64_t seed = 1;       ///< determinism root
     double footprintScale = 1.0;  ///< scales per-process footprints
+
+    /**
+     * Fraction of each process's data references steered into the
+     * shared segment (same virtual address in every process); zero
+     * keeps the Table 1 behaviour of fully private footprints.
+     * Used by the multi-core sharing workloads (fig_sharing).
+     */
+    double sharedFraction = 0.0;
+    std::uint64_t sharedWords = 4 * 1024; ///< shared-segment size
 };
 
 /** @return the specs for all eight Table 1 workloads. */

@@ -150,6 +150,50 @@ diffResults(const SimResult &a, const SimResult &b)
     d.field("stallWriteCycles", a.stallWriteCycles,
             b.stallWriteCycles);
     d.field("stallTlbCycles", a.stallTlbCycles, b.stallTlbCycles);
+
+    d.field("cores", a.cores, b.cores);
+    d.field("coherent", a.coherent, b.coherent);
+    d.field("coreIcache.size", a.coreIcache.size(),
+            b.coreIcache.size());
+    std::size_t icores = std::min(a.coreIcache.size(),
+                                  b.coreIcache.size());
+    for (std::size_t i = 0; i < icores; ++i)
+        d.cache("core" + std::to_string(i) + ".l1i",
+                a.coreIcache[i], b.coreIcache[i]);
+    d.field("coreDcache.size", a.coreDcache.size(),
+            b.coreDcache.size());
+    std::size_t dcores = std::min(a.coreDcache.size(),
+                                  b.coreDcache.size());
+    for (std::size_t i = 0; i < dcores; ++i)
+        d.cache("core" + std::to_string(i) + ".l1d",
+                a.coreDcache[i], b.coreDcache[i]);
+
+    const CoherenceStats &ca = a.coherenceStats;
+    const CoherenceStats &cb = b.coherenceStats;
+    d.field("coh.busTransactions", ca.busTransactions,
+            cb.busTransactions);
+    d.field("coh.snoops", ca.snoops, cb.snoops);
+    d.field("coh.invalidations", ca.invalidations,
+            cb.invalidations);
+    d.field("coh.upgrades", ca.upgrades, cb.upgrades);
+    d.field("coh.interventions", ca.interventions,
+            cb.interventions);
+    d.field("coh.writebacks", ca.writebacks, cb.writebacks);
+    d.field("coh.upgradeCycles", ca.upgradeCycles,
+            cb.upgradeCycles);
+    d.field("coh.interventionCycles", ca.interventionCycles,
+            cb.interventionCycles);
+    d.field("coh.busBusyCycles", ca.busBusyCycles,
+            cb.busBusyCycles);
+
+    d.field("missclass.compulsory", a.missClasses.compulsory,
+            b.missClasses.compulsory);
+    d.field("missclass.capacity", a.missClasses.capacity,
+            b.missClasses.capacity);
+    d.field("missclass.conflict", a.missClasses.conflict,
+            b.missClasses.conflict);
+    d.field("missclass.coherence", a.missClasses.coherence,
+            b.missClasses.coherence);
     return d.diffs;
 }
 

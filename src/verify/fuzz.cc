@@ -6,6 +6,7 @@
 #include <functional>
 #include <sstream>
 
+#include "sim/coherent.hh"
 #include "sim/system.hh"
 #include "stats/progress.hh"
 #include "trace/trace_io.hh"
@@ -192,11 +193,38 @@ randomConfig(Rng &rng)
     return config;
 }
 
+/**
+ * Coerce a random classic config into a valid coherent one: pick
+ * the core count and protocol, then let applyCoherenceDefaults()
+ * rewrite whatever the coherent validation rejects.
+ */
+void
+coherentize(SystemConfig &config, Rng &rng)
+{
+    config.cores = 1u << rng.below(3); // 1, 2 or 4
+    switch (rng.below(3)) {
+      case 0:
+        config.protocol = CoherenceProtocol::VI;
+        break;
+      case 1:
+        config.protocol = CoherenceProtocol::MSI;
+        break;
+      default:
+        config.protocol = CoherenceProtocol::MESI;
+        break;
+    }
+    config.coreMap = CoreMapPolicy::Modulo;
+    config.applyCoherenceDefaults();
+}
+
 Trace
-randomTrace(Rng &rng, std::uint64_t seed)
+randomTrace(Rng &rng, std::uint64_t seed, bool sharing)
 {
     std::size_t length = 1 + rng.below(400);
-    unsigned pids = rng.chance(0.7)
+    // Sharing streams want several pids contending for the same
+    // small span, so peer copies exist to invalidate.
+    unsigned pids = sharing ? 2 + static_cast<unsigned>(rng.below(3))
+                    : rng.chance(0.7)
                         ? 1
                         : 2 + static_cast<unsigned>(rng.below(2));
     // Address span: small enough that a tiny cache sees reuse,
@@ -304,6 +332,10 @@ configKeyValues(const SystemConfig &config)
        << config.tlb.missPenaltyCycles << "\n"
        << "tlb.phys_frames=" << config.tlb.physFrames << "\n"
        << "split=" << (config.split ? 1 : 0) << "\n"
+       << "cores=" << config.cores << "\n"
+       << "protocol=" << coherenceProtocolName(config.protocol)
+       << "\n"
+       << "core_map=" << coreMapPolicyName(config.coreMap) << "\n"
        << "cpu.read_hit_cycles=" << config.cpu.readHitCycles << "\n"
        << "cpu.write_hit_cycles=" << config.cpu.writeHitCycles
        << "\n"
@@ -422,7 +454,29 @@ minimizeConfig(const SystemConfig &config, const Trace &trace,
     SystemConfig best = config;
     const std::vector<ConfigPass> passes = {
         [](SystemConfig &c) {
-            if (!c.hasL2 && c.midLevels.empty())
+            // Dropping coherence falls back to the classic engine
+            // (a coherent config is also a valid classic one).
+            if (!c.coherent())
+                return false;
+            c.protocol = CoherenceProtocol::None;
+            c.cores = 1;
+            return true;
+        },
+        [](SystemConfig &c) {
+            if (!c.coherent() || c.cores == 1)
+                return false;
+            c.cores /= 2;
+            return true;
+        },
+        [](SystemConfig &c) {
+            if (c.protocol != CoherenceProtocol::MESI)
+                return false;
+            c.protocol = CoherenceProtocol::MSI;
+            return true;
+        },
+        [](SystemConfig &c) {
+            // Coherent mode requires the shared L2; keep it.
+            if (c.coherent() || (!c.hasL2 && c.midLevels.empty()))
                 return false;
             c.hasL2 = false;
             c.midLevels.clear();
@@ -536,8 +590,25 @@ generateCase(std::uint64_t seed)
 {
     Rng rng(seed);
     FuzzCase fuzz_case;
+    // A quarter of the space runs the coherent multi-core engine.
+    bool coherent = rng.chance(0.25);
     fuzz_case.config = randomConfig(rng);
-    fuzz_case.trace = randomTrace(rng, seed);
+    if (coherent)
+        coherentize(fuzz_case.config, rng);
+    fuzz_case.trace = randomTrace(rng, seed, coherent);
+    fuzz_case.seed = seed;
+    return fuzz_case;
+}
+
+FuzzCase
+generateCoherentCase(std::uint64_t seed)
+{
+    Rng rng(seed);
+    FuzzCase fuzz_case;
+    rng.chance(0.25); // keep the draw order aligned with generateCase
+    fuzz_case.config = randomConfig(rng);
+    coherentize(fuzz_case.config, rng);
+    fuzz_case.trace = randomTrace(rng, seed, true);
     fuzz_case.seed = seed;
     return fuzz_case;
 }
@@ -546,8 +617,13 @@ CaseOutcome
 checkCase(const FuzzCase &fuzz_case)
 {
     CaseOutcome outcome;
-    System fast(fuzz_case.config);
-    outcome.fast = fast.run(fuzz_case.trace);
+    if (fuzz_case.config.coherent()) {
+        CoherentSystem fast(fuzz_case.config);
+        outcome.fast = fast.run(fuzz_case.trace);
+    } else {
+        System fast(fuzz_case.config);
+        outcome.fast = fast.run(fuzz_case.trace);
+    }
     outcome.oracle = oracleRun(fuzz_case.config, fuzz_case.trace);
     outcome.diffs = diffResults(outcome.fast, outcome.oracle);
     outcome.mismatch = !outcome.diffs.empty();

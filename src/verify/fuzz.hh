@@ -46,6 +46,14 @@ struct FuzzCase
 /** Draw the case for @p seed (pure function of the seed). */
 FuzzCase generateCase(std::uint64_t seed);
 
+/**
+ * Like generateCase() but always a coherent multi-core machine over
+ * a sharing-heavy trace (the coherent oracle-agreement tests want
+ * every seed exercising the protocol, not the ~25% the mixed
+ * generator yields).
+ */
+FuzzCase generateCoherentCase(std::uint64_t seed);
+
 /** What running one case through both simulators produced. */
 struct CaseOutcome
 {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <deque>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "util/logging.hh"
@@ -58,6 +59,7 @@ struct CacheEvent
     bool victimDirty = false;
     Addr victimBlockAddr = 0;
     Pid victimPid = 0;
+    unsigned victimDirtyWords = 0;
     unsigned fetchedWords = 0;
     Addr fetchAddr = 0;
     unsigned fetchCriticalOffset = 0;
@@ -174,6 +176,7 @@ struct OCacheModel
                     (way->tag * sets + block_addr % sets) *
                     cfg.blockWords;
                 event.victimPid = way->pid;
+                event.victimDirtyWords = dirty;
             }
         }
         return *way;
@@ -935,6 +938,638 @@ struct OMachine
     }
 };
 
+// ---------------------------------------------------------------
+// The coherent multi-core machine, restated straight-line.
+//
+// An independent mirror of the coherent engine, written against the
+// protocol definitions rather than the engine's classes: simple
+// per-core MESI line stores, a fully-associative shadow classifier
+// with linear search, an OCacheModel for the shared L2, and the
+// memory times rebuilt from the nanosecond parameters.  Only the
+// statistics structs and enums are shared.
+// ---------------------------------------------------------------
+
+/** One private L1 line: coherence state plus replacement metadata. */
+struct OCohLine
+{
+    Addr tag = 0;
+    CohState state = CohState::Invalid;
+    std::uint64_t lastUse = 0;
+    std::uint64_t fillSeq = 0;
+};
+
+/** A per-core private L1 holding whole-block MESI lines. */
+struct OCohL1
+{
+    CacheConfig cfg;
+    std::uint64_t sets;
+    std::vector<OCohLine> lines; ///< sets x assoc, way-major
+    std::uint64_t useSeq = 0;
+    std::uint64_t fillCount = 0;
+    Rng replRng;
+    CacheStats stats;
+
+    OCohL1(const CacheConfig &config)
+        : cfg(config), sets(config.numSets()),
+          replRng(config.replSeed)
+    {
+        lines.resize(sets * cfg.assoc);
+    }
+
+    OCohLine *
+    find(Addr addr)
+    {
+        std::uint64_t block = addr / cfg.blockWords;
+        Addr tag = block / sets;
+        OCohLine *set = &lines[(block % sets) * cfg.assoc];
+        for (unsigned w = 0; w < cfg.assoc; ++w) {
+            if (set[w].state != CohState::Invalid &&
+                set[w].tag == tag) {
+                return &set[w];
+            }
+        }
+        return nullptr;
+    }
+
+    /** Recency-neutral state probe (snoops do not touch LRU). */
+    CohState
+    probe(Addr addr)
+    {
+        OCohLine *line = find(addr);
+        return line ? line->state : CohState::Invalid;
+    }
+
+    CohState
+    lookupRead(Addr addr)
+    {
+        ++stats.readAccesses;
+        OCohLine *line = find(addr);
+        if (!line) {
+            ++stats.readMisses;
+            return CohState::Invalid;
+        }
+        line->lastUse = ++useSeq;
+        return line->state;
+    }
+
+    CohState
+    lookupWrite(Addr addr)
+    {
+        ++stats.writeAccesses;
+        OCohLine *line = find(addr);
+        if (!line) {
+            ++stats.writeMisses;
+            return CohState::Invalid;
+        }
+        line->lastUse = ++useSeq;
+        return line->state;
+    }
+
+    void
+    setState(Addr addr, CohState state)
+    {
+        find(addr)->state = state;
+    }
+
+    struct Victim
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr blockAddr = 0;
+    };
+
+    Victim
+    fill(Addr addr, CohState state)
+    {
+        std::uint64_t block = addr / cfg.blockWords;
+        std::uint64_t set = block % sets;
+        OCohLine *base = &lines[set * cfg.assoc];
+
+        unsigned way = cfg.assoc;
+        for (unsigned w = 0; w < cfg.assoc; ++w) {
+            if (base[w].state == CohState::Invalid) {
+                way = w;
+                break;
+            }
+        }
+
+        Victim victim;
+        if (way == cfg.assoc) {
+            way = 0;
+            switch (cfg.replPolicy) {
+              case ReplPolicy::Random:
+                way = static_cast<unsigned>(
+                    replRng.below(cfg.assoc));
+                break;
+              case ReplPolicy::LRU:
+                for (unsigned w = 1; w < cfg.assoc; ++w)
+                    if (base[w].lastUse < base[way].lastUse)
+                        way = w;
+                break;
+              case ReplPolicy::FIFO:
+                for (unsigned w = 1; w < cfg.assoc; ++w)
+                    if (base[w].fillSeq < base[way].fillSeq)
+                        way = w;
+                break;
+            }
+            victim.valid = true;
+            victim.dirty = base[way].state == CohState::Modified;
+            victim.blockAddr =
+                (base[way].tag * sets + set) * cfg.blockWords;
+            ++stats.blocksReplaced;
+            if (victim.dirty) {
+                ++stats.dirtyBlocksReplaced;
+                stats.dirtyWordsReplaced += cfg.blockWords;
+            }
+        }
+
+        base[way].tag = block / sets;
+        base[way].state = state;
+        base[way].lastUse = ++useSeq;
+        base[way].fillSeq = ++fillCount;
+        ++stats.fills;
+        stats.wordsFetched += cfg.blockWords;
+        return victim;
+    }
+};
+
+/**
+ * The Hill 3C + coherence classifier, restated: an ever-touched
+ * filter, an equal-capacity fully-associative LRU stack (a plain
+ * vector, front = MRU) and the pending-invalidation marks.
+ */
+struct OClassifier
+{
+    std::uint64_t capacity;
+    unsigned blockWords;
+    std::unordered_set<std::uint64_t> touched;
+    std::unordered_set<std::uint64_t> marked;
+    std::vector<std::uint64_t> stack;
+    MissClassStats stats;
+
+    OClassifier(std::uint64_t capacity_blocks, unsigned block_words)
+        : capacity(capacity_blocks), blockWords(block_words)
+    {
+    }
+
+    MissClass
+    observe(Addr addr)
+    {
+        std::uint64_t key = addr / blockWords; // pid-0 keys
+        bool first = touched.insert(key).second;
+        bool fa_hit = false;
+        for (std::size_t i = 0; i < stack.size(); ++i) {
+            if (stack[i] == key) {
+                fa_hit = true;
+                stack.erase(stack.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+                break;
+            }
+        }
+        stack.insert(stack.begin(), key);
+        if (stack.size() > capacity)
+            stack.pop_back();
+        if (first) {
+            marked.erase(key);
+            return MissClass::Compulsory;
+        }
+        if (marked.erase(key) > 0)
+            return MissClass::Coherence;
+        return fa_hit ? MissClass::Conflict : MissClass::Capacity;
+    }
+
+    void mark(Addr addr) { marked.insert(addr / blockWords); }
+
+    void
+    account(MissClass cls)
+    {
+        switch (cls) {
+          case MissClass::Hit:
+            break;
+          case MissClass::Compulsory:
+            ++stats.compulsory;
+            break;
+          case MissClass::Capacity:
+            ++stats.capacity;
+            break;
+          case MissClass::Conflict:
+            ++stats.conflict;
+            break;
+          case MissClass::Coherence:
+            ++stats.coherence;
+            break;
+        }
+    }
+};
+
+struct OCoherent
+{
+    SystemConfig cfg;
+    unsigned blockWords; ///< data-side L1 block
+    Tick snoopCycles;    ///< bus arbitration/broadcast cost
+    CacheLevelTiming l2t;
+    OCacheModel l2;
+    Tick memReadLatency; ///< address cycles + quantized access
+    Tick memWriteOp;
+
+    struct OCore
+    {
+        std::unique_ptr<OCohL1> icache; ///< null when unified
+        std::unique_ptr<OCohL1> dcache;
+        std::unique_ptr<OClassifier> iCls;
+        std::unique_ptr<OClassifier> dCls;
+        Tick now = 0;
+    };
+    std::vector<OCore> cores;
+
+    MainMemoryStats memStats;
+    CoherenceStats coh;
+    Tick bus = 0;
+    Histogram missPenalty{32, 2};
+    Tick stallRead = 0;
+    Tick stallWrite = 0;
+
+    std::size_t consumed = 0;
+    std::size_t warmStart = 0;
+    bool measuring = false;
+    Tick measureStart = 0;
+    std::uint64_t mReads = 0;
+    std::uint64_t mWrites = 0;
+
+    OCoherent(const SystemConfig &config)
+        : cfg(config), blockWords(config.dcache.blockWords),
+          snoopCycles(config.memory.addressCycles),
+          l2t(config.resolvedMidLevels().front().timing),
+          l2(config.resolvedMidLevels().front().cache)
+    {
+        cfg.validate();
+        memReadLatency =
+            cfg.memory.addressCycles +
+            wholeCycles(cfg.memory.readLatencyNs, cfg.cycleNs);
+        memWriteOp = wholeCycles(cfg.memory.writeNs, cfg.cycleNs);
+        cores.resize(cfg.cores);
+        for (OCore &core : cores) {
+            if (cfg.split) {
+                core.icache = std::make_unique<OCohL1>(cfg.icache);
+                core.iCls = std::make_unique<OClassifier>(
+                    std::max<std::uint64_t>(
+                        1, cfg.icache.sizeWords /
+                               cfg.icache.blockWords),
+                    cfg.icache.blockWords);
+            }
+            core.dcache = std::make_unique<OCohL1>(cfg.dcache);
+            core.dCls = std::make_unique<OClassifier>(
+                std::max<std::uint64_t>(
+                    1, cfg.dcache.sizeWords / cfg.dcache.blockWords),
+                cfg.dcache.blockWords);
+        }
+    }
+
+    Tick
+    wall() const
+    {
+        Tick latest = 0;
+        for (const OCore &core : cores)
+            latest = std::max(latest, core.now);
+        return latest;
+    }
+
+    static Addr
+    blockStart(Addr addr, unsigned block_words)
+    {
+        return addr / block_words * block_words;
+    }
+
+    Tick
+    memReadTime(unsigned words) const
+    {
+        return memReadLatency + moveCycles(cfg.memory.rate, words);
+    }
+
+    Tick
+    memWriteTime(unsigned words) const
+    {
+        return cfg.memory.addressCycles +
+               moveCycles(cfg.memory.rate, words) + memWriteOp;
+    }
+
+    Tick
+    l2Fetch(Addr addr, unsigned words)
+    {
+        Tick cost = l2t.hitCycles;
+        CacheEvent event = l2.read(addr, words, 0);
+        if (event.filled) {
+            ++memStats.reads;
+            memStats.wordsRead += event.fetchedWords;
+            Tick mem = memReadTime(event.fetchedWords);
+            if (event.victimDirty) {
+                ++memStats.writes;
+                memStats.wordsWritten += event.victimDirtyWords;
+                mem += memWriteTime(event.victimDirtyWords);
+            }
+            memStats.busyCycles += mem;
+            cost += mem;
+        }
+        cost += moveCycles(l2t.upstreamRate, words);
+        return cost;
+    }
+
+    Tick
+    l2Put(Addr addr, unsigned words)
+    {
+        Tick cost =
+            l2t.hitCycles + moveCycles(l2t.victimRate, words);
+        CacheEvent event = l2.write(addr, words, 0);
+        if (event.filled) {
+            ++memStats.reads;
+            memStats.wordsRead += event.fetchedWords;
+            Tick mem = memReadTime(event.fetchedWords);
+            if (event.victimDirty) {
+                ++memStats.writes;
+                memStats.wordsWritten += event.victimDirtyWords;
+                mem += memWriteTime(event.victimDirtyWords);
+            }
+            memStats.busyCycles += mem;
+            cost += mem;
+        }
+        return cost;
+    }
+
+    struct Snoop
+    {
+        Tick cycles = 0;
+        bool sharers = false;
+    };
+
+    Snoop
+    snoopPeers(unsigned core, Addr addr, bool for_write)
+    {
+        Snoop result;
+        ++coh.snoops;
+        for (unsigned p = 0;
+             p < static_cast<unsigned>(cores.size()); ++p) {
+            if (p == core)
+                continue;
+            OCohL1 &peer = *cores[p].dcache;
+            CohState state = peer.probe(addr);
+            if (state == CohState::Invalid)
+                continue;
+            bool invalidate =
+                for_write || cfg.protocol == CoherenceProtocol::VI;
+            if (invalidate) {
+                peer.setState(addr, CohState::Invalid);
+                ++coh.invalidations;
+                cores[p].dCls->mark(addr);
+                if (state == CohState::Modified) {
+                    ++coh.interventions;
+                    ++coh.writebacks;
+                    Tick flush = l2Put(blockStart(addr, blockWords),
+                                       blockWords);
+                    coh.interventionCycles += flush;
+                    result.cycles += flush;
+                }
+            } else {
+                result.sharers = true;
+                if (state == CohState::Modified) {
+                    peer.setState(addr, CohState::Shared);
+                    ++coh.interventions;
+                    ++coh.writebacks;
+                    Tick flush = l2Put(blockStart(addr, blockWords),
+                                       blockWords);
+                    coh.interventionCycles += flush;
+                    result.cycles += flush;
+                } else if (state == CohState::Exclusive) {
+                    peer.setState(addr, CohState::Shared);
+                }
+            }
+        }
+        return result;
+    }
+
+    void
+    serveIfetch(unsigned core, Addr addr)
+    {
+        OCore &c = cores[core];
+        Tick issue = c.now;
+        MissClass cls = c.iCls->observe(addr);
+        if (c.icache->lookupRead(addr) != CohState::Invalid) {
+            c.now = issue + cfg.cpu.readHitCycles;
+            return;
+        }
+        c.iCls->account(cls);
+        Tick start = std::max(issue, bus);
+        ++coh.busTransactions;
+        Tick cost = snoopCycles;
+        unsigned iblock = cfg.icache.blockWords;
+        cost += l2Fetch(blockStart(addr, iblock), iblock);
+        OCohL1::Victim victim =
+            c.icache->fill(addr, CohState::Exclusive);
+        if (victim.valid && victim.dirty)
+            cost += l2Put(victim.blockAddr, iblock);
+        coh.busBusyCycles += cost;
+        bus = start + cost;
+        Tick done = bus + cfg.cpu.readHitCycles;
+        missPenalty.sample(static_cast<std::uint64_t>(done - issue));
+        stallRead += done - issue - cfg.cpu.readHitCycles;
+        c.now = done;
+    }
+
+    void
+    serveRead(unsigned core, Addr addr)
+    {
+        OCore &c = cores[core];
+        Tick issue = c.now;
+        MissClass cls = c.dCls->observe(addr);
+        if (c.dcache->lookupRead(addr) != CohState::Invalid) {
+            c.now = issue + cfg.cpu.readHitCycles;
+            return;
+        }
+        c.dCls->account(cls);
+        Tick start = std::max(issue, bus);
+        ++coh.busTransactions;
+        Snoop snoop = snoopPeers(core, addr, false);
+        Tick cost = snoopCycles + snoop.cycles;
+        cost += l2Fetch(blockStart(addr, blockWords), blockWords);
+        CohState fill_state;
+        switch (cfg.protocol) {
+          case CoherenceProtocol::VI:
+            fill_state = CohState::Exclusive;
+            break;
+          case CoherenceProtocol::MSI:
+            fill_state = CohState::Shared;
+            break;
+          default: // MESI
+            fill_state = snoop.sharers ? CohState::Shared
+                                       : CohState::Exclusive;
+            break;
+        }
+        OCohL1::Victim victim = c.dcache->fill(addr, fill_state);
+        if (victim.valid && victim.dirty)
+            cost += l2Put(victim.blockAddr, blockWords);
+        coh.busBusyCycles += cost;
+        bus = start + cost;
+        Tick done = bus + cfg.cpu.readHitCycles;
+        missPenalty.sample(static_cast<std::uint64_t>(done - issue));
+        stallRead += done - issue - cfg.cpu.readHitCycles;
+        c.now = done;
+    }
+
+    void
+    serveWrite(unsigned core, Addr addr)
+    {
+        OCore &c = cores[core];
+        Tick issue = c.now;
+        MissClass cls = c.dCls->observe(addr);
+        CohState state = c.dcache->lookupWrite(addr);
+        switch (state) {
+          case CohState::Modified:
+            c.now = issue + cfg.cpu.writeHitCycles;
+            return;
+          case CohState::Exclusive:
+            c.dcache->setState(addr, CohState::Modified);
+            c.now = issue + cfg.cpu.writeHitCycles;
+            return;
+          case CohState::Shared: {
+            Tick start = std::max(issue, bus);
+            ++coh.busTransactions;
+            ++coh.upgrades;
+            Snoop snoop = snoopPeers(core, addr, true);
+            Tick cost = snoopCycles + snoop.cycles;
+            c.dcache->setState(addr, CohState::Modified);
+            coh.upgradeCycles += cost;
+            coh.busBusyCycles += cost;
+            bus = start + cost;
+            Tick done = bus + cfg.cpu.writeHitCycles;
+            stallWrite += done - issue - cfg.cpu.writeHitCycles;
+            c.now = done;
+            return;
+          }
+          case CohState::Invalid:
+            break;
+        }
+        c.dCls->account(cls);
+        Tick start = std::max(issue, bus);
+        ++coh.busTransactions;
+        Snoop snoop = snoopPeers(core, addr, true);
+        Tick cost = snoopCycles + snoop.cycles;
+        cost += l2Fetch(blockStart(addr, blockWords), blockWords);
+        OCohL1::Victim victim =
+            c.dcache->fill(addr, CohState::Modified);
+        if (victim.valid && victim.dirty)
+            cost += l2Put(victim.blockAddr, blockWords);
+        coh.busBusyCycles += cost;
+        bus = start + cost;
+        Tick done = bus + cfg.cpu.writeHitCycles;
+        stallWrite += done - issue - cfg.cpu.writeHitCycles;
+        c.now = done;
+    }
+
+    void
+    resetStats()
+    {
+        for (OCore &core : cores) {
+            if (core.icache) {
+                core.icache->stats.reset();
+                core.iCls->stats.reset();
+            }
+            core.dcache->stats.reset();
+            core.dCls->stats.reset();
+        }
+        l2.stats.reset();
+        memStats = MainMemoryStats();
+        coh.reset();
+        missPenalty.reset();
+        stallRead = 0;
+        stallWrite = 0;
+    }
+
+    void
+    consume(const Ref &ref)
+    {
+        if (!measuring && consumed == warmStart) {
+            resetStats();
+            measuring = true;
+            measureStart = wall();
+        }
+        unsigned core = cfg.coreMap == CoreMapPolicy::Modulo
+                            ? ref.pid % cfg.cores
+                            : ref.pid;
+        switch (ref.kind) {
+          case RefKind::IFetch:
+            if (cfg.split)
+                serveIfetch(core, ref.addr);
+            else
+                serveRead(core, ref.addr);
+            if (measuring)
+                ++mReads;
+            break;
+          case RefKind::Load:
+            serveRead(core, ref.addr);
+            if (measuring)
+                ++mReads;
+            break;
+          case RefKind::Store:
+            serveWrite(core, ref.addr);
+            if (measuring)
+                ++mWrites;
+            break;
+        }
+        ++consumed;
+    }
+};
+
+SimResult
+oracleRunCoherent(const SystemConfig &config, RefSource &source)
+{
+    if (!source.warmSegments().empty())
+        fatal("oracleRun: coherent mode does not support sampled "
+              "traces (warm segments)");
+
+    OCoherent m(config);
+    m.warmStart = source.warmStart();
+    source.reset();
+
+    std::vector<Ref> buf(4096);
+    for (;;) {
+        std::size_t n = source.fill(buf.data(), buf.size());
+        if (n == 0)
+            break;
+        for (std::size_t i = 0; i < n; ++i)
+            m.consume(buf[i]);
+    }
+
+    SimResult result;
+    result.traceName = source.name();
+    result.configSummary = m.cfg.describe();
+    result.cycleNs = m.cfg.cycleNs;
+    result.cores = m.cfg.cores;
+    result.coherent = true;
+    if (m.measuring) {
+        result.refs = m.mReads + m.mWrites;
+        result.readRefs = m.mReads;
+        result.writeRefs = m.mWrites;
+        result.groups = result.refs;
+        result.cycles = m.wall() - m.measureStart;
+        for (const OCoherent::OCore &core : m.cores) {
+            if (core.icache) {
+                result.coreIcache.push_back(core.icache->stats);
+                result.icache.merge(core.icache->stats);
+                result.missClasses.merge(core.iCls->stats);
+            }
+            result.coreDcache.push_back(core.dcache->stats);
+            result.dcache.merge(core.dcache->stats);
+            result.missClasses.merge(core.dCls->stats);
+        }
+        result.midLevels.push_back(m.l2.stats);
+        result.memory = m.memStats;
+        result.coherenceStats = m.coh;
+        result.missPenaltyCycles = m.missPenalty;
+        result.stallReadCycles = m.stallRead;
+        result.stallWriteCycles = m.stallWrite;
+    }
+    return result;
+}
+
 } // namespace
 
 bool
@@ -975,6 +1610,9 @@ oracleRun(const SystemConfig &config, RefSource &source)
     std::string why;
     if (!oracleSupports(config, &why))
         fatal("oracleRun: unsupported feature (%s)", why.c_str());
+
+    if (config.coherent())
+        return oracleRunCoherent(config, source);
 
     OMachine m(config);
 

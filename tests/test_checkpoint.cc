@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sim/checkpoint.hh"
+#include "sim/coherent.hh"
 #include "sim/system.hh"
 #include "trace/ref_source.hh"
 #include "util/parallel.hh"
@@ -315,6 +316,67 @@ TEST(Checkpoint, SplitRunBitIdenticalAcrossThreadCounts)
     for (std::size_t i = 0; i < one.size(); ++i)
         EXPECT_TRUE(one[i] == eight[i])
             << "end states diverge at seed " << base_seed + i;
+}
+
+/**
+ * The split-run property over coherent multi-core machines: the
+ * capture must cover every piece of coherence state — per-core
+ * clocks, CohState tag bits in each private L1, the bus horizon and
+ * all coherence counters — or the continued run diverges.  Coherent
+ * mode has no couplet pairing, so the cut needs no slide.
+ */
+std::pair<std::string, std::string>
+coherentSplitRunEndStates(const verify::FuzzCase &fuzz_case)
+{
+    const Trace &trace = fuzz_case.trace;
+    const std::vector<Ref> &refs = trace.refs();
+    std::size_t cut = refs.size() / 2;
+
+    TraceRefSource source(trace);
+
+    CoherentSystem whole(fuzz_case.config);
+    whole.beginRun(source);
+    whole.feedChunk(refs.data(), refs.size());
+    StateWriter whole_end;
+    whole.captureState(whole_end);
+    whole.endRun();
+
+    CoherentSystem first(fuzz_case.config);
+    first.beginRun(source);
+    if (cut > 0)
+        first.feedChunk(refs.data(), cut);
+    StateWriter w;
+    first.captureState(w);
+    first.endRun();
+
+    CoherentSystem second(fuzz_case.config);
+    second.beginRun(source);
+    StateReader r(w.buffer().data(), w.buffer().size(),
+                  "coherent-split-run");
+    second.restoreState(r);
+    if (cut < refs.size())
+        second.feedChunk(refs.data() + cut, refs.size() - cut);
+    StateWriter second_end;
+    second.captureState(second_end);
+    second.endRun();
+    return {whole_end.take(), second_end.take()};
+}
+
+TEST(Checkpoint, CoherentSplitRunIsBitIdenticalOverFuzzCorpus)
+{
+    const std::uint64_t base_seed = 72001;
+    const std::size_t cases = 100;
+    for (std::size_t i = 0; i < cases; ++i) {
+        verify::FuzzCase fuzz_case =
+            verify::generateCoherentCase(base_seed + i);
+        ASSERT_TRUE(fuzz_case.config.coherent());
+        if (fuzz_case.trace.size() < 2)
+            continue;
+        auto [uninterrupted, continued] =
+            coherentSplitRunEndStates(fuzz_case);
+        ASSERT_TRUE(uninterrupted == continued)
+            << "end states diverge at seed " << base_seed + i;
+    }
 }
 
 /**

@@ -13,6 +13,7 @@
 #include "core/experiment.hh"
 #include "core/sim_cache.hh"
 #include "core/sweep.hh"
+#include "sim/coherent.hh"
 #include "sim/system.hh"
 #include "stats/interval.hh"
 #include "stats/progress.hh"
@@ -219,8 +220,16 @@ TEST(Differential, FusedBatchMatchesSerialRuns)
         std::vector<SimResult> batch = simulateBatch(configs, source);
         ASSERT_EQ(batch.size(), configs.size());
         for (std::size_t c = 0; c < configs.size(); ++c) {
-            System serial(configs[c]);
-            SimResult expected = serial.run(corpus[t].trace);
+            // The fuzzer draws coherent machines too; the serial
+            // reference must dispatch the way the batch engine does.
+            SimResult expected;
+            if (configs[c].coherent()) {
+                CoherentSystem serial(configs[c]);
+                expected = serial.run(corpus[t].trace);
+            } else {
+                System serial(configs[c]);
+                expected = serial.run(corpus[t].trace);
+            }
             EXPECT_EQ(fingerprint(batch[c]), fingerprint(expected))
                 << "trace seed " << base_seed + t << " config seed "
                 << base_seed + c;
@@ -362,6 +371,105 @@ TEST(Differential, MonotoneMissesUnderGrowingSize)
                 << "seed " << seed << " size " << words;
             prev_misses = misses;
         }
+    }
+}
+
+/**
+ * Coherent mode vs. the reference oracle: 200 fuzzed multi-core
+ * machines (random core counts, protocols, mapping policies and
+ * sharing traces) must agree field for field.
+ */
+TEST(Differential, CoherentOracleAgrees)
+{
+    for (std::uint64_t seed = 55001; seed < 55201; ++seed) {
+        verify::FuzzCase fuzz_case =
+            verify::generateCoherentCase(seed);
+        ASSERT_TRUE(fuzz_case.config.coherent()) << "seed " << seed;
+        verify::CaseOutcome outcome = verify::checkCase(fuzz_case);
+        EXPECT_FALSE(outcome.mismatch)
+            << "seed " << seed << "\n"
+            << verify::formatDiffs(outcome.diffs);
+    }
+}
+
+/**
+ * The determinism contract extends to multi-core machines: a
+ * coherent run is a pure function of (config, trace), so worker
+ * pools of different widths must produce bit-identical results —
+ * including every coherence counter diffResults() covers.
+ */
+TEST(Differential, CoherentBitIdenticalAcrossThreadCounts)
+{
+    const std::size_t cases = 48;
+    const std::uint64_t base_seed = 41001;
+    bool cache_was_enabled = SimCache::global().enabled();
+    SimCache::global().setEnabled(false);
+
+    auto run_batch = [&](unsigned threads) {
+        setParallelThreads(threads);
+        return parallelMap<std::string>(cases, [&](std::size_t i) {
+            verify::FuzzCase fuzz_case =
+                verify::generateCoherentCase(base_seed + i);
+            CoherentSystem system(fuzz_case.config);
+            return fingerprint(system.run(fuzz_case.trace));
+        });
+    };
+
+    std::vector<std::string> one = run_batch(1);
+    std::vector<std::string> eight = run_batch(8);
+
+    setParallelThreads(0);
+    SimCache::global().setEnabled(cache_was_enabled);
+
+    ASSERT_EQ(one.size(), eight.size());
+    for (std::size_t i = 0; i < one.size(); ++i)
+        EXPECT_EQ(one[i], eight[i]) << "seed " << base_seed + i;
+}
+
+/**
+ * Structural invariants of the coherent timing model, on cold runs
+ * where no counter was reset mid-stream: the bus can never be busy
+ * longer than the run, every upgrade is a bus transaction, and the
+ * miss taxonomy (now four classes) still decomposes the merged L1
+ * misses exactly.  Upgrade and intervention cycles both happen
+ * inside bus occupancy, so each is bounded by busBusyCycles alone
+ * (they overlap; their sum is not a valid bound).
+ */
+TEST(Differential, CoherentCycleConservation)
+{
+    for (std::uint64_t seed = 57001; seed < 57101; ++seed) {
+        verify::FuzzCase fuzz_case =
+            verify::generateCoherentCase(seed);
+        if (fuzz_case.trace.warmStart() != 0)
+            continue;
+        CoherentSystem system(fuzz_case.config);
+        SimResult result = system.run(fuzz_case.trace);
+
+        EXPECT_EQ(result.refs, fuzz_case.trace.size())
+            << "seed " << seed;
+        EXPECT_GE(result.cycles,
+                  static_cast<Tick>(result.groups))
+            << "seed " << seed;
+        const CoherenceStats &coh = result.coherenceStats;
+        EXPECT_LE(coh.busBusyCycles,
+                  static_cast<std::uint64_t>(result.cycles))
+            << "seed " << seed;
+        EXPECT_LE(coh.upgrades, coh.busTransactions)
+            << "seed " << seed;
+        EXPECT_LE(coh.snoops, coh.busTransactions)
+            << "seed " << seed;
+        EXPECT_LE(coh.upgradeCycles, coh.busBusyCycles)
+            << "seed " << seed;
+        EXPECT_LE(coh.interventionCycles, coh.busBusyCycles)
+            << "seed " << seed;
+
+        std::uint64_t l1Misses = result.icache.readMisses +
+                                 result.dcache.readMisses +
+                                 result.dcache.writeMisses;
+        EXPECT_EQ(result.missClasses.total(), l1Misses)
+            << "seed " << seed;
+        EXPECT_GE(result.stallReadCycles, 0) << "seed " << seed;
+        EXPECT_GE(result.stallWriteCycles, 0) << "seed " << seed;
     }
 }
 

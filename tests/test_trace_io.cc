@@ -109,6 +109,69 @@ TEST(TraceIo, DineroRoundTrip)
         EXPECT_EQ(copy.refs()[i], original.refs()[i]);
 }
 
+TEST(TraceIo, DineroMultiPidWarnsAndDropsPids)
+{
+    // The din format is uniprocess: writing a multi-pid trace warns
+    // (once) and drops the pid column, so the round trip folds
+    // everything onto pid 0 but keeps every address and kind.
+    Trace original = sampleTrace();
+    std::stringstream buffer;
+    writeDinero(original, buffer);
+    Trace copy = readDinero(buffer, "sample");
+    ASSERT_EQ(copy.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(copy.refs()[i].addr, original.refs()[i].addr);
+        EXPECT_EQ(copy.refs()[i].kind, original.refs()[i].kind);
+        EXPECT_EQ(copy.refs()[i].pid, 0u);
+    }
+}
+
+TEST(TraceIoDeath, DineroStrictModeRejectsMultiPidTrace)
+{
+    EXPECT_EXIT(
+        {
+            std::stringstream buffer;
+            writeDinero(sampleTrace(), buffer, true);
+        },
+        ::testing::ExitedWithCode(1), "more than one pid");
+}
+
+TEST(TraceIo, DineroSinglePidTraceWritesQuietly)
+{
+    // One distinct pid — even a nonzero one — is representable, so
+    // strict mode accepts it.
+    Trace original("d",
+                   {
+                       {0x400, RefKind::IFetch, 7},
+                       {0x800, RefKind::Load, 7},
+                   });
+    std::stringstream buffer;
+    writeDinero(original, buffer, true);
+    Trace copy = readDinero(buffer, "d");
+    ASSERT_EQ(copy.size(), 2u);
+    EXPECT_EQ(copy.refs()[1].addr, 0x800u);
+}
+
+TEST(TraceIo, TextAcceptsLargestPid)
+{
+    std::stringstream buffer;
+    buffer << "L 10 65535\n";
+    Trace trace = readText(buffer);
+    ASSERT_EQ(trace.size(), 1u);
+    EXPECT_EQ(trace.refs()[0].pid, 0xffffu);
+}
+
+TEST(TraceIoDeath, TextRejectsPidBeyond16Bits)
+{
+    EXPECT_EXIT(
+        {
+            std::stringstream buffer;
+            buffer << "L 10 65536\n";
+            readText(buffer);
+        },
+        ::testing::ExitedWithCode(1), "16-bit pid limit");
+}
+
 TEST(TraceIo, DineroParsesClassicFormat)
 {
     std::stringstream buffer;

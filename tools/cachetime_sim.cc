@@ -20,6 +20,12 @@
  *                         format-v2 files are mmap-streamed, so RSS
  *                         stays bounded however long the trace
  *     --workloads SCALE   use the Table 1 workloads at SCALE
+ *     --cores N           coherent multi-core mode with N cores
+ *                         (sugar for --set cores=N plus coherence
+ *                         defaults; pids pick cores via --core-map)
+ *     --protocol P        coherence protocol: vi, msi or mesi
+ *                         (default mesi when --cores is given)
+ *     --core-map M        pid-to-core policy (modulo)
  *     --csv               machine-readable per-trace output
  *     --stats-json FILE   write a JSON run manifest with the full
  *                         per-trace stats registry to FILE
@@ -59,8 +65,11 @@
 #include <string>
 #include <vector>
 
+#include "cache/coherence.hh"
 #include "core/experiment.hh"
 #include "core/smarts.hh"
+#include "sim/coherent.hh"
+#include "sim/core_map.hh"
 #include "sim/system.hh"
 #include "stats/interval.hh"
 #include "stats/progress.hh"
@@ -130,6 +139,17 @@ printResult(const SimResult &r, bool csv, bool verbose)
         table.addRow({"tlb miss ratio",
                       TablePrinter::fmt(r.tlb.missRatio(), 5)});
     }
+    if (r.coherent) {
+        table.addRow({"cores", std::to_string(r.cores)});
+        table.addRow({"bus transactions",
+                      std::to_string(
+                          r.coherenceStats.busTransactions)});
+        table.addRow({"invalidations",
+                      std::to_string(
+                          r.coherenceStats.invalidations)});
+        table.addRow({"coherence misses",
+                      std::to_string(r.missClasses.coherence)});
+    }
     table.print(std::cout);
     if (verbose) {
         std::cout << "miss penalty (cycles): "
@@ -146,8 +166,9 @@ printResult(const SimResult &r, bool csv, bool verbose)
  * cut never separates an IFetch from the data reference it pairs
  * with), so the run is bit-identical to System::run().
  */
+template <typename SystemT>
 SimResult
-runWithProgress(System &system, RefSource &source,
+runWithProgress(SystemT &system, RefSource &source,
                 ProgressMeter &meter)
 {
     meter.setLabel(source.name());
@@ -328,6 +349,9 @@ main(int argc, char **argv)
     std::string progress_spec;
     std::string sample_spec;
     std::string checkpoint_dir;
+    unsigned cli_cores = 0;
+    std::string cli_protocol;
+    std::string cli_core_map;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -359,6 +383,15 @@ main(int argc, char **argv)
             stream_files.push_back(need("--trace-file"));
         } else if (arg == "--workloads") {
             workload_scale = std::stod(need("--workloads"));
+        } else if (arg == "--cores") {
+            cli_cores =
+                static_cast<unsigned>(std::stoul(need("--cores")));
+            if (cli_cores == 0)
+                fatal("cachetime_sim: --cores needs at least 1");
+        } else if (arg == "--protocol") {
+            cli_protocol = need("--protocol");
+        } else if (arg == "--core-map") {
+            cli_core_map = need("--core-map");
         } else if (arg == "--csv") {
             csv = true;
         } else if (arg == "--stats-json") {
@@ -402,7 +435,21 @@ main(int argc, char **argv)
         }
     }
 
+    if (cli_cores > 0 || !cli_protocol.empty() ||
+        !cli_core_map.empty()) {
+        if (cli_cores > 0)
+            config.cores = cli_cores;
+        config.protocol = cli_protocol.empty()
+                              ? CoherenceProtocol::MESI
+                              : parseCoherenceProtocol(cli_protocol);
+        if (!cli_core_map.empty())
+            config.coreMap = parseCoreMapPolicy(cli_core_map);
+        config.applyCoherenceDefaults();
+    }
     config.validate();
+    if (config.coherent() && !sample_spec.empty())
+        fatal("cachetime_sim: --sample is not supported in coherent "
+              "multi-core mode");
     if (!interval_csv_path.empty() && interval_refs == 0)
         fatal("cachetime_sim: --interval-csv needs "
               "--interval-stats N");
@@ -501,12 +548,24 @@ main(int argc, char **argv)
                 runSampled(source);
                 return;
             }
-            System system(config);
-            if (interval_refs)
-                system.setIntervalCollector(&collector);
-            auto r = std::make_shared<const SimResult>(
-                meter.active() ? runWithProgress(system, source, meter)
-                               : system.run(source));
+            std::shared_ptr<const SimResult> r;
+            if (config.coherent()) {
+                CoherentSystem system(config);
+                if (interval_refs)
+                    system.setIntervalCollector(&collector);
+                r = std::make_shared<const SimResult>(
+                    meter.active()
+                        ? runWithProgress(system, source, meter)
+                        : system.run(source));
+            } else {
+                System system(config);
+                if (interval_refs)
+                    system.setIntervalCollector(&collector);
+                r = std::make_shared<const SimResult>(
+                    meter.active()
+                        ? runWithProgress(system, source, meter)
+                        : system.run(source));
+            }
             consume(*r);
             results.push_back(std::move(r));
         };
