@@ -29,6 +29,8 @@
 #ifndef CACHETIME_CACHE_CACHE_HH
 #define CACHETIME_CACHE_CACHE_HH
 
+#include <bit>
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -461,17 +463,51 @@ Cache::findIndex(Addr block_addr, Pid pid) const
         static_cast<std::size_t>(block_addr & setMask_)
         << assocShift_;
     if (tag < kTagLimit) [[likely]] {
-        // Fast probe: one fused-key compare per way over a
-        // contiguous array; invalid and wide-tagged lines hold
-        // sentinels that can never equal a fast probe key.
+        // Fast probe over the contiguous fused-key array; invalid
+        // and wide-tagged lines hold sentinels that can never equal
+        // a fast probe key.  Four ways per iteration with portable
+        // SWAR: for d = way ^ key, ((d - 1) & ~d) has its top bit
+        // set iff d == 0, so four is-zero bits gather into one hit
+        // mask and the scan takes a branch per four ways instead of
+        // per way.  At most one way can match (a block resides in
+        // one way), so the lowest set bit is *the* hit.
         const std::uint64_t key =
             (tag << kPidBits) | (pid & pidMask_);
         const std::uint64_t *keys = keys_.data() + base;
-        for (unsigned w = 0; w < config_.assoc; ++w) {
-            if (keys[w] == key)
-                return base + w;
+        const unsigned assoc = config_.assoc;
+        std::size_t found = kNoLine;
+        unsigned w = 0;
+        for (; w + 4 <= assoc; w += 4) {
+            const std::uint64_t d0 = keys[w + 0] ^ key;
+            const std::uint64_t d1 = keys[w + 1] ^ key;
+            const std::uint64_t d2 = keys[w + 2] ^ key;
+            const std::uint64_t d3 = keys[w + 3] ^ key;
+            const unsigned mask = static_cast<unsigned>(
+                (((d0 - 1) & ~d0) >> 63) |
+                ((((d1 - 1) & ~d1) >> 62) & 2) |
+                ((((d2 - 1) & ~d2) >> 61) & 4) |
+                ((((d3 - 1) & ~d3) >> 60) & 8));
+            if (mask) {
+                found = base + w +
+                        static_cast<unsigned>(std::countr_zero(mask));
+                break;
+            }
         }
-        return kNoLine;
+        if (found == kNoLine) {
+            for (; w < assoc; ++w) { // scalar tail: assoc mod 4
+                if (keys[w] == key) {
+                    found = base + w;
+                    break;
+                }
+            }
+        }
+        assert([&] { // SWAR must agree with the scalar scan
+            for (unsigned v = 0; v < assoc; ++v)
+                if (keys[v] == key)
+                    return found == base + v;
+            return found == kNoLine;
+        }());
+        return found;
     }
     // Wide tags (beyond 2^47 blocks x numSets) cannot fuse exactly;
     // compare the cold lines.  A wide probe can only match a wide

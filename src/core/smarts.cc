@@ -205,6 +205,34 @@ selectAndEstimate(SmartsRunResult &out, std::size_t n_units,
         meanConfidence(ratios, cfg.confidence);
 }
 
+/**
+ * Assemble one unit's aggregation record from its measured
+ * counters.  The full pass (interval-collector windows) and replay
+ * (one SimResult per unit) both build units here, so the two
+ * estimation paths can never aggregate differently.  A unit that
+ * measured nothing means the plan and the engine disagree about the
+ * measurement window: panic.
+ */
+SmartsUnitResult
+makeUnitResult(std::size_t index, std::uint64_t begin,
+               std::uint64_t end, std::uint64_t refs,
+               std::uint64_t cycles, double cpi,
+               double read_miss_ratio, const char *how)
+{
+    SmartsUnitResult u;
+    u.index = index;
+    u.beginRef = begin;
+    u.endRef = end;
+    u.refs = refs;
+    u.cycles = cycles;
+    u.cpi = cpi;
+    u.readMissRatio = read_miss_ratio;
+    if (u.refs == 0)
+        panic("smarts: %s unit %zu measured no references", how,
+              index);
+    return u;
+}
+
 bool
 fileExists(const std::string &path)
 {
@@ -301,16 +329,9 @@ runSmartsFullPass(const SystemConfig &config, const Trace &trace,
     std::vector<SmartsUnitResult> all(n_units);
     for (std::size_t k = 0; k < n_units; ++k) {
         const IntervalRecord &r = recs[2 * k + 1];
-        SmartsUnitResult &u = all[k];
-        u.index = k;
-        u.beginRef = units[k].begin;
-        u.endRef = r.endRef;
-        u.refs = r.c.refs;
-        u.cycles = r.c.cycles;
-        u.cpi = r.cpi();
-        u.readMissRatio = r.readMissRatio();
-        if (u.refs == 0)
-            panic("smarts: unit %zu measured no references", k);
+        all[k] = makeUnitResult(k, units[k].begin, r.endRef,
+                                r.c.refs, r.c.cycles, r.cpi(),
+                                r.readMissRatio(), "full-pass");
     }
     selectAndEstimate(out, n_units, cfg,
                       [&](std::size_t k) { return all[k]; });
@@ -403,18 +424,10 @@ runSmartsReplay(const SystemConfig &config, const Trace &trace,
         machine.feedChunk(sub.refs().data(), sub.refs().size());
         SimResult sr = machine.endRun();
         simulated += cu.endPos - cu.cpPos;
-        SmartsUnitResult u;
-        u.index = k;
-        u.beginRef = cu.beginPos;
-        u.endRef = cu.endPos;
-        u.refs = sr.refs;
-        u.cycles = static_cast<std::uint64_t>(sr.cycles);
-        u.cpi = sr.cyclesPerRef();
-        u.readMissRatio = sr.readMissRatio();
-        if (u.refs == 0)
-            panic("smarts: replayed unit %zu measured no references",
-                  k);
-        return u;
+        return makeUnitResult(k, cu.beginPos, cu.endPos, sr.refs,
+                              static_cast<std::uint64_t>(sr.cycles),
+                              sr.cyclesPerRef(), sr.readMissRatio(),
+                              "replayed");
     };
     selectAndEstimate(out, n_units, cfg, unit_at);
     out.simulatedRefs = simulated;

@@ -54,7 +54,17 @@ struct LayerKey
     bool operator==(const LayerKey &) const = default;
 };
 
-/** Per-set master lists + reuse histograms for one layer. */
+/**
+ * Per-set master lists + reuse histograms for one layer (or, in the
+ * sharded pass, for one shard's slice of one layer).
+ *
+ * A shard owns every set whose index contains its shard id in bits
+ * [shardPos, shardPos + shardBits): finalize() then sizes the
+ * arrays for the slice (sets >> shardBits of them) and localSet()
+ * compacts a full set index to a slice index by deleting the shard
+ * bits.  The serial pass is the shardBits = 0 special case, where
+ * localSet() is the identity.
+ */
 struct Layer
 {
     LayerKey key;
@@ -64,6 +74,8 @@ struct Layer
     std::uint64_t setMask = 0;
     Pid pidMask = 0;
     bool noWriteAllocate = false;
+    unsigned shardBits = 0;      ///< set-index bits owned pass-wide
+    std::uint64_t lowMask = 0;   ///< set bits below the shard bits
 
     /** sets x maxA entry slots; set s owns [s*maxA, s*maxA+len[s]). */
     std::vector<Entry> slots;
@@ -88,19 +100,40 @@ struct Layer
     std::vector<std::uint64_t> histRead;
     std::vector<std::uint64_t> histWrite;
 
+    /** @return the slice index of full set index @p set. */
+    std::size_t
+    localSet(std::uint64_t set) const
+    {
+        // Delete bits [shardPos, shardPos + shardBits): the high
+        // part shifts down over them, the low part stays put.  The
+        // shifted-down shard bits land below shardPos and are
+        // cleared by ~lowMask.
+        return static_cast<std::size_t>(
+            ((set >> shardBits) & ~lowMask) | (set & lowMask));
+    }
+
+    /**
+     * Allocate state for this layer's slice of the set space.
+     * @param shard_pos  position of the shard bits within this
+     *                   layer's set index
+     * @param shard_bits pass-wide shard bit count (0 = serial)
+     */
     void
-    finalize()
+    finalize(unsigned shard_pos = 0, unsigned shard_bits = 0)
     {
         blockShift = key.blockShift;
         setMask = key.sets - 1;
         pidMask = key.pidInTag ? static_cast<Pid>(~Pid{0}) : Pid{0};
         noWriteAllocate = key.alloc == AllocPolicy::NoWriteAllocate;
+        shardBits = shard_bits;
+        lowMask = (std::uint64_t{1} << shard_pos) - 1;
+        const std::uint64_t local_sets = key.sets >> shard_bits;
         if (maxA == 1) {
-            tags.assign(key.sets, 0);
-            validBits.assign(key.sets / 64 + 1, 0);
+            tags.assign(local_sets, 0);
+            validBits.assign(local_sets / 64 + 1, 0);
         } else {
-            slots.resize(key.sets * maxA);
-            len.assign(key.sets, 0);
+            slots.resize(local_sets * maxA);
+            len.assign(local_sets, 0);
         }
         histRead.assign(maxA + 2, 0);
         histWrite.assign(maxA + 2, 0);
@@ -114,7 +147,7 @@ Layer::touch(Addr addr, Pid pid, bool write, bool measuring)
 {
     const Addr block = addr >> blockShift;
     const Pid p = static_cast<Pid>(pid & pidMask);
-    const std::size_t set = static_cast<std::size_t>(block & setMask);
+    const std::size_t set = localSet(block & setMask);
     Entry *list = slots.data() + set * maxA;
     std::uint32_t n = len[set];
 
@@ -208,6 +241,328 @@ missRatioKey(const SystemConfig &config, std::uint64_t trace_hash)
     return key;
 }
 
+/** One config's L1 role mapped onto a shared layer. */
+struct RolePlan
+{
+    std::size_t layer = 0;
+    unsigned assoc = 0;
+};
+
+/**
+ * Flat probe view of a direct-mapped layer, walked by the inner
+ * loop without indirection; deeper layers keep the master lists.
+ */
+struct DirectView
+{
+    unsigned blockShift;
+    std::uint64_t setMask;
+    std::uint64_t pidMask;
+    bool noWriteAllocate;
+    unsigned shardBits;
+    std::uint64_t lowMask;
+    std::uint64_t *tags;
+    std::uint64_t *valid;
+    std::uint64_t *histRead;
+    std::uint64_t *histWrite;
+};
+
+/** The routed layer views of one pass (or of one shard's slice). */
+struct LayerViews
+{
+    std::vector<DirectView> directIfetch, directData;
+    std::vector<Layer *> deepIfetch, deepData;
+};
+
+/**
+ * Build the probe views over @p layers.  Views sharing
+ * blockShift/pidMask are adjacent so the (block, fused tag)
+ * computation amortizes across them; a unified L1 serves ifetches
+ * from the data-side state.
+ */
+LayerViews
+buildViews(std::vector<Layer> &layers, bool split)
+{
+    auto viewOf = [](Layer &layer) {
+        return DirectView{layer.blockShift,
+                          layer.setMask,
+                          layer.pidMask,
+                          layer.noWriteAllocate,
+                          layer.shardBits,
+                          layer.lowMask,
+                          layer.tags.data(),
+                          layer.validBits.data(),
+                          layer.histRead.data(),
+                          layer.histWrite.data()};
+    };
+    LayerViews views;
+    for (Layer &layer : layers) {
+        if (layer.maxA == 1)
+            (layer.key.iside ? views.directIfetch : views.directData)
+                .push_back(viewOf(layer));
+        else
+            (layer.key.iside ? views.deepIfetch : views.deepData)
+                .push_back(&layer);
+    }
+    auto byShape = [](const DirectView &a, const DirectView &b) {
+        return a.blockShift != b.blockShift
+                   ? a.blockShift < b.blockShift
+                   : a.pidMask < b.pidMask;
+    };
+    std::sort(views.directIfetch.begin(), views.directIfetch.end(),
+              byShape);
+    std::sort(views.directData.begin(), views.directData.end(),
+              byShape);
+    if (!split) { // unified: ifetches share the L1 state
+        views.directIfetch = views.directData;
+        views.deepIfetch = views.deepData;
+    }
+    return views;
+}
+
+/**
+ * Apply one reference to every layer of a role.  Sharded
+ * instantiations compact set indices to the owning shard's slice;
+ * the serial kernel instantiates with Sharded = false and pays no
+ * remap arithmetic at all.
+ */
+template <bool Sharded>
+void
+touchViews(const std::vector<DirectView> &direct,
+           const std::vector<Layer *> &deep, Addr addr, Pid pid,
+           bool write, std::uint64_t measured)
+{
+    unsigned prev_shift = ~0u;
+    std::uint64_t prev_pid_mask = ~std::uint64_t{0};
+    Addr block = 0;
+    std::uint64_t fused = 0;
+    for (const DirectView &view : direct) {
+        if (view.blockShift != prev_shift ||
+            view.pidMask != prev_pid_mask) [[unlikely]] {
+            prev_shift = view.blockShift;
+            prev_pid_mask = view.pidMask;
+            block = addr >> view.blockShift;
+            fused = (block << 16) | (pid & view.pidMask);
+        }
+        std::uint64_t set = block & view.setMask;
+        if constexpr (Sharded)
+            set = ((set >> view.shardBits) & ~view.lowMask) |
+                  (set & view.lowMask);
+        std::uint64_t &word = view.valid[set >> 6];
+        const std::uint64_t bit = std::uint64_t{1} << (set & 63);
+        const bool hit = (word & bit) && view.tags[set] == fused;
+        (write ? view.histWrite
+               : view.histRead)[hit ? 1 : 2] += measured;
+        if (write && view.noWriteAllocate)
+            continue; // hit reorders nothing at A=1; miss: no-op
+        view.tags[set] = fused;
+        word |= bit;
+    }
+    for (Layer *layer : deep)
+        layer->touch(addr, pid, write, measured != 0);
+}
+
+/** Measured access totals of one pass (role-global, by class). */
+struct PassCounts
+{
+    std::uint64_t ifetch = 0;
+    std::uint64_t load = 0;
+    std::uint64_t store = 0;
+    std::uint64_t groups = 0;
+};
+
+/**
+ * The single pass driver, mirroring System::consumeChunk's
+ * issue-group and measurement-window logic exactly: the measuring
+ * flag is decided at the group's first reference, state always
+ * advances, and only measured accesses are counted.  Every
+ * reference is handed to @p sink(ref, iside, write, measured) in
+ * stream order - the serial kernel touches layers there, the
+ * sharded kernel routes into per-shard buffers - so both kernels
+ * share one measuring/pairing implementation and cannot drift.
+ */
+template <typename Sink>
+PassCounts
+drivePass(RefSource &source, bool pair, Sink &&sink)
+{
+    const std::vector<WarmSegment> segments = source.warmSegments();
+    const std::size_t warm_start = source.warmStart();
+    PipelinedFeeder feeder(source);
+
+    PassCounts counts;
+    std::size_t consumed = 0;
+    std::size_t seg_idx = 0;
+    std::size_t boundary = 0;
+    bool measuring = false;
+
+    auto stateAt = [&](std::size_t p) -> bool {
+        if (p < warm_start) {
+            boundary = warm_start;
+            return false;
+        }
+        while (seg_idx < segments.size() && p >= segments[seg_idx].end)
+            ++seg_idx;
+        if (seg_idx < segments.size() &&
+            p >= segments[seg_idx].begin) {
+            boundary = segments[seg_idx].end;
+            return false;
+        }
+        boundary = seg_idx < segments.size()
+                       ? segments[seg_idx].begin
+                       : std::numeric_limits<std::size_t>::max();
+        return true;
+    };
+
+    while (ChunkFeeder::Span span = feeder.next()) {
+        const Ref *buffer = span.data;
+        const std::size_t n = span.size;
+        std::size_t head = 0;
+        while (head < n) {
+            if (consumed >= boundary) [[unlikely]]
+                measuring = stateAt(consumed);
+
+            const std::uint64_t measured = measuring ? 1 : 0;
+            const Ref &first = buffer[head];
+            if (first.kind == RefKind::IFetch) {
+                sink(first, true, false, measured);
+                counts.ifetch += measured;
+                ++head;
+                ++consumed;
+                if (pair && head < n && isData(buffer[head].kind)) {
+                    const Ref &data = buffer[head];
+                    const bool write = data.kind == RefKind::Store;
+                    sink(data, false, write, measured);
+                    (write ? counts.store : counts.load) += measured;
+                    ++head;
+                    ++consumed;
+                }
+            } else {
+                const bool write = first.kind == RefKind::Store;
+                sink(first, false, write, measured);
+                (write ? counts.store : counts.load) += measured;
+                ++head;
+                ++consumed;
+            }
+            counts.groups += measured;
+        }
+    }
+    return counts;
+}
+
+/** @return the histogram mass above @p assoc: misses at that A. */
+std::uint64_t
+missesAbove(const std::vector<std::uint64_t> &hist, unsigned assoc)
+{
+    std::uint64_t sum = 0;
+    for (std::size_t k = assoc + 1; k < hist.size(); ++k)
+        sum += hist[k];
+    return sum;
+}
+
+/**
+ * Fill the descriptive fields and role-global measured access
+ * counts of every partial result.  Miss counters are accumulated
+ * separately (per layer set - once serially, once per shard).
+ */
+void
+fillCommon(std::vector<SimResult> &out,
+           const std::vector<SystemConfig> &configs,
+           const std::string &trace_name, bool split,
+           const PassCounts &counts)
+{
+    for (std::size_t c = 0; c < out.size(); ++c) {
+        SimResult &result = out[c];
+        result.traceName = trace_name;
+        result.configSummary = configs[c].describe();
+        result.cycleNs = configs[c].cycleNs;
+        result.refs = counts.ifetch + counts.load + counts.store;
+        result.readRefs = counts.ifetch + counts.load;
+        result.writeRefs = counts.store;
+        result.groups = counts.groups;
+        if (split) {
+            result.icache.readAccesses = counts.ifetch;
+            result.dcache.readAccesses = counts.load;
+        } else {
+            result.dcache.readAccesses = counts.ifetch + counts.load;
+        }
+        result.dcache.writeAccesses = counts.store;
+    }
+}
+
+/**
+ * Accumulate the miss counters extracted from @p layers into
+ * @p out.  The sharded kernel calls this once per shard in shard
+ * order; per-shard extraction then summation is identical to
+ * extraction from merged histograms because missesAbove() is linear
+ * in the histogram and integer addition is associative - the heart
+ * of the bit-identity argument (DESIGN.md section 14).
+ */
+void
+addMissCounters(std::vector<SimResult> &out, bool split,
+                const std::vector<RolePlan> &iPlan,
+                const std::vector<RolePlan> &dPlan,
+                const std::vector<Layer> &layers)
+{
+    for (std::size_t c = 0; c < out.size(); ++c) {
+        SimResult part;
+        const Layer &dl = layers[dPlan[c].layer];
+        if (split)
+            part.icache.readMisses = missesAbove(
+                layers[iPlan[c].layer].histRead, iPlan[c].assoc);
+        part.dcache.readMisses =
+            missesAbove(dl.histRead, dPlan[c].assoc);
+        part.dcache.writeMisses =
+            missesAbove(dl.histWrite, dPlan[c].assoc);
+        out[c].mergeCounters(part);
+    }
+}
+
+/** Where the pass may split the address space across shards. */
+struct ShardPlan
+{
+    unsigned shift = 0; ///< lowest shared set-index address bit
+    unsigned bits = 0;  ///< number of shared set-index bits
+};
+
+/**
+ * The set-index address bits every layer has in common: bits above
+ * the largest block offset and below the smallest set-index top.
+ * Any key derived from them partitions every layer's set space
+ * consistently, so a shard owns complete sets of all layers at
+ * once.
+ */
+ShardPlan
+shardPlanOf(const std::vector<Layer> &layers)
+{
+    unsigned low = 0;
+    unsigned high = ~0u;
+    for (const Layer &layer : layers) {
+        low = std::max(low, layer.key.blockShift);
+        high = std::min(high,
+                        layer.key.blockShift + log2u(layer.key.sets));
+    }
+    ShardPlan plan;
+    if (!layers.empty() && high > low) {
+        plan.shift = low;
+        plan.bits = high - low;
+    }
+    return plan;
+}
+
+// Router meta word: pid in the low 16 bits, then three flags.
+constexpr std::uint32_t kRouteWrite = 1u << 16;
+constexpr std::uint32_t kRouteIside = 1u << 17;
+constexpr unsigned kRouteMeasuredShift = 18;
+
+/** One routed reference: address plus packed pid/flags. */
+struct RoutedRef
+{
+    Addr addr;
+    std::uint32_t meta;
+};
+
+/** Routed refs buffered between shard dispatches (~4 MB total). */
+constexpr std::size_t kRouteBatchRefs = std::size_t{1} << 18;
+
 } // namespace
 
 bool
@@ -222,6 +577,26 @@ stackEligible(const SystemConfig &config)
     if (config.split && !l1Eligible(config.icache))
         return false;
     return l1Eligible(config.dcache);
+}
+
+unsigned
+stackShardBits(const std::vector<SystemConfig> &configs)
+{
+    unsigned low = 0;
+    unsigned high = ~0u;
+    bool any = false;
+    auto fold = [&](const CacheConfig &cache) {
+        const unsigned block_shift = log2u(cache.blockWords);
+        low = std::max(low, block_shift);
+        high = std::min(high, block_shift + log2u(cache.numSets()));
+        any = true;
+    };
+    for (const SystemConfig &config : configs) {
+        if (config.split)
+            fold(config.icache);
+        fold(config.dcache);
+    }
+    return (any && high > low) ? high - low : 0;
 }
 
 std::vector<SimResult>
@@ -243,11 +618,6 @@ runStackSweep(const std::vector<SystemConfig> &configs,
     }
 
     // Plan: map each config's L1(s) onto shared layers.
-    struct RolePlan
-    {
-        std::size_t layer = 0;
-        unsigned assoc = 0;
-    };
     std::vector<Layer> layers;
     auto layerFor = [&](const LayerKey &key, unsigned assoc) {
         for (std::size_t l = 0; l < layers.size(); ++l) {
@@ -281,196 +651,124 @@ runStackSweep(const std::vector<SystemConfig> &configs,
                              dc.assoc),
                     dc.assoc};
     }
-    for (Layer &layer : layers)
-        layer.finalize();
 
-    // Routing: direct-mapped layers get a flat probe view the inner
-    // loop walks without indirection; deeper layers keep the master
-    // lists.  Views sharing blockShift/pidMask are adjacent so the
-    // (block, fused tag) computation amortizes across them.
-    struct DirectView
-    {
-        unsigned blockShift;
-        std::uint64_t setMask;
-        std::uint64_t pidMask;
-        bool noWriteAllocate;
-        std::uint64_t *tags;
-        std::uint64_t *valid;
-        std::uint64_t *histRead;
-        std::uint64_t *histWrite;
-    };
-    auto viewOf = [](Layer &layer) {
-        return DirectView{layer.blockShift,
-                          layer.setMask,
-                          layer.pidMask,
-                          layer.noWriteAllocate,
-                          layer.tags.data(),
-                          layer.validBits.data(),
-                          layer.histRead.data(),
-                          layer.histWrite.data()};
-    };
-    std::vector<DirectView> directIfetch, directData;
-    std::vector<Layer *> deepIfetch, deepData;
-    for (Layer &layer : layers) {
-        if (layer.maxA == 1)
-            (layer.key.iside ? directIfetch : directData)
-                .push_back(viewOf(layer));
-        else
-            (layer.key.iside ? deepIfetch : deepData)
-                .push_back(&layer);
+    // Shard only when the pool can host the workers (a sweep already
+    // running inside a pool task would serialize anyway) and the
+    // grid leaves shared set-index bits to route on.  The shard
+    // count overshoots the thread count a little so the
+    // self-scheduling pool can balance shards of uneven weight.
+    const ShardPlan plan = shardPlanOf(layers);
+    unsigned shard_bits = 0;
+    if (parallelThreads() > 1 && !parallelInWorker() &&
+        plan.bits > 0) {
+        shard_bits = std::min(
+            {plan.bits, log2u(parallelThreads()) + 2, 6u});
     }
-    auto byShape = [](const DirectView &a, const DirectView &b) {
-        return a.blockShift != b.blockShift
-                   ? a.blockShift < b.blockShift
-                   : a.pidMask < b.pidMask;
-    };
-    std::sort(directIfetch.begin(), directIfetch.end(), byShape);
-    std::sort(directData.begin(), directData.end(), byShape);
-    if (!split) { // unified: ifetches share the L1 state
-        directIfetch = directData;
-        deepIfetch = deepData;
-    }
-
-    auto touchAll = [](std::vector<DirectView> &direct,
-                       std::vector<Layer *> &deep, const Ref &ref,
-                       bool write, std::uint64_t measured) {
-        unsigned prev_shift = ~0u;
-        std::uint64_t prev_pid_mask = ~std::uint64_t{0};
-        Addr block = 0;
-        std::uint64_t fused = 0;
-        for (DirectView &view : direct) {
-            if (view.blockShift != prev_shift ||
-                view.pidMask != prev_pid_mask) [[unlikely]] {
-                prev_shift = view.blockShift;
-                prev_pid_mask = view.pidMask;
-                block = ref.addr >> view.blockShift;
-                fused = (block << 16) | (ref.pid & view.pidMask);
-            }
-            const std::size_t set =
-                static_cast<std::size_t>(block & view.setMask);
-            std::uint64_t &word = view.valid[set >> 6];
-            const std::uint64_t bit = std::uint64_t{1}
-                                      << (set & 63);
-            const bool hit = (word & bit) && view.tags[set] == fused;
-            (write ? view.histWrite
-                   : view.histRead)[hit ? 1 : 2] += measured;
-            if (write && view.noWriteAllocate)
-                continue; // hit reorders nothing at A=1; miss: no-op
-            view.tags[set] = fused;
-            word |= bit;
-        }
-        for (Layer *layer : deep)
-            layer->touch(ref.addr, ref.pid, write, measured != 0);
-    };
-
-    // One pass, mirroring System::consumeChunk's issue-group and
-    // measurement-window logic exactly: the measuring flag is
-    // decided at the group's first reference, state always advances,
-    // and only measured accesses enter the histograms.
-    const std::vector<WarmSegment> segments = source.warmSegments();
-    const std::size_t warm_start = source.warmStart();
-    ChunkFeeder feeder(source);
-
-    std::size_t consumed = 0;
-    std::size_t seg_idx = 0;
-    std::size_t boundary = 0;
-    bool measuring = false;
-    std::uint64_t mIfetch = 0;
-    std::uint64_t mLoad = 0;
-    std::uint64_t mStore = 0;
-    std::uint64_t mGroups = 0;
-
-    auto stateAt = [&](std::size_t p) -> bool {
-        if (p < warm_start) {
-            boundary = warm_start;
-            return false;
-        }
-        while (seg_idx < segments.size() && p >= segments[seg_idx].end)
-            ++seg_idx;
-        if (seg_idx < segments.size() &&
-            p >= segments[seg_idx].begin) {
-            boundary = segments[seg_idx].end;
-            return false;
-        }
-        boundary = seg_idx < segments.size()
-                       ? segments[seg_idx].begin
-                       : std::numeric_limits<std::size_t>::max();
-        return true;
-    };
-
-    while (ChunkFeeder::Span span = feeder.next()) {
-        const Ref *buffer = span.data;
-        const std::size_t n = span.size;
-        std::size_t head = 0;
-        while (head < n) {
-            if (consumed >= boundary) [[unlikely]]
-                measuring = stateAt(consumed);
-
-            const std::uint64_t measured = measuring ? 1 : 0;
-            const Ref &first = buffer[head];
-            if (first.kind == RefKind::IFetch) {
-                touchAll(directIfetch, deepIfetch, first, false,
-                         measured);
-                mIfetch += measured;
-                ++head;
-                ++consumed;
-                if (pair && head < n && isData(buffer[head].kind)) {
-                    const Ref &data = buffer[head];
-                    const bool write = data.kind == RefKind::Store;
-                    touchAll(directData, deepData, data, write,
-                             measured);
-                    (write ? mStore : mLoad) += measured;
-                    ++head;
-                    ++consumed;
-                }
-            } else {
-                const bool write = first.kind == RefKind::Store;
-                touchAll(directData, deepData, first, write,
-                         measured);
-                (write ? mStore : mLoad) += measured;
-                ++head;
-                ++consumed;
-            }
-            mGroups += measured;
-        }
-    }
-
-    // Extraction: misses at associativity A are the histogram mass
-    // above A; accesses are role-global measured counts.
-    auto missesAbove = [](const std::vector<std::uint64_t> &hist,
-                          unsigned assoc) {
-        std::uint64_t sum = 0;
-        for (std::size_t k = assoc + 1; k < hist.size(); ++k)
-            sum += hist[k];
-        return sum;
-    };
 
     std::vector<SimResult> out(configs.size());
-    for (std::size_t c = 0; c < configs.size(); ++c) {
-        SimResult &result = out[c];
-        result.traceName = source.name();
-        result.configSummary = configs[c].describe();
-        result.cycleNs = configs[c].cycleNs;
-        result.refs = mIfetch + mLoad + mStore;
-        result.readRefs = mIfetch + mLoad;
-        result.writeRefs = mStore;
-        result.groups = mGroups;
-        const Layer &dl = layers[dPlan[c].layer];
-        if (split) {
-            const Layer &il = layers[iPlan[c].layer];
-            result.icache.readAccesses = mIfetch;
-            result.icache.readMisses =
-                missesAbove(il.histRead, iPlan[c].assoc);
-            result.dcache.readAccesses = mLoad;
-        } else {
-            result.dcache.readAccesses = mIfetch + mLoad;
-        }
-        result.dcache.readMisses =
-            missesAbove(dl.histRead, dPlan[c].assoc);
-        result.dcache.writeAccesses = mStore;
-        result.dcache.writeMisses =
-            missesAbove(dl.histWrite, dPlan[c].assoc);
+
+    if (shard_bits == 0) {
+        // Serial kernel: one set of full-width layers, touched
+        // directly from the driver.
+        for (Layer &layer : layers)
+            layer.finalize();
+        LayerViews views = buildViews(layers, split);
+        PassCounts counts = drivePass(
+            source, pair,
+            [&](const Ref &ref, bool iside, bool write,
+                std::uint64_t measured) {
+                if (iside)
+                    touchViews<false>(views.directIfetch,
+                                      views.deepIfetch, ref.addr,
+                                      ref.pid, false, measured);
+                else
+                    touchViews<false>(views.directData,
+                                      views.deepData, ref.addr,
+                                      ref.pid, write, measured);
+            });
+        fillCommon(out, configs, source.name(), split, counts);
+        addMissCounters(out, split, iPlan, dPlan, layers);
+        return out;
     }
+
+    // Sharded kernel: every shard holds its own slice of every
+    // layer, the driver routes references by the shared set-index
+    // bits into per-shard buffers, and buffered sub-streams are
+    // replayed on the pool.  Within a shard the routed order is the
+    // stream order and a set's references never split across
+    // shards, so each slice's histograms are exactly the serial
+    // histograms restricted to its sets; the shard-ordered merge
+    // below is then bit-identical to the serial kernel at any
+    // thread count.
+    const unsigned K = 1u << shard_bits;
+    struct Shard
+    {
+        std::vector<Layer> layers;
+        LayerViews views;
+        std::vector<RoutedRef> buf;
+    };
+    std::vector<Shard> shards(K);
+    for (Shard &shard : shards) {
+        shard.layers.reserve(layers.size());
+        for (const Layer &master : layers) {
+            shard.layers.emplace_back();
+            shard.layers.back().key = master.key;
+            shard.layers.back().maxA = master.maxA;
+            shard.layers.back().finalize(
+                plan.shift - master.key.blockShift, shard_bits);
+        }
+        shard.views = buildViews(shard.layers, split);
+        shard.buf.reserve(2 * kRouteBatchRefs / K + 16);
+    }
+
+    auto processShard = [&](Shard &shard) {
+        for (const RoutedRef &rr : shard.buf) {
+            const Pid pid = static_cast<Pid>(rr.meta & 0xFFFFu);
+            const bool write = rr.meta & kRouteWrite;
+            const std::uint64_t measured =
+                rr.meta >> kRouteMeasuredShift;
+            if (rr.meta & kRouteIside)
+                touchViews<true>(shard.views.directIfetch,
+                                 shard.views.deepIfetch, rr.addr,
+                                 pid, false, measured);
+            else
+                touchViews<true>(shard.views.directData,
+                                 shard.views.deepData, rr.addr, pid,
+                                 write, measured);
+        }
+        shard.buf.clear();
+    };
+
+    std::size_t buffered = 0;
+    auto flush = [&] {
+        parallelFor(K,
+                    [&](std::size_t s) { processShard(shards[s]); });
+        buffered = 0;
+    };
+
+    const std::uint64_t shard_mask = K - 1;
+    PassCounts counts = drivePass(
+        source, pair,
+        [&](const Ref &ref, bool iside, bool write,
+            std::uint64_t measured) {
+            Shard &shard =
+                shards[(ref.addr >> plan.shift) & shard_mask];
+            shard.buf.push_back(
+                {ref.addr,
+                 static_cast<std::uint32_t>(ref.pid) |
+                     (write ? kRouteWrite : 0u) |
+                     (iside ? kRouteIside : 0u) |
+                     (measured
+                          ? (1u << kRouteMeasuredShift)
+                          : 0u)});
+            if (++buffered >= kRouteBatchRefs)
+                flush();
+        });
+    flush();
+
+    fillCommon(out, configs, source.name(), split, counts);
+    for (const Shard &shard : shards)
+        addMissCounters(out, split, iPlan, dPlan, shard.layers);
     return out;
 }
 
@@ -505,7 +803,11 @@ runMissRatioMany(const std::vector<SystemConfig> &configs,
     }
 
     // One task per (trace, stack group) plus fused sub-batches; the
-    // flattening parallelizes sweeps across traces.
+    // flattening parallelizes sweeps across traces.  With a single
+    // stack task the outer parallelFor degrades to a plain call on
+    // this thread *without* marking it pool work, so the sharded
+    // kernel inside still gets the whole pool - one big pass uses
+    // intra-pass parallelism, many passes parallelize across tasks.
     struct SweepTask
     {
         std::size_t trace = 0;

@@ -54,6 +54,18 @@
  * configs ride one pass per (group, trace), the rest fall back to
  * the fused timing lattice (core/sweep.hh), and both produce
  * ratios bit-identical to runGeoMeanMany's.
+ *
+ * A single pass is itself parallel when the process has threads to
+ * spare: set-indexed simulation is embarrassingly parallel across
+ * sets, so the kernel shards the set space by the set-index address
+ * bits common to every layer in the lattice (stackShardBits()), has
+ * the driver route each decoded chunk into per-shard sub-streams,
+ * replays them on the work-stealing pool, and merges per-shard
+ * histograms in fixed shard order - bit-identical to the serial
+ * kernel at any CACHETIME_THREADS (DESIGN.md section 14 gives the
+ * full determinism argument).  Grids with no common set-index bits
+ * (e.g. containing a fully-associative point) fall back to the
+ * serial kernel.
  */
 
 #ifndef CACHETIME_CORE_STACK_SIM_HH
@@ -72,6 +84,16 @@ namespace cachetime
  * buffer, whole-block fetch, and LRU or direct-mapped L1s.
  */
 bool stackEligible(const SystemConfig &config);
+
+/**
+ * @return the number of set-index address bits shared by every L1
+ * layer of @p configs - bits above the grid's largest block offset
+ * and below its smallest set-index top - which is what the sharded
+ * stack kernel routes on.  0 means no common bits exist (the kernel
+ * then runs serially); the effective shard count is further capped
+ * by the pool size.  Exposed for tests and bench telemetry.
+ */
+unsigned stackShardBits(const std::vector<SystemConfig> &configs);
 
 /**
  * Simulate every config's L1 miss behaviour in one pass over

@@ -82,8 +82,11 @@ simulateBatch(const std::vector<SystemConfig> &configs,
     // One decode, many replays: every span the feeder produces is
     // fed to each machine before the next span is pulled, so stream
     // I/O and synthetic generation are paid once per span however
-    // wide the batch is.
-    ChunkFeeder feeder(source);
+    // wide the batch is.  The pipelined feeder moves that decode
+    // off-thread when threads are available (file-backed sources
+    // only; resident streams are consumed zero-copy), producing the
+    // same span sequence byte for byte.
+    PipelinedFeeder feeder(source);
     for (System &system : systems)
         system.beginRun(source);
     for (auto &coherent : coherents)

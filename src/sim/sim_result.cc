@@ -1,6 +1,7 @@
 #include "sim/sim_result.hh"
 
 #include "stats/stats.hh"
+#include "util/logging.hh"
 
 namespace cachetime
 {
@@ -28,6 +29,42 @@ SimResult::l2Buffer() const
 {
     static const WriteBufferStats empty;
     return midBuffers.empty() ? empty : midBuffers.front();
+}
+
+void
+SimResult::mergeCounters(const SimResult &other)
+{
+    refs += other.refs;
+    readRefs += other.readRefs;
+    writeRefs += other.writeRefs;
+    groups += other.groups;
+    cycles += other.cycles;
+    icache.merge(other.icache);
+    dcache.merge(other.dcache);
+    auto mergeVec = [](auto &into, const auto &from,
+                       const char *what) {
+        if (from.empty())
+            return;
+        if (into.size() != from.size())
+            panic("SimResult::mergeCounters: %s size mismatch "
+                  "(%zu vs %zu)",
+                  what, into.size(), from.size());
+        for (std::size_t i = 0; i < into.size(); ++i)
+            into[i].merge(from[i]);
+    };
+    mergeVec(midLevels, other.midLevels, "midLevels");
+    mergeVec(midBuffers, other.midBuffers, "midBuffers");
+    l1Buffer.merge(other.l1Buffer);
+    memory.merge(other.memory);
+    tlb.merge(other.tlb);
+    mergeVec(coreIcache, other.coreIcache, "coreIcache");
+    mergeVec(coreDcache, other.coreDcache, "coreDcache");
+    coherenceStats.merge(other.coherenceStats);
+    missClasses.merge(other.missClasses);
+    missPenaltyCycles.merge(other.missPenaltyCycles);
+    stallReadCycles += other.stallReadCycles;
+    stallWriteCycles += other.stallWriteCycles;
+    stallTlbCycles += other.stallTlbCycles;
 }
 
 double

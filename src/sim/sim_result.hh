@@ -97,6 +97,20 @@ struct SimResult
     Tick stallWriteCycles = 0;
     Tick stallTlbCycles = 0;
 
+    /**
+     * Accumulate every measured counter of @p other into this
+     * result: the top-line counts, each component's stats (via their
+     * merge() helpers), the miss-penalty histogram and the stall
+     * attribution.  Descriptive fields (names, cycleNs, cores,
+     * flags) are left alone, so merging partials produced from one
+     * config preserves its identity.  Per-level and per-core vectors
+     * must have matching shapes (or @p other's may be empty);
+     * anything else is a logic error and panics.  This is the one
+     * SimResult-level accumulate: the set-sharded stack kernel sums
+     * per-shard partials with it.
+     */
+    void mergeCounters(const SimResult &other);
+
     /** @return total cycles / total references. */
     double cyclesPerRef() const;
 

@@ -12,61 +12,59 @@
 namespace cachetime
 {
 
+namespace
+{
+
+/**
+ * The single field list behind minus() and add(): applies @p fn to
+ * every counter pair, so the two operations (and any future one)
+ * can never drift apart from the struct or from each other.
+ */
+template <typename Fn>
+void
+forEachCounter(IntervalCounters &a, const IntervalCounters &b,
+               Fn &&fn)
+{
+    fn(a.refs, b.refs);
+    fn(a.readRefs, b.readRefs);
+    fn(a.writeRefs, b.writeRefs);
+    fn(a.groups, b.groups);
+    fn(a.cycles, b.cycles);
+    fn(a.ifetchAccesses, b.ifetchAccesses);
+    fn(a.ifetchMisses, b.ifetchMisses);
+    fn(a.readAccesses, b.readAccesses);
+    fn(a.readMisses, b.readMisses);
+    fn(a.writeAccesses, b.writeAccesses);
+    fn(a.writeMisses, b.writeMisses);
+    fn(a.wbufEnqueued, b.wbufEnqueued);
+    fn(a.wbufFullStalls, b.wbufFullStalls);
+    fn(a.wbufOccupancyCount, b.wbufOccupancyCount);
+    fn(a.wbufOccupancySum, b.wbufOccupancySum);
+    fn(a.tlbAccesses, b.tlbAccesses);
+    fn(a.tlbMisses, b.tlbMisses);
+    fn(a.memReads, b.memReads);
+    fn(a.memWrites, b.memWrites);
+    fn(a.cohInvalidations, b.cohInvalidations);
+    fn(a.cohUpgrades, b.cohUpgrades);
+    fn(a.cohBusBusyCycles, b.cohBusBusyCycles);
+}
+
+} // namespace
+
 IntervalCounters
 IntervalCounters::minus(const IntervalCounters &base) const
 {
-    IntervalCounters d;
-    d.refs = refs - base.refs;
-    d.readRefs = readRefs - base.readRefs;
-    d.writeRefs = writeRefs - base.writeRefs;
-    d.groups = groups - base.groups;
-    d.cycles = cycles - base.cycles;
-    d.ifetchAccesses = ifetchAccesses - base.ifetchAccesses;
-    d.ifetchMisses = ifetchMisses - base.ifetchMisses;
-    d.readAccesses = readAccesses - base.readAccesses;
-    d.readMisses = readMisses - base.readMisses;
-    d.writeAccesses = writeAccesses - base.writeAccesses;
-    d.writeMisses = writeMisses - base.writeMisses;
-    d.wbufEnqueued = wbufEnqueued - base.wbufEnqueued;
-    d.wbufFullStalls = wbufFullStalls - base.wbufFullStalls;
-    d.wbufOccupancyCount =
-        wbufOccupancyCount - base.wbufOccupancyCount;
-    d.wbufOccupancySum = wbufOccupancySum - base.wbufOccupancySum;
-    d.tlbAccesses = tlbAccesses - base.tlbAccesses;
-    d.tlbMisses = tlbMisses - base.tlbMisses;
-    d.memReads = memReads - base.memReads;
-    d.memWrites = memWrites - base.memWrites;
-    d.cohInvalidations = cohInvalidations - base.cohInvalidations;
-    d.cohUpgrades = cohUpgrades - base.cohUpgrades;
-    d.cohBusBusyCycles = cohBusBusyCycles - base.cohBusBusyCycles;
+    IntervalCounters d = *this;
+    forEachCounter(d, base,
+                   [](auto &into, const auto &from) { into -= from; });
     return d;
 }
 
 void
 IntervalCounters::add(const IntervalCounters &other)
 {
-    refs += other.refs;
-    readRefs += other.readRefs;
-    writeRefs += other.writeRefs;
-    groups += other.groups;
-    cycles += other.cycles;
-    ifetchAccesses += other.ifetchAccesses;
-    ifetchMisses += other.ifetchMisses;
-    readAccesses += other.readAccesses;
-    readMisses += other.readMisses;
-    writeAccesses += other.writeAccesses;
-    writeMisses += other.writeMisses;
-    wbufEnqueued += other.wbufEnqueued;
-    wbufFullStalls += other.wbufFullStalls;
-    wbufOccupancyCount += other.wbufOccupancyCount;
-    wbufOccupancySum += other.wbufOccupancySum;
-    tlbAccesses += other.tlbAccesses;
-    tlbMisses += other.tlbMisses;
-    memReads += other.memReads;
-    memWrites += other.memWrites;
-    cohInvalidations += other.cohInvalidations;
-    cohUpgrades += other.cohUpgrades;
-    cohBusBusyCycles += other.cohBusBusyCycles;
+    forEachCounter(*this, other,
+                   [](auto &into, const auto &from) { into += from; });
 }
 
 namespace

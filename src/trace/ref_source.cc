@@ -1,7 +1,10 @@
 #include "trace/ref_source.hh"
 
 #include <algorithm>
+#include <cstdlib>
 #include <utility>
+
+#include "util/parallel.hh"
 
 namespace cachetime
 {
@@ -181,6 +184,102 @@ ChunkFeeder::next()
         --count;
     }
     return {storage_.data(), count};
+}
+
+namespace
+{
+
+/** CACHETIME_PIPELINE=0 forces every PipelinedFeeder serial. */
+bool
+pipelineEnabled()
+{
+    static const bool enabled = [] {
+        const char *env = std::getenv("CACHETIME_PIPELINE");
+        return !(env && env[0] == '0' && env[1] == '\0');
+    }();
+    return enabled;
+}
+
+} // namespace
+
+PipelinedFeeder::PipelinedFeeder(RefSource &source) : feeder_(source)
+{
+    // No thread when there is nothing to overlap (resident stream),
+    // nowhere to run it usefully (single-threaded process), or when
+    // the caller is itself pool work (the pool is already saturated
+    // and an extra thread would oversubscribe it).
+    if (feeder_.zeroCopy() || !pipelineEnabled() ||
+        parallelThreads() == 1 || parallelInWorker())
+        return;
+    ring_.resize(4);
+    for (Slot &slot : ring_)
+        slot.refs.resize(refChunkSize);
+    producer_ = std::thread([this] { producerLoop(); });
+}
+
+PipelinedFeeder::~PipelinedFeeder()
+{
+    if (!producer_.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    consumed_.notify_one();
+    producer_.join();
+}
+
+void
+PipelinedFeeder::producerLoop()
+{
+    for (;;) {
+        ChunkFeeder::Span span = feeder_.next();
+        std::unique_lock<std::mutex> lock(mutex_);
+        consumed_.wait(lock, [this] {
+            return stop_ || !ring_[tail_].full;
+        });
+        if (stop_)
+            return;
+        if (!span) {
+            done_ = true;
+            produced_.notify_one();
+            return;
+        }
+        Slot &slot = ring_[tail_];
+        lock.unlock();
+        // The copy runs unlocked: the consumer never touches a slot
+        // whose `full` flag is clear, and only the producer sets it.
+        std::copy(span.data, span.data + span.size,
+                  slot.refs.data());
+        slot.size = span.size;
+        lock.lock();
+        slot.full = true;
+        tail_ = (tail_ + 1) % ring_.size();
+        produced_.notify_one();
+    }
+}
+
+ChunkFeeder::Span
+PipelinedFeeder::next()
+{
+    if (!producer_.joinable())
+        return feeder_.next();
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (holding_ != ~std::size_t{0}) {
+        ring_[holding_].full = false;
+        holding_ = ~std::size_t{0};
+        consumed_.notify_one();
+    }
+    produced_.wait(lock, [this] {
+        return done_ || ring_[head_].full;
+    });
+    if (!ring_[head_].full)
+        return {}; // done_ and the ring drained: end of stream
+    Slot &slot = ring_[head_];
+    holding_ = head_;
+    head_ = (head_ + 1) % ring_.size();
+    return {slot.refs.data(), slot.size};
 }
 
 Trace

@@ -25,9 +25,12 @@
 #ifndef CACHETIME_TRACE_REF_SOURCE_HH
 #define CACHETIME_TRACE_REF_SOURCE_HH
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "trace/trace.hh"
@@ -229,6 +232,13 @@ class ChunkFeeder
     /** @return the next span, or an empty one at end of stream. */
     Span next();
 
+    /**
+     * @return true when the whole remaining stream is already
+     * resident (the source answered borrow()), so there is no
+     * decode work left to overlap with.
+     */
+    bool zeroCopy() const { return borrowed_ != nullptr; }
+
   private:
     RefSource &source_;
     const Ref *borrowed_ = nullptr; ///< whole-stream span, if any
@@ -237,6 +247,67 @@ class ChunkFeeder
     Ref carry_{};                   ///< held-back trailing IFetch
     bool hasCarry_ = false;
     bool exhausted_ = false;
+};
+
+/**
+ * A ChunkFeeder with production moved off the critical path: a
+ * producer thread runs the fill()/decode machinery (CTTRACE2 record
+ * unpacking, mmap-window I/O, synthetic generation) into a small
+ * ring of chunk buffers while the consumer simulates the previous
+ * span.  The span *sequence* is byte-identical to ChunkFeeder's -
+ * the producer is a plain ChunkFeeder whose spans are copied into
+ * ring slots - so feeding any batch of machines through either
+ * feeder yields bit-identical results; only the wall-clock overlap
+ * differs.
+ *
+ * The pipeline engages only when it can pay off: a source whose
+ * remainder is already resident (borrow()) is consumed zero-copy
+ * through the inner feeder with no thread at all, as is any use
+ * from inside a pool worker (the extra thread would oversubscribe
+ * the pool) or a single-threaded run.  CACHETIME_PIPELINE=0
+ * disables it process-wide.
+ *
+ * Same contract as ChunkFeeder: single consumer, each span valid
+ * until the following next() call.
+ */
+class PipelinedFeeder
+{
+  public:
+    /** Rewinds @p source; it must outlive the feeder. */
+    explicit PipelinedFeeder(RefSource &source);
+    ~PipelinedFeeder();
+
+    PipelinedFeeder(const PipelinedFeeder &) = delete;
+    PipelinedFeeder &operator=(const PipelinedFeeder &) = delete;
+
+    /** @return the next span, or an empty one at end of stream. */
+    ChunkFeeder::Span next();
+
+    /** @return true when a producer thread is decoding ahead. */
+    bool pipelined() const { return producer_.joinable(); }
+
+  private:
+    struct Slot
+    {
+        std::vector<Ref> refs;
+        std::size_t size = 0;
+        bool full = false;
+    };
+
+    void producerLoop();
+
+    ChunkFeeder feeder_;
+    std::thread producer_;
+
+    std::mutex mutex_;
+    std::condition_variable produced_;
+    std::condition_variable consumed_;
+    std::vector<Slot> ring_;
+    std::size_t head_ = 0;     ///< next slot the consumer takes
+    std::size_t tail_ = 0;     ///< next slot the producer fills
+    std::size_t holding_ = ~std::size_t{0}; ///< slot lent to caller
+    bool done_ = false;        ///< producer saw end of stream
+    bool stop_ = false;        ///< destructor asked for shutdown
 };
 
 } // namespace cachetime

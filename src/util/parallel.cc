@@ -230,6 +230,12 @@ parallelThreads()
     return ThreadPool::instance().threads();
 }
 
+bool
+parallelInWorker()
+{
+    return inPoolWork;
+}
+
 void
 setParallelThreads(unsigned threads)
 {

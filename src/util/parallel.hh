@@ -37,6 +37,15 @@ namespace cachetime
 unsigned parallelThreads();
 
 /**
+ * @return true when the calling thread is currently executing a
+ * parallelFor() body.  Nested parallelFor() calls degrade to serial
+ * loops; intra-task machinery (the sharded stack kernel, the
+ * pipelined feeder) queries this to skip spawning parallelism that
+ * could not run anyway.
+ */
+bool parallelInWorker();
+
+/**
  * Cumulative pool activity counters, for run telemetry.  Cheap to
  * maintain (one relaxed add per chunk) and monotonic for the life of
  * the process.

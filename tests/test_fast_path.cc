@@ -4,7 +4,7 @@
  * probe arrays, the shift/mask indexing and the templated chunked
  * loop in System::run must be unobservable except in wall-clock.
  *
- * Four properties:
+ * Five properties:
  *  - ~200 random machines from the fuzz generator agree with the
  *    oracle counter-for-counter (a directed complement to the
  *    larger verify.fuzz_smoke campaign, run in-process so a failure
@@ -12,6 +12,11 @@
  *  - probe() and the demand path agree on every hit/miss decision,
  *    including tags at and beyond 2^50 where the fused-key array
  *    falls back to the wide-tag sentinel scan;
+ *  - the SWAR probe scan (four fused keys per iteration in
+ *    Cache::findIndex) is equivalent to the oracle's one-at-a-time
+ *    scalar scan across associativities that exercise both the
+ *    4-wide body and the scalar tail, on traces mixing narrow and
+ *    >= 2^50 wide tags within the same sets;
  *  - eight concurrent simulations of the same (config, trace) are
  *    bit-identical to a serial run (no shared mutable state in the
  *    fast path);
@@ -85,6 +90,8 @@ TEST(FastPath, ProbeAgreesWithDemandAccessIncludingWideTags)
         {1, ReplPolicy::Random, 0},
         {4, ReplPolicy::LRU, 0},
         {2, ReplPolicy::FIFO, 1}, // sub-block valid bits
+        {8, ReplPolicy::LRU, 0},  // two full SWAR quads
+        {16, ReplPolicy::LRU, 0}, // four quads, deeper LRU churn
     };
 
     for (const Shape &shape : shapes) {
@@ -134,6 +141,56 @@ TEST(FastPath, ProbeAgreesWithDemandAccessIncludingWideTags)
                     EXPECT_FALSE(cache.probe(base, 1, pid));
             }
         }
+    }
+}
+
+/**
+ * The SWAR scan against straight-line scalar code: the oracle scans
+ * sets one key at a time, the fast path four fused keys per
+ * iteration, and every counter must still match exactly.  The
+ * associativity axis covers the quad-only shapes (4, 8, 16), the
+ * tail-only shapes (1, 2) and the direct-mapped degenerate case;
+ * the address regions put ordinary fused keys and >= 2^50 wide-tag
+ * sentinels side by side in the same sets, so the scan has to skip
+ * sentinel slots without ever matching one.
+ */
+TEST(FastPath, SwarScanMatchesScalarOracleWithWideTags)
+{
+    setQuiet(true);
+    for (unsigned assoc : {1u, 2u, 4u, 8u, 16u}) {
+        SystemConfig config = SystemConfig::paperDefault();
+        config.split = false;
+        config.dcache.sizeWords = 4 * 1024;
+        config.dcache.blockWords = 4;
+        config.dcache.fetchWords = 0;
+        config.dcache.assoc = assoc;
+        config.dcache.replPolicy =
+            assoc == 1 ? ReplPolicy::Random : ReplPolicy::LRU;
+        config.dcache.allocPolicy = AllocPolicy::WriteAllocate;
+        config.dcache.virtualTags = true;
+
+        std::vector<Ref> refs;
+        Rng rng(0x5ea5c0de + assoc);
+        const Addr bases[] = {0, Addr{1} << 50, Addr{1} << 55,
+                              Addr{3} << 60};
+        for (int i = 0; i < 30000; ++i) {
+            Addr addr = bases[rng.below(4)] +
+                        (rng.below(2048) * 4 + rng.below(4));
+            RefKind kind = rng.below(4) == 0 ? RefKind::Store
+                           : rng.below(2) == 0 ? RefKind::Load
+                                               : RefKind::IFetch;
+            refs.push_back(
+                Ref{addr, kind, static_cast<Pid>(rng.below(3))});
+        }
+        Trace trace("swar-wide", std::move(refs), 0);
+
+        SimResult fast = simulateOne(config, trace);
+        SimResult scalar = verify::oracleRun(config, trace);
+        auto diffs = verify::diffResults(scalar, fast);
+        EXPECT_TRUE(diffs.empty())
+            << "SWAR scan diverged from the scalar oracle at assoc="
+            << assoc << ":\n"
+            << verify::formatDiffs(diffs);
     }
 }
 

@@ -14,6 +14,15 @@ directory of freshly generated manifests and reports, per bench:
 * everything else (trace scales, grid shapes, workload names) —
   informational; a shape change is reported as a note.
 
+``BENCH_sweep.json`` additionally carries a ``threads_axis``: one
+runMissRatioMany() leg per pool size, each of which must be
+bit-identical to the per-config baseline.  The axis is validated
+structurally against the *current* manifest (so a bench that stops
+emitting it, drops a thread count, or flips any leg's
+``ratios_bit_identical`` fails outright); the per-leg throughput
+numbers stay informational like every other perf field, since a
+single-core CI machine legitimately shows no parallel speedup.
+
 Exit status: 1 if a correctness boolean flipped (or, with
 ``--strict``, if any throughput field left its tolerance band),
 0 otherwise.  CI runs this non-blocking (continue-on-error), so the
@@ -92,6 +101,49 @@ def walk(baseline, current, path, findings):
         findings.append(("note", leaf, "%r -> %r" % (baseline, current)))
 
 
+# Thread counts every perf_sweep run must report on its threads axis.
+SWEEP_THREAD_COUNTS = (1, 2, 8)
+
+
+def check_threads_axis(current, findings):
+    """Structural validation of BENCH_sweep.json's threads_axis.
+
+    Runs against the current manifest alone, so a regression that
+    stops emitting the axis is a failure rather than a silent note.
+    Booleans are exact; seconds/throughput are machine-dependent and
+    left to the tolerance-band comparison.
+    """
+    axis = current.get("threads_axis")
+    if not isinstance(axis, list) or not axis:
+        findings.append(("fail", "threads_axis", "missing or empty"))
+        return
+    seen = []
+    for i, leg in enumerate(axis):
+        leaf = "threads_axis.%d" % i
+        if not isinstance(leg, dict):
+            findings.append(("fail", leaf, "not an object"))
+            continue
+        seen.append(leg.get("threads"))
+        if leg.get("ratios_bit_identical") is not True:
+            findings.append(
+                (
+                    "fail",
+                    leaf + ".ratios_bit_identical",
+                    "%r (threads=%r)"
+                    % (leg.get("ratios_bit_identical"), leg.get("threads")),
+                )
+            )
+    missing = [t for t in SWEEP_THREAD_COUNTS if t not in seen]
+    if missing:
+        findings.append(
+            (
+                "fail",
+                "threads_axis",
+                "missing thread counts %r (got %r)" % (missing, seen),
+            )
+        )
+
+
 def check_bench(baseline_path, current_path):
     with open(baseline_path) as f:
         baseline = json.load(f)
@@ -99,6 +151,8 @@ def check_bench(baseline_path, current_path):
         current = json.load(f)
     findings = []
     walk(baseline, current, "", findings)
+    if os.path.basename(current_path) == "BENCH_sweep.json":
+        check_threads_axis(current, findings)
     return findings
 
 
